@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+One :class:`~repro.experiments.context.World` is built per session at
+the scale selected by ``REPRO_SCALE`` (default: the paper's parameters)
+and shared across benches, so each bench times its own experiment, not
+the substrate construction.
+"""
+
+import pytest
+
+from repro.experiments import World, active_scale
+
+
+@pytest.fixture(scope="session")
+def world():
+    return World(active_scale())
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return active_scale()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    Experiments are deterministic end-to-end computations (seconds to
+    a minute each), so a single timed round is the right measurement.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

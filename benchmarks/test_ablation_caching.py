@@ -1,0 +1,27 @@
+"""Bench: §8 on-path caching under mobility."""
+
+from conftest import run_once
+
+from repro.experiments import exp_ablation_caching
+from repro.forwarding import InterestStrategy
+
+
+def test_ablation_caching(benchmark):
+    result = run_once(benchmark, exp_ablation_caching.run, n=40, trials=400)
+    print(exp_ablation_caching.format_result(result))
+    best = InterestStrategy.BEST_ONLY
+    adaptive = InterestStrategy.ADAPTIVE
+    fractions = result.cache_fractions
+    # Caching helps best-only forwarding monotonically-ish...
+    assert result.success[(best, fractions[-1])] > result.success[
+        (best, fractions[0])
+    ]
+    # ...but even the densest cache leaves best-only short of the
+    # strategy layer: caching alone does not ensure reachability.
+    assert result.success[(best, fractions[-1])] < result.success[
+        (adaptive, fractions[-1])
+    ]
+    assert result.success[(best, fractions[-1])] < 0.98
+    # The adaptive strategy is near-perfect with or without caches.
+    for fraction in fractions:
+        assert result.success[(adaptive, fraction)] > 0.85

@@ -1,0 +1,35 @@
+"""Bench: the §8 hybrid (addressing-assisted name-based) architecture."""
+
+from conftest import run_once
+
+from repro.experiments import exp_ablation_hybrid
+
+
+def test_ablation_hybrid(benchmark):
+    result = run_once(
+        benchmark, exp_ablation_hybrid.run, n=40, steps=3000
+    )
+    print(exp_ablation_hybrid.format_result(result))
+    shares = sorted(result.evaluations)
+    prev_hybrid_update = None
+    for share in shares:
+        ev = result.evaluations[share]
+        nb = ev.by_name("name-based")
+        ind = ev.by_name("indirection")
+        hyb = ev.by_name("hybrid")
+        # The hybrid never updates more routers than pure name-based.
+        assert hyb.update_fraction <= nb.update_fraction + 1e-9
+        # Content traffic keeps zero stretch under the hybrid.
+        assert hyb.content_stretch == 0.0
+        # Device traffic detours like pure indirection.
+        assert abs(hyb.device_stretch - ind.device_stretch) < 1e-9
+        # Router update cost falls as the device share grows.
+        if prev_hybrid_update is not None:
+            assert hyb.update_fraction <= prev_hybrid_update + 1e-9
+        prev_hybrid_update = hyb.update_fraction
+    # At the realistic (device-heavy) end, the hybrid removes the bulk
+    # of pure name-based routing's update load.
+    heavy = result.evaluations[shares[-1]]
+    assert heavy.by_name("hybrid").update_fraction < (
+        heavy.by_name("name-based").update_fraction * 0.25
+    )

@@ -1,0 +1,26 @@
+"""Bench: §3.3 multihomed device mobility."""
+
+from conftest import run_once
+
+from repro.experiments import exp_ablation_multihoming
+
+
+def test_ablation_multihoming(benchmark, world):
+    result = run_once(benchmark, exp_ablation_multihoming.run, world)
+    print(exp_ablation_multihoming.format_result(result))
+
+    def total(rates):
+        return sum(rates.values())
+
+    # The cellular anchor stabilises the best port: aggregate
+    # multihomed best-port cost sits clearly below single attachment.
+    assert total(result.multi_best_port) < total(result.single) * 0.9
+    # Flooding tracks the whole set, so it pays at least best-port.
+    for router in result.single:
+        assert (
+            result.multi_flooding[router]
+            >= result.multi_best_port[router] - 0.01
+        )
+    # Peripheral routers stay silent in every mode.
+    assert result.multi_flooding["Mauritius"] <= 0.005
+    assert result.multi_best_port["Tokyo"] <= 0.04

@@ -1,0 +1,24 @@
+"""Bench: mobility outage across architectures (§2/§8)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_ablation_outage
+
+
+def test_ablation_outage(benchmark, world):
+    result = run_once(benchmark, exp_ablation_outage.run, world)
+    print(exp_ablation_outage.format_result(result))
+    # Name-based outage scales with topology diameter: chain worst,
+    # clique (diameter 1) best.
+    chain_mean, chain_max = result.name_based["chain"]
+    clique_mean, clique_max = result.name_based["clique"]
+    tree_mean, tree_max = result.name_based["binary-tree"]
+    assert chain_mean > tree_mean > clique_mean
+    assert chain_max > result.indirection_outage_hops
+    assert clique_max <= 1.5
+    # Resolution: failures grow and lookup latency shrinks with TTL.
+    points = sorted(result.ttl_points, key=lambda p: p.ttl_s)
+    assert points[0].failure_rate == 0.0  # TTL 0 is always fresh
+    assert points[-1].failure_rate > points[0].failure_rate
+    assert points[-1].mean_lookup_ms < points[0].mean_lookup_ms
+    assert points[-1].cache_hit_rate > 0.3

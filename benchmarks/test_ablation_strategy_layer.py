@@ -1,0 +1,42 @@
+"""Bench: the strategy layer under content mobility (§1/§8)."""
+
+from conftest import run_once
+
+from repro.experiments import exp_ablation_strategy_layer
+from repro.forwarding import InterestStrategy
+
+
+def test_ablation_strategy_layer(benchmark):
+    result = run_once(
+        benchmark, exp_ablation_strategy_layer.run, n=40, trials=400
+    )
+    print(exp_ablation_strategy_layer.format_result(result))
+    best = InterestStrategy.BEST_ONLY
+    flood = InterestStrategy.FLOOD
+    adaptive = InterestStrategy.ADAPTIVE
+    stale = result.radii[0]  # the most stale setting
+    # With stale FIBs, best-only blackholes most retrievals...
+    assert result.success(best, stale) < 0.4
+    # ...while flooding and the adaptive strategy recover several
+    # times more of them (and agree with each other).
+    assert result.success(flood, stale) > 0.5
+    assert result.success(adaptive, stale) > 0.5
+    assert result.success(adaptive, stale) > result.success(best, stale) * 3
+    assert abs(
+        result.success(adaptive, stale) - result.success(flood, stale)
+    ) < 0.15
+    # The adaptive strategy pays less traffic than flooding everywhere;
+    # once any routing update has spread (radius >= 1) the gap is wide
+    # (fully-stale retrievals degenerate to a graph search either way).
+    for radius in result.radii:
+        ceiling = 0.85 if radius == 0 else 0.5
+        assert result.traffic(adaptive, radius) < (
+            result.traffic(flood, radius) * ceiling
+        ), radius
+    # Once updates reach far enough, everyone succeeds.
+    converged = result.radii[-1]
+    for strategy in InterestStrategy:
+        assert result.success(strategy, converged) > 0.95
+    # Success is monotone in the update reach for best-only.
+    succ = [result.success(best, r) for r in result.radii]
+    assert succ == sorted(succ)

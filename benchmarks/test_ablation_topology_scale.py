@@ -1,0 +1,62 @@
+"""Bench: does the Fig. 8 shape survive a larger synthetic Internet?
+
+§8's unrepresentativeness critique applies to our substitute topology
+too: the default world has ~420 ASes. This ablation doubles the tier-2
+and stub populations, rebuilds the routers and workload on the larger
+Internet, and checks that the qualitative Fig. 8 structure — Oregon
+highest, periphery silent, Georgia well below the collectors — is a
+property of the *methodology*, not of one topology size.
+"""
+
+from conftest import run_once
+
+from repro.core import DeviceUpdateCostEvaluator
+from repro.measurement import build_routeviews_routers
+from repro.mobility import MobilityWorkloadConfig, generate_workload
+from repro.routing import RoutingOracle
+from repro.topology import ASTopologyConfig, generate_as_topology
+
+
+def _evaluate_at_scale(t2_per_region, stubs_per_region, users, days):
+    topology = generate_as_topology(
+        ASTopologyConfig(
+            t2_per_region=t2_per_region, stubs_per_region=stubs_per_region
+        )
+    )
+    workload = generate_workload(
+        topology,
+        MobilityWorkloadConfig(num_users=users, num_days=days),
+    )
+    oracle = RoutingOracle(topology)
+    routers = build_routeviews_routers(topology)
+    report = DeviceUpdateCostEvaluator(routers, oracle).evaluate(
+        workload.all_transitions()
+    )
+    return len(topology), report
+
+
+def test_topology_scale(benchmark, scale):
+    users = 150 if scale.label == "small" else 372
+    days = 4 if scale.label == "small" else 7
+
+    def both():
+        base = _evaluate_at_scale(5, 30, users, days)
+        double = _evaluate_at_scale(10, 60, users, days)
+        return base, double
+
+    (base_size, base), (double_size, double) = run_once(benchmark, both)
+    print(f"base Internet: {base_size} ASes; doubled: {double_size} ASes")
+    for label, report in (("base", base), ("doubled", double)):
+        print(
+            f"{label:8s} max {report.max_rate()*100:6.2f}%  "
+            f"median {report.median_rate()*100:6.2f}%  "
+            f"Mauritius {report.rate_of('Mauritius')*100:.2f}%"
+        )
+    assert double_size > base_size * 1.7
+    for report in (base, double):
+        oregon_max = max(report.rate_of(f"Oregon-{i}") for i in range(1, 5))
+        assert oregon_max == report.max_rate()
+        assert report.rate_of("Mauritius") <= 0.005
+        assert report.rate_of("Georgia") < oregon_max
+    # The magnitudes stay in the same regime across topology sizes.
+    assert 0.3 <= double.max_rate() / base.max_rate() <= 3.0

@@ -1,0 +1,31 @@
+"""Bench: the full §3.3.3 cost triangle for all forwarding strategies."""
+
+from conftest import run_once
+
+from repro.core import ForwardingStrategy
+from repro.experiments import exp_ablation_tradeoff
+
+
+def test_ablation_tradeoff(benchmark, world):
+    result = run_once(benchmark, exp_ablation_tradeoff.run, world)
+    print(exp_ablation_tradeoff.format_result(result))
+
+    def mean(strategy, attr):
+        costs = result.for_strategy(strategy)
+        return sum(getattr(c, attr) for c in costs) / len(costs)
+
+    bp, fl, un = (
+        ForwardingStrategy.BEST_PORT,
+        ForwardingStrategy.CONTROLLED_FLOODING,
+        ForwardingStrategy.UNION_FLOODING,
+    )
+    # Traffic: best-port sends exactly one copy; flooding more; union
+    # at least as many as flooding (it floods a superset of ports).
+    assert mean(bp, "avg_copies_per_packet") == 1.0
+    assert mean(fl, "avg_copies_per_packet") > 1.0
+    assert mean(un, "avg_copies_per_packet") >= mean(fl, "avg_copies_per_packet")
+    # State: union accumulates the most entries.
+    assert mean(un, "table_entries") >= mean(fl, "table_entries")
+    # Updates: union pays the least, flooding the most.
+    assert mean(un, "update_rate") < mean(fl, "update_rate")
+    assert mean(bp, "update_rate") <= mean(fl, "update_rate") + 1e-9

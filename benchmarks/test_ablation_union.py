@@ -1,0 +1,21 @@
+"""Bench: the §3.3.3 union-of-past-addresses strategy ablation."""
+
+from conftest import run_once
+
+from repro.experiments import exp_ablation_union
+
+
+def test_ablation_union(benchmark, world):
+    result = run_once(benchmark, exp_ablation_union.run, world)
+    print(exp_ablation_union.format_result(result))
+    # Union flooding pays updates only for genuinely new locations:
+    # strictly no more than controlled flooding, per router.
+    for router in result.flooding.rates:
+        assert result.union.rates[router] <= result.flooding.rates[router] + 1e-9
+    # And in aggregate it is much cheaper.
+    total_flooding = sum(result.flooding.updates.values())
+    total_union = sum(result.union.updates.values())
+    assert total_union < total_flooding * 0.6
+    # The price: forwarding state above one port per name at the
+    # well-connected routers.
+    assert max(result.union_table_sizes.values()) > result.names_measured

@@ -1,0 +1,25 @@
+"""Bench: §2.1 compact-routing frontier."""
+
+from conftest import run_once
+
+from repro.experiments import exp_compact_routing
+
+
+def test_compact_routing(benchmark):
+    result = run_once(benchmark, exp_compact_routing.run, n=60)
+    print(exp_compact_routing.format_result(result))
+    points = result.points
+    # The Thorup-Zwick guarantee at every density.
+    for p in points:
+        assert p.max_multiplicative_stretch <= 3.0 + 1e-9
+    # Full landmarking = shortest paths with Θ(N) entries.
+    full = points[-1]
+    assert full.mean_multiplicative_stretch == 1.0
+    assert full.max_table_size == result.topology_size
+    # Sparse landmarks buy much smaller tables at the price of stretch.
+    sparse = points[0]
+    assert sparse.mean_table_size < full.mean_table_size * 0.6
+    assert sparse.mean_multiplicative_stretch > 1.1
+    # Stretch falls as landmark density rises.
+    stretches = [p.mean_multiplicative_stretch for p in points]
+    assert stretches[-1] <= stretches[0]

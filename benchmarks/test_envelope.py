@@ -1,0 +1,33 @@
+"""Bench: §6.2/§7.3 back-of-the-envelope calculations, fed with both the
+paper's constants and this reproduction's measured probabilities."""
+
+from conftest import run_once
+
+from repro.core import DeviceUpdateCostEvaluator
+from repro.experiments import exp_envelope, exp_fig8
+
+
+def _run_with_measured(world):
+    fig8 = exp_fig8.run(world)
+    measured_device = fig8.report.median_rate()
+    return exp_envelope.run(
+        measured_device_probability=measured_device,
+        measured_content_probability=0.005,
+    )
+
+
+def test_envelope(benchmark, world):
+    result = run_once(benchmark, _run_with_measured, world)
+    print(exp_envelope.format_result(result))
+    by_label = {s.label: s for s in result.scenarios}
+    # The paper's arithmetic reproduces exactly.
+    assert abs(by_label["devices (median user)"].updates_per_second() - 2083) < 5
+    assert abs(by_label["devices (mean user)"].updates_per_second() - 4861) < 5
+    assert abs(by_label["content names"].updates_per_second() - 115.7) < 1
+    # The headline asymmetry: device mobility is prohibitively more
+    # expensive for routers than content mobility.
+    device = by_label["devices (median user)"].updates_per_second()
+    content = by_label["content names"].updates_per_second()
+    assert device > 10 * content
+    # Extra FIB entries stay in the ~1% regime.
+    assert 0.001 <= result.extra_fib <= 0.05

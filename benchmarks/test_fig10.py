@@ -1,0 +1,18 @@
+"""Bench: Fig. 10 — displacement delay from the dominant location."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig10
+
+
+def test_fig10(benchmark, world):
+    result = run_once(benchmark, exp_fig10.run, world)
+    print(exp_fig10.format_result(result))
+    # iPlane answers only a small fraction of pairs (paper: ~5%).
+    assert 0.01 <= result.answer_rate() <= 0.20
+    # Median one-way delay in the tens of milliseconds (paper: ~50 ms).
+    assert 20.0 <= result.median_delay() <= 90.0
+    # Users wander two or more ASes from home (paper: physical median 2).
+    assert result.median_physical_hops() >= 2.0
+    # Policy paths are never shorter than the physical lower bound.
+    assert result.median_predicted_hops() >= result.median_physical_hops() - 1e-9

@@ -1,0 +1,28 @@
+"""Bench: Fig. 11(a) — popular content mobility events per day."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig11
+
+
+def _measure_panel_a(world):
+    popular = world.popular_measurement
+    return list(popular.daily_event_counts().values())
+
+
+def test_fig11a(benchmark, world):
+    events_per_day = run_once(benchmark, _measure_panel_a, world)
+    from repro.mobility import percentile
+
+    median = percentile(events_per_day, 0.5)
+    peak = max(events_per_day)
+    print(
+        f"Fig 11(a): names={len(events_per_day)} "
+        f"median={median:.2f} (paper: 2) max={peak:.1f} (paper: 24)"
+    )
+    assert 1.0 <= median <= 4.0
+    # The hourly measurement caps events at 24/day; the tail reaches it.
+    assert 12.0 <= peak <= 24.0
+    # A long tail of near-static names exists too.
+    static = sum(1 for v in events_per_day if v < 0.5) / len(events_per_day)
+    assert static >= 0.15

@@ -1,0 +1,25 @@
+"""Bench: Fig. 12 — FIB aggregateability of popular content."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig12
+
+
+def test_fig12(benchmark, world):
+    result = run_once(benchmark, exp_fig12.run, world)
+    print(exp_fig12.format_result(result))
+    # Paper: between 2x and 16x across routers. Our single-feed
+    # Mauritius/Georgia collapse slightly harder (their FIBs have fewer
+    # distinct ports than any real RouteViews router), so the upper
+    # band is wider.
+    assert 2.0 <= result.min_popular() <= 8.0
+    assert 10.0 <= result.max_popular() <= 30.0
+    # Diversely-peered routers aggregate least; single-feed peripheral
+    # routers most.
+    assert result.popular["Oregon-1"] < result.popular["Mauritius"]
+    assert result.popular["Oregon-1"] < result.popular["Georgia"]
+    # Unpopular content aggregates hardly at all (§7.3: one entry per
+    # principal for the long tail).
+    for router, ratio in result.unpopular.items():
+        assert ratio < 2.5, (router, ratio)
+        assert ratio < result.popular[router]

@@ -1,0 +1,19 @@
+"""Bench: Fig. 6 — distinct network locations per user per day."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig6
+
+
+def test_fig6(benchmark, world, scale):
+    result = run_once(benchmark, exp_fig6.run, world)
+    print(exp_fig6.format_result(result))
+    # Shape checks (tight at paper scale, loose at small scale).
+    loose = scale.label == "small"
+    assert 2.0 <= result.median_ips() <= (6.0 if loose else 4.5)
+    assert 1.2 <= result.median_prefixes() <= 3.5
+    assert 1.2 <= result.median_ases() <= 3.0
+    assert result.fraction_above_10_ips() > (0.10 if loose else 0.15)
+    # Ordering: IPs >= prefixes >= ASes for every user.
+    for i_val, p_val, a_val in zip(result.ips, result.prefixes, result.ases):
+        assert i_val >= p_val - 1e-9 >= a_val - 2e-9

@@ -1,0 +1,19 @@
+"""Bench: Fig. 7 — transitions across network locations per day."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig7
+
+
+def test_fig7(benchmark, world, scale):
+    result = run_once(benchmark, exp_fig7.run, world)
+    print(exp_fig7.format_result(result))
+    loose = scale.label == "small"
+    assert 2.0 <= result.median_ip_transitions() <= (7.0 if loose else 5.0)
+    assert 0.5 <= result.median_as_transitions() <= (3.5 if loose else 2.5)
+    lo, hi = result.as_transition_range()
+    assert hi >= (10.0 if loose else 15.0)  # the heavy flapper tail
+    assert lo <= 0.5  # near-sedentary users exist
+    # IP transitions dominate AS transitions for every user.
+    for ip_t, as_t in zip(result.ip_transitions, result.as_transitions):
+        assert ip_t >= as_t - 1e-9

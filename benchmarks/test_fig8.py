@@ -1,0 +1,26 @@
+"""Bench: Fig. 8 — device mobility update rates at RouteViews routers."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig8
+
+
+def test_fig8(benchmark, world):
+    result = run_once(benchmark, exp_fig8.run, world)
+    print(exp_fig8.format_result(result))
+    report = result.report
+    # Shape: Oregon collectors highest (paper max ~14%), median routers
+    # several times lower (paper ~3%), peripheral routers ~0.
+    assert 0.08 <= report.max_rate() <= 0.25
+    assert 0.01 <= report.median_rate() <= 0.12
+    oregon_rates = [report.rate_of(f"Oregon-{i}") for i in range(1, 5)]
+    assert max(oregon_rates) == report.max_rate()
+    # Georgia markedly below the Oregon routers (§6.2.2's explanation:
+    # much lower next-hop degree).
+    assert report.rate_of("Georgia") < max(oregon_rates) * 0.7
+    assert result.next_hop_degrees["Georgia"] < (
+        result.next_hop_degrees["Oregon-1"] / 3
+    )
+    # Mauritius and Tokyo "experience hardly any updates".
+    assert report.rate_of("Mauritius") <= 0.005
+    assert report.rate_of("Tokyo") <= 0.04

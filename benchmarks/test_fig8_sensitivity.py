@@ -1,0 +1,24 @@
+"""Bench: §6.2.2 sensitivity — time, router set, and workload."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig8_sensitivity
+
+
+def test_fig8_sensitivity(benchmark, world, scale):
+    alt_users = 300 if scale.label == "small" else 900
+    result = run_once(
+        benchmark, exp_fig8_sensitivity.run, world, alt_users=alt_users
+    )
+    print(exp_fig8_sensitivity.format_result(result))
+    # (1) day-to-day stability: paper reports std < 0.005 at every
+    # router; our synthetic days are noisier but still tight.
+    for router, std in result.per_day_std.items():
+        assert std < 0.05, (router, std)
+    # (2) the RIPE set tells the same story as RouteViews.
+    rv, ripe = result.routeviews, result.ripe
+    assert 0.3 <= ripe.max_rate() / rv.max_rate() <= 2.5
+    assert 0.3 <= (ripe.median_rate() + 1e-6) / (rv.median_rate() + 1e-6) <= 2.5
+    # (3) a different, larger workload produces highly correlated
+    # per-router rates (paper: 0.88).
+    assert result.cross_workload_correlation > 0.8

@@ -1,0 +1,23 @@
+"""Bench: Fig. 9 — time spent at the dominant location."""
+
+from conftest import run_once
+
+from repro.experiments import exp_fig9
+
+
+def test_fig9(benchmark, world, scale):
+    result = run_once(benchmark, exp_fig9.run, world)
+    print(exp_fig9.format_result(result))
+    loose = scale.label == "small"
+    # A substantial fraction of user-days are dominated by one location.
+    frac_ip = result.fraction_above("ip", 0.70)
+    frac_as = result.fraction_above("asn", 0.85)
+    assert (0.20 if loose else 0.30) <= frac_ip <= 0.60
+    assert (0.30 if loose else 0.35) <= frac_as <= 0.65
+    # §6.2: users typically spend ~30% of the day away from the
+    # dominant IP address.
+    away = result.median_away_from_dominant_ip()
+    assert 0.15 <= away <= (0.50 if loose else 0.45)
+    # Dominance ordering: AS >= prefix >= IP on every user-day.
+    for i_val, p_val, a_val in zip(result.ip, result.prefix, result.asn):
+        assert a_val >= p_val - 1e-9 >= i_val - 2e-9

@@ -1,0 +1,26 @@
+"""Bench: §3.1 intradomain displacement vs. delegation density."""
+
+from conftest import run_once
+
+from repro.experiments import exp_intradomain
+
+
+def test_intradomain(benchmark):
+    result = run_once(
+        benchmark, exp_intradomain.run, num_routers=24, events=400
+    )
+    print(exp_intradomain.format_result(result))
+    by_level = {p.specifics_per_router: p for p in result.points}
+    # No delegation: within-block moves never cross a longest-matching
+    # boundary, so no router is ever displaced.
+    assert by_level[0].mean_displaced_fraction == 0.0
+    assert by_level[0].max_displaced_fraction == 0.0
+    # Heavy delegation displaces a clearly nonzero share on average and
+    # most of the network on the worst events.
+    assert by_level[8].mean_displaced_fraction > 0.01
+    assert by_level[8].max_displaced_fraction > 0.3
+    # Monotone-ish growth from none to heavy delegation.
+    assert (
+        by_level[8].mean_displaced_fraction
+        > by_level[1].mean_displaced_fraction
+    )

@@ -1,0 +1,22 @@
+"""Bench: §8 robustness — mobility perturbed by large factors."""
+
+from conftest import run_once
+
+from repro.experiments import exp_perturbation
+
+
+def test_perturbation(benchmark, world):
+    result = run_once(benchmark, exp_perturbation.run, world)
+    print(exp_perturbation.format_result(result))
+    # Event volume really is perturbed by large factors...
+    assert result.events[4.0] > result.events[0.5] * 2
+    # ...but the per-router profile barely moves (the paper's claim).
+    for scale in result.scales:
+        assert result.profile_correlation[scale] > 0.95, scale
+    # The qualitative orderings hold at every scale.
+    for scale in result.scales:
+        rates = result.rates[scale]
+        oregon_max = max(rates[f"Oregon-{i}"] for i in range(1, 5))
+        assert oregon_max == max(rates.values())
+        assert rates["Mauritius"] <= 0.005
+        assert rates["Georgia"] < oregon_max

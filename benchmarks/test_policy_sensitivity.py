@@ -1,0 +1,24 @@
+"""Bench: §3.2 route-selection-policy sensitivity."""
+
+from conftest import run_once
+
+from repro.experiments import exp_policy_sensitivity
+
+
+def test_policy_sensitivity(benchmark, world):
+    result = run_once(benchmark, exp_policy_sensitivity.run, world)
+    print(exp_policy_sensitivity.format_result(result))
+    bgp = result.rates["bgp"]
+    shortest = result.rates["shortest-only"]
+    sticky = result.rates["sticky-random"]
+    # Policies genuinely change the cost: the arbitrary-but-stable
+    # policy is far worse than either structured one in aggregate.
+    assert sum(sticky.values()) > sum(bgp.values()) * 1.5
+    # Shortest-only is no worse than BGP in aggregate here (relationship
+    # preferences add diversity on top of pure length).
+    assert sum(shortest.values()) <= sum(bgp.values()) * 1.2
+    # The qualitative router ordering survives the structured policies.
+    for rates in (bgp, shortest):
+        oregon_max = max(rates[f"Oregon-{i}"] for i in range(1, 5))
+        assert oregon_max == max(rates.values())
+        assert rates["Mauritius"] <= 0.005

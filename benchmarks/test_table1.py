@@ -1,0 +1,25 @@
+"""Bench: Table 1 — analytic stretch vs update cost + validation."""
+
+from conftest import run_once
+
+from repro.experiments import exp_table1
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, exp_table1.run, n=63, steps=4000)
+    print(exp_table1.format_result(result))
+    # Shape checks: the tradeoff of Table 1.
+    for kind in ("chain", "clique", "binary-tree", "star"):
+        exact = result.exact[kind]
+        sim = result.simulated[kind]
+        assert exact.indirection_update_cost < exact.name_based_update_cost \
+            or kind == "star"  # star: hub-only updates are even cheaper
+        assert sim.name_based_stretch == 0.0
+        assert abs(sim.name_based_update_cost - exact.name_based_update_cost) \
+            <= max(0.15 * exact.name_based_update_cost, 0.01)
+        assert abs(sim.indirection_stretch - exact.indirection_stretch) \
+            <= 0.15 * exact.indirection_stretch
+    # Chain: update cost ~1/3; clique ~1; star ~1/(n+1).
+    assert abs(result.exact["chain"].name_based_update_cost - 1 / 3) < 0.05
+    assert result.exact["clique"].name_based_update_cost > 0.9
+    assert result.exact["star"].name_based_update_cost < 0.05

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Content mobility study: CDNs, forwarding strategies, and FIB size.
+
+Walks the paper's §7 content pipeline on a small scale:
+
+1. generate a popular/unpopular domain universe and assign hosting
+   (origin farms vs CDN edge clusters);
+2. measure hourly ``Addrs(d, t)`` from a PlanetLab-style vantage fleet
+   and show one CDN-delegated name's churning address set;
+3. evaluate best-port vs controlled-flooding update cost at the
+   RouteViews routers (Fig. 11b/c);
+4. compute FIB aggregateability under longest-prefix matching (Fig. 12).
+
+Run:  python examples/content_mobility_study.py
+"""
+
+from repro.content import (
+    CDNHosting,
+    DomainUniverseConfig,
+    assign_hosting,
+    generate_domain_universe,
+)
+from repro.core import (
+    ContentUpdateCostEvaluator,
+    ForwardingStrategy,
+    router_aggregateability,
+)
+from repro.measurement import (
+    MeasurementConfig,
+    MeasurementController,
+    build_routeviews_routers,
+)
+from repro.mobility import percentile
+from repro.routing import RoutingOracle
+from repro.topology import generate_as_topology
+
+
+def main() -> None:
+    print("1. Building the content universe and hosting...")
+    topology = generate_as_topology()
+    universe = generate_domain_universe(
+        DomainUniverseConfig(
+            num_popular=80, num_unpopular=40, popular_total_names=900, seed=3
+        )
+    )
+    hosting = assign_hosting(universe, topology)
+    cdn_names = [
+        name
+        for domain in universe.popular
+        for name in domain.all_names()
+        if isinstance(hosting.model_for(name), CDNHosting)
+    ]
+    print(
+        f"   {len(universe.popular_names())} popular names "
+        f"({len(cdn_names)} CDN-delegated), "
+        f"{len(universe.unpopular_names())} unpopular names.\n"
+    )
+
+    print("2. Measuring hourly address sets from 74 vantage points...")
+    controller = MeasurementController(
+        topology, hosting, config=MeasurementConfig(days=3, seed=3)
+    )
+    measurement = controller.measure_universe(universe, popular=True)
+    sample = cdn_names[0]
+    timeline = measurement.timeline(sample)
+    print(f"   {sample.to_domain()} (CDN-delegated):")
+    for hour in (0, 12, 24):
+        addrs = sorted(str(a) for a in timeline.set_at(hour))
+        shown = ", ".join(addrs[:4]) + (", ..." if len(addrs) > 4 else "")
+        print(f"     hour {hour:2d}: {len(addrs):2d} addrs [{shown}]")
+    daily = list(measurement.daily_event_counts().values())
+    print(
+        f"   mobility events/day across names: median "
+        f"{percentile(daily, 0.5):.1f}, max {max(daily):.0f} (Fig. 11a).\n"
+    )
+
+    print("3. Update cost: best-port vs controlled flooding (Fig. 11b)...")
+    oracle = RoutingOracle(topology)
+    routers = build_routeviews_routers(topology)
+    evaluator = ContentUpdateCostEvaluator(routers, oracle)
+    flooding = evaluator.evaluate(
+        measurement, ForwardingStrategy.CONTROLLED_FLOODING
+    )
+    best = evaluator.evaluate(measurement, ForwardingStrategy.BEST_PORT)
+    print(
+        f"   flooding: max {flooding.max_rate() * 100:.1f}% of events "
+        f"update some router; best-port: max "
+        f"{best.max_rate() * 100:.1f}% — the best port rarely changes "
+        "because the closest CDN cluster is stable.\n"
+    )
+
+    print("4. FIB aggregateability under LPM (Fig. 12)...")
+    for router in (routers[0], routers[9]):  # Oregon-1 and Mauritius
+        ratio, complete, lpm = router_aggregateability(
+            router, oracle, measurement
+        )
+        print(
+            f"   {router.name:10s}: {len(complete)} entries -> {len(lpm)} "
+            f"after subsumption ({ratio:.1f}x)"
+        )
+    print(
+        "\n   Content names aggregate because subdomains usually live on "
+        "their apex's infrastructure; device identifiers would not."
+    )
+
+
+if __name__ == "__main__":
+    main()

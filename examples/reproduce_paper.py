@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the paper in one run.
+
+Prints, for each artifact of the evaluation section, the same
+rows/series the paper reports next to the paper's headline numbers.
+
+Run:  python examples/reproduce_paper.py            # paper scale (~minutes)
+      REPRO_SCALE=small python examples/reproduce_paper.py   # seconds
+"""
+
+import time
+
+from repro.experiments import (
+    World,
+    active_scale,
+    exp_ablation_caching,
+    exp_ablation_hybrid,
+    exp_ablation_multihoming,
+    exp_ablation_outage,
+    exp_ablation_strategy_layer,
+    exp_ablation_tradeoff,
+    exp_ablation_union,
+    exp_fib_size,
+    exp_intradomain,
+    exp_perturbation,
+    exp_policy_sensitivity,
+    exp_envelope,
+    exp_fig6,
+    exp_fig7,
+    exp_fig8,
+    exp_fig8_sensitivity,
+    exp_fig9,
+    exp_fig10,
+    exp_fig11,
+    exp_fig12,
+    exp_table1,
+)
+
+
+def main() -> None:
+    scale = active_scale()
+    print(f"Scale: {scale.label} ({scale.num_users} users, "
+          f"{scale.device_days} device days, {scale.content_days} content days)")
+    start = time.time()
+    world = World(scale)
+
+    print(exp_table1.format_result(exp_table1.run()))
+    print(exp_fig6.format_result(exp_fig6.run(world)))
+    print(exp_fig7.format_result(exp_fig7.run(world)))
+    print(exp_fig8.format_result(exp_fig8.run(world)))
+    print(exp_fig8_sensitivity.format_result(exp_fig8_sensitivity.run(world)))
+    print(exp_fig9.format_result(exp_fig9.run(world)))
+    print(exp_fig10.format_result(exp_fig10.run(world)))
+    print(exp_fig11.format_result(exp_fig11.run(world)))
+    print(exp_fig12.format_result(exp_fig12.run(world)))
+    fig8 = exp_fig8.run(world)
+    print(
+        exp_envelope.format_result(
+            exp_envelope.run(
+                measured_device_probability=fig8.report.median_rate()
+            )
+        )
+    )
+    print(exp_ablation_union.format_result(exp_ablation_union.run(world)))
+    print(exp_ablation_tradeoff.format_result(exp_ablation_tradeoff.run(world)))
+    print(exp_ablation_hybrid.format_result(exp_ablation_hybrid.run()))
+    print(exp_ablation_outage.format_result(exp_ablation_outage.run(world)))
+    print(exp_ablation_multihoming.format_result(
+        exp_ablation_multihoming.run(world)))
+    print(exp_ablation_strategy_layer.format_result(
+        exp_ablation_strategy_layer.run()))
+    print(exp_ablation_caching.format_result(exp_ablation_caching.run()))
+    print(exp_perturbation.format_result(exp_perturbation.run(world)))
+    print(exp_fib_size.format_result(exp_fib_size.run(world)))
+    print(exp_policy_sensitivity.format_result(
+        exp_policy_sensitivity.run(world)))
+    print(exp_intradomain.format_result(exp_intradomain.run()))
+    print(f"\nTotal: {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

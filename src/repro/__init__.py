@@ -1,0 +1,45 @@
+"""repro — a reproduction of "Towards a Quantitative Comparison of
+Location-Independent Network Architectures" (SIGCOMM 2014).
+
+The package compares the three purist approaches to location-independent
+communication — indirection routing, name resolution, and name-based
+routing — on routing update cost, path stretch, and forwarding table
+size, for both device and content mobility, over a fully synthetic but
+statistically calibrated substitute for the paper's measured inputs.
+
+Quick start::
+
+    from repro.experiments import World, exp_fig8, SMALL_SCALE
+
+    world = World(SMALL_SCALE)
+    print(exp_fig8.format_result(exp_fig8.run(world)))
+
+Subpackages
+-----------
+``repro.net``
+    IPv4 and hierarchical-name primitives with LPM tries.
+``repro.topology``
+    Toy graphs, intradomain networks, and the synthetic AS-level
+    Internet.
+``repro.routing``
+    BGP propagation (Gao-Rexford), route ranking, relationship
+    inference, vantage-point RIBs.
+``repro.mobility``
+    The behavioural device model and the NomadLog-calibrated workload.
+``repro.content``
+    Domain universe, CDN/origin hosting, address timelines.
+``repro.measurement``
+    NomadLog app pipeline, PlanetLab vantage fleet, RouteViews/RIPE
+    router synthesis.
+``repro.latency``
+    The iPlane-style predictor used for path-stretch analysis.
+``repro.core``
+    The paper's methodology: displacement, forwarding strategies,
+    update-cost evaluation, aggregateability, the §5 analytic model.
+``repro.experiments``
+    One runnable module per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,191 @@
+"""Command-line interface: run any paper artifact from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig8 --scale small
+    python -m repro run all --scale small
+    python -m repro export --out results/ --scale small
+
+``run`` prints the same rows/series the paper reports; ``export``
+additionally writes the raw series behind each figure as CSV files so
+they can be re-plotted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from .experiments import (
+    DEFAULT_SCALE,
+    SMALL_SCALE,
+    World,
+    exp_ablation_caching,
+    exp_ablation_hybrid,
+    exp_ablation_multihoming,
+    exp_ablation_outage,
+    exp_ablation_strategy_layer,
+    exp_ablation_tradeoff,
+    exp_ablation_union,
+    exp_compact_routing,
+    exp_envelope,
+    exp_fig6,
+    exp_fig7,
+    exp_fib_size,
+    exp_fig8,
+    exp_fig8_sensitivity,
+    exp_fig9,
+    exp_fig10,
+    exp_fig11,
+    exp_fig12,
+    exp_intradomain,
+    exp_perturbation,
+    exp_policy_sensitivity,
+    exp_table1,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _needs_world(module) -> Callable[[Optional[World]], str]:
+    def runner(world: Optional[World]) -> str:
+        assert world is not None
+        return module.format_result(module.run(world))
+
+    return runner
+
+
+def _standalone(module, **kwargs) -> Callable[[Optional[World]], str]:
+    def runner(world: Optional[World]) -> str:
+        return module.format_result(module.run(**kwargs))
+
+    return runner
+
+
+#: Experiment name -> (description, runner). Runners take a World (or
+#: None for world-free experiments) and return formatted text.
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": ("Table 1: analytic stretch vs update cost",
+               _standalone(exp_table1)),
+    "fig6": ("Fig. 6: distinct locations per user-day",
+             _needs_world(exp_fig6)),
+    "fig7": ("Fig. 7: transitions per user-day", _needs_world(exp_fig7)),
+    "fig8": ("Fig. 8: device-mobility router update rates",
+             _needs_world(exp_fig8)),
+    "fig8-sensitivity": ("§6.2.2 sensitivity checks",
+                         _needs_world(exp_fig8_sensitivity)),
+    "fib-size": ("§6.2 device FIB-size measurement",
+                 _needs_world(exp_fib_size)),
+    "fig9": ("Fig. 9: time at the dominant location",
+             _needs_world(exp_fig9)),
+    "fig10": ("Fig. 10: displacement from home", _needs_world(exp_fig10)),
+    "fig11": ("Fig. 11: content mobility + update rates",
+              _needs_world(exp_fig11)),
+    "fig12": ("Fig. 12: FIB aggregateability", _needs_world(exp_fig12)),
+    "envelope": ("§6.2/§7.3 back-of-the-envelope rates",
+                 _standalone(exp_envelope)),
+    "intradomain": ("§3.1 intradomain displacement sweep",
+                    _standalone(exp_intradomain)),
+    "ablation-union": ("§3.3.3 union-strategy ablation",
+                       _needs_world(exp_ablation_union)),
+    "ablation-tradeoff": ("§3.3.3 cost-triangle ablation",
+                          _needs_world(exp_ablation_tradeoff)),
+    "ablation-hybrid": ("§8 hybrid-architecture ablation",
+                        _standalone(exp_ablation_hybrid)),
+    "ablation-outage": ("§2/§8 mobility-outage comparison",
+                        _needs_world(exp_ablation_outage)),
+    "ablation-multihoming": ("§3.3 multihomed-device ablation",
+                             _needs_world(exp_ablation_multihoming)),
+    "ablation-strategy-layer": ("§1/§8 strategy-layer ablation",
+                                _standalone(exp_ablation_strategy_layer)),
+    "perturbation": ("§8 robustness: mobility scaled by large factors",
+                     _needs_world(exp_perturbation)),
+    "ablation-caching": ("§8 on-path caching under mobility",
+                         _standalone(exp_ablation_caching)),
+    "policy-sensitivity": ("§3.2 route-selection-policy sensitivity",
+                           _needs_world(exp_policy_sensitivity)),
+    "compact-routing": ("§2.1 compact-routing stretch/table frontier",
+                        _standalone(exp_compact_routing)),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the SIGCOMM'14 location-independence "
+        "comparison, one artifact at a time.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifact to reproduce",
+    )
+    run_parser.add_argument(
+        "--scale",
+        choices=["paper", "small"],
+        default="paper",
+        help="workload scale (default: the paper's parameters)",
+    )
+
+    export_parser = sub.add_parser(
+        "export", help="run everything and write CSV series"
+    )
+    export_parser.add_argument("--out", default="results", help="output dir")
+    export_parser.add_argument(
+        "--scale", choices=["paper", "small"], default="paper"
+    )
+    return parser
+
+
+def _scale_for(label: str):
+    return SMALL_SCALE if label == "small" else DEFAULT_SCALE
+
+
+def _run(names: Sequence[str], scale_label: str, out=None) -> None:
+    out = out if out is not None else sys.stdout
+    scale = _scale_for(scale_label)
+    world = World(scale)
+    started = time.time()
+    for name in names:
+        _, runner = EXPERIMENTS[name]
+        out.write(runner(world) + "\n")
+    out.write(f"\n[{len(names)} experiment(s), scale={scale.label}, "
+              f"{time.time() - started:.0f}s]\n")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            description, _ = EXPERIMENTS[name]
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    if args.command == "run":
+        names = sorted(EXPERIMENTS) if args.experiment == "all" else [
+            args.experiment
+        ]
+        _run(names, args.scale)
+        return 0
+    if args.command == "export":
+        from .experiments.export import export_all
+
+        scale = _scale_for(args.scale)
+        written = export_all(World(scale), args.out)
+        for path in written:
+            print(path)
+        return 0
+    return 2  # unreachable: argparse enforces the choices
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,328 @@
+"""Content hosting: origin sites and CDN delegation (§7.1).
+
+Two hosting models cover the behaviours the paper measured:
+
+* :class:`OriginHosting` — the domain is served from a small, static
+  set of addresses at one or two hosting providers, possibly behind a
+  DNS load balancer that rotates which pool member is handed out.
+  Locations "are chosen mainly for fault-tolerance or load balancing
+  purposes rather than proximity to clients, so they rarely change."
+* :class:`CDNHosting` — the name is CNAME-delegated to a CDN that
+  serves it from per-region edge clusters: a stable set of *core*
+  clusters near the domain's main audience plus *overflow* clusters
+  the CDN's mapping system toggles in and out, with the active
+  addresses inside each cluster rotating for load balancing.
+
+Hosting providers and CDN points of presence are designated ASes of
+the synthetic topology, so every content address has an origin AS and
+projects onto router ports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..net import ContentName, IPv4Address
+from ..topology import ASTopology, Tier
+from .domains import DomainUniverse
+
+__all__ = [
+    "EdgeCluster",
+    "CDNProvider",
+    "OriginHosting",
+    "CDNHosting",
+    "HostingDirectory",
+    "HostingConfig",
+    "assign_hosting",
+]
+
+#: Regions hosting most origin datacenters.
+_HOSTING_REGIONS = ("us-east", "us-west", "eu-west", "us-central", "asia-east")
+
+
+@dataclass(frozen=True)
+class EdgeCluster:
+    """One CDN point of presence: an AS plus its address pool."""
+
+    region: str
+    asn: int
+    pool: Tuple[IPv4Address, ...]
+
+    def __post_init__(self) -> None:
+        if not self.pool:
+            raise ValueError("an edge cluster needs a non-empty address pool")
+
+
+@dataclass
+class CDNProvider:
+    """A CDN: a name and its global edge clusters."""
+
+    name: str
+    clusters: List[EdgeCluster]
+
+    def clusters_in(self, regions: Sequence[str]) -> List[EdgeCluster]:
+        """Clusters located in any of ``regions``."""
+        wanted = set(regions)
+        return [c for c in self.clusters if c.region in wanted]
+
+
+@dataclass
+class OriginHosting:
+    """Origin-served content: static base addresses + optional LB pool."""
+
+    base: Tuple[IPv4Address, ...]
+    #: Extra pool the DNS load balancer rotates through (may be empty).
+    lb_pool: Tuple[IPv4Address, ...]
+    #: How many pool members are active at once.
+    lb_active: int
+    #: Probability per hour that the LB rotates its active members.
+    lb_rotation_prob: float
+    #: Probability per day that the origin relocates entirely.
+    relocation_prob_per_day: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.base:
+            raise ValueError("origin hosting needs at least one base address")
+        if self.lb_active > len(self.lb_pool):
+            raise ValueError("lb_active exceeds the pool size")
+
+
+@dataclass
+class CDNHosting:
+    """CDN-served content: core clusters + toggling overflow clusters."""
+
+    provider: CDNProvider
+    core_clusters: Tuple[EdgeCluster, ...]
+    overflow_clusters: Tuple[EdgeCluster, ...]
+    #: Addresses served per cluster at any time.
+    addrs_per_cluster: int
+    #: Probability per hour that some cluster rotates its active set.
+    rotation_prob: float
+    #: Probability per hour that an overflow cluster toggles in/out.
+    remap_prob: float
+    #: Probability per hour that a non-anchor *core* cluster toggles —
+    #: "the address that is the closest to any given router rarely
+    #: changes" (§7.2): rarely, not never. The first core cluster is
+    #: the anchor and never toggles.
+    core_remap_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.core_clusters:
+            raise ValueError("CDN hosting needs at least one core cluster")
+
+
+class HostingDirectory:
+    """name -> hosting model for a whole domain universe."""
+
+    def __init__(self) -> None:
+        self._models: Dict[ContentName, object] = {}
+        self.cdns: List[CDNProvider] = []
+
+    def set_model(self, name: ContentName, model) -> None:
+        """Register the hosting model for ``name``."""
+        self._models[name] = model
+
+    def model_for(self, name: ContentName):
+        """The hosting model for ``name`` (KeyError if unknown)."""
+        return self._models[name]
+
+    def __contains__(self, name: ContentName) -> bool:
+        return name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def names(self):
+        """All names with assigned hosting."""
+        return self._models.keys()
+
+
+@dataclass
+class HostingConfig:
+    """Knobs for :func:`assign_hosting`."""
+
+    num_cdns: int = 2
+    cluster_pool_size: int = 24
+    addrs_per_cluster: int = 3
+    #: Popular origin LB parameters.
+    popular_lb_fraction: float = 0.65
+    popular_lb_rotation: Tuple[float, float] = (0.03, 0.20)
+    #: Unpopular origin LB parameters.
+    unpopular_lb_fraction: float = 0.3
+    unpopular_lb_rotation: Tuple[float, float] = (0.004, 0.02)
+    #: CDN per-domain rotation/remap ranges (per hour).
+    cdn_rotation: Tuple[float, float] = (0.05, 2.0)
+    cdn_remap: Tuple[float, float] = (0.005, 0.075)
+    cdn_core_remap: Tuple[float, float] = (0.001, 0.005)
+    core_clusters_per_domain: int = 4
+    overflow_clusters_per_domain: int = 4
+    #: Popular origins occasionally switch hosting providers; the long
+    #: tail "rarely changes" locations (§7.2).
+    popular_relocation_prob_per_day: float = 0.004
+    unpopular_relocation_prob_per_day: float = 0.0002
+    seed: int = 2014
+
+
+def _draw_addresses(
+    rng: random.Random, topology: ASTopology, asn: int, count: int
+) -> List[IPv4Address]:
+    """``count`` distinct host addresses out of ``asn``'s space."""
+    prefixes = topology.ases[asn].prefixes
+    seen = set()
+    out: List[IPv4Address] = []
+    while len(out) < count:
+        prefix = rng.choice(prefixes)
+        host = rng.randrange(1, min(prefix.num_addresses(), 1 << 16))
+        addr = prefix.address_at(host)
+        if addr not in seen:
+            seen.add(addr)
+            out.append(addr)
+    return out
+
+
+def _build_cdns(
+    rng: random.Random, topology: ASTopology, cfg: HostingConfig
+) -> List[CDNProvider]:
+    """Designate CDN PoP ASes: one stub per region per CDN."""
+    cdns: List[CDNProvider] = []
+    for c in range(cfg.num_cdns):
+        clusters: List[EdgeCluster] = []
+        for region in sorted(
+            {node.region for node in topology.ases.values()}
+        ):
+            stubs = topology.ases_in_region(region, Tier.STUB)
+            if not stubs:
+                continue
+            asn = stubs[(c * 7 + 3) % len(stubs)]
+            pool = tuple(
+                _draw_addresses(rng, topology, asn, cfg.cluster_pool_size)
+            )
+            clusters.append(EdgeCluster(region=region, asn=asn, pool=pool))
+        cdns.append(CDNProvider(name=f"cdn{c}", clusters=clusters))
+    return cdns
+
+
+def _origin_model(
+    rng: random.Random,
+    topology: ASTopology,
+    cfg: HostingConfig,
+    popular: bool,
+    home_asn: Optional[int] = None,
+) -> OriginHosting:
+    if home_asn is None:
+        region = rng.choice(_HOSTING_REGIONS)
+        stubs = topology.ases_in_region(region, Tier.STUB)
+        home_asn = rng.choice(stubs)
+    base_count = rng.randint(1, 3) if popular else rng.randint(1, 2)
+    base = tuple(_draw_addresses(rng, topology, home_asn, base_count))
+    lb_fraction = cfg.popular_lb_fraction if popular else cfg.unpopular_lb_fraction
+    lo, hi = cfg.popular_lb_rotation if popular else cfg.unpopular_lb_rotation
+    relocation = (
+        cfg.popular_relocation_prob_per_day
+        if popular
+        else cfg.unpopular_relocation_prob_per_day
+    )
+    if rng.random() < lb_fraction:
+        pool = tuple(_draw_addresses(rng, topology, home_asn, 6))
+        return OriginHosting(
+            base=base,
+            lb_pool=pool,
+            lb_active=2,
+            lb_rotation_prob=rng.uniform(lo, hi),
+            relocation_prob_per_day=relocation,
+        )
+    return OriginHosting(
+        base=base,
+        lb_pool=(),
+        lb_active=0,
+        lb_rotation_prob=0.0,
+        relocation_prob_per_day=relocation,
+    )
+
+
+def _cdn_model(
+    rng: random.Random,
+    cdns: List[CDNProvider],
+    cfg: HostingConfig,
+    popular: bool = True,
+) -> CDNHosting:
+    provider = rng.choice(cdns)
+    clusters = list(provider.clusters)
+    rng.shuffle(clusters)
+    if not popular:
+        # An unpopular site on a CDN draws no traffic: the mapping
+        # system pins it to one or two edges and almost never touches
+        # it, so its measured footprint is nearly static.
+        n_core = min(2, len(clusters))
+        return CDNHosting(
+            provider=provider,
+            core_clusters=tuple(clusters[:n_core]),
+            overflow_clusters=tuple(clusters[n_core : n_core + 1]),
+            addrs_per_cluster=cfg.addrs_per_cluster,
+            rotation_prob=rng.uniform(0.005, 0.04),
+            remap_prob=rng.uniform(0.0002, 0.001),
+            core_remap_prob=0.0,
+        )
+    n_core = min(cfg.core_clusters_per_domain, len(clusters))
+    n_over = min(cfg.overflow_clusters_per_domain, len(clusters) - n_core)
+    return CDNHosting(
+        provider=provider,
+        core_clusters=tuple(clusters[:n_core]),
+        overflow_clusters=tuple(clusters[n_core : n_core + n_over]),
+        addrs_per_cluster=cfg.addrs_per_cluster,
+        rotation_prob=rng.uniform(*cfg.cdn_rotation),
+        remap_prob=rng.uniform(*cfg.cdn_remap),
+        core_remap_prob=rng.uniform(*cfg.cdn_core_remap),
+    )
+
+
+def assign_hosting(
+    universe: DomainUniverse,
+    topology: ASTopology,
+    config: Optional[HostingConfig] = None,
+) -> HostingDirectory:
+    """Assign a hosting model to every name in ``universe``.
+
+    Subdomains that are not CDN-delegated inherit their apex domain's
+    origin infrastructure AS (the same web farm serves apex and
+    subdomains), which is what gives routers the LPM-aggregateable
+    structure of Fig. 12.
+    """
+    cfg = config or HostingConfig()
+    rng = random.Random(cfg.seed)
+    directory = HostingDirectory()
+    directory.cdns = _build_cdns(rng, topology, cfg)
+
+    for group in (universe.popular, universe.unpopular):
+        for domain in group:
+            apex_model = _origin_model(rng, topology, cfg, domain.popular)
+            home_asn = topology.origin_of_address(apex_model.base[0])
+            if domain.is_cdn(domain.apex):
+                directory.set_model(
+                    domain.apex,
+                    _cdn_model(rng, directory.cdns, cfg, popular=domain.popular),
+                )
+            else:
+                directory.set_model(domain.apex, apex_model)
+            for sub in domain.subdomains:
+                if domain.is_cdn(sub):
+                    directory.set_model(
+                        sub,
+                        _cdn_model(rng, directory.cdns, cfg, popular=domain.popular),
+                    )
+                else:
+                    # Same web farm as the apex: with high probability
+                    # literally the same addresses (subsumable by LPM),
+                    # otherwise a sibling host in the same AS.
+                    if rng.random() < 0.7:
+                        directory.set_model(sub, apex_model)
+                    else:
+                        directory.set_model(
+                            sub,
+                            _origin_model(
+                                rng, topology, cfg, domain.popular, home_asn
+                            ),
+                        )
+    return directory

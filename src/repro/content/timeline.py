@@ -1,0 +1,277 @@
+"""Per-domain address timelines and content mobility events (§3.3, §7.1).
+
+``Addrs(d, t)`` — the set of all IP addresses a domain resolves to at
+time ``t``, merged across all vantage points — is the object the
+paper's content methodology is built on. A *mobility event* is a change
+in that set between consecutive measurement hours.
+
+:class:`AddressTimeline` stores the set as change-points (hour, set),
+which is both compact and makes the events trivially available.
+Builders turn a hosting model into a timeline using one seeded RNG per
+name, honouring vantage *coverage*: addresses served only from regions
+with no vantage point (the paper had no PlanetLab node in Africa) are
+never observed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..net import ContentName, IPv4Address
+from ..topology import ASTopology, Tier
+from .hosting import CDNHosting, OriginHosting
+
+__all__ = [
+    "ContentMobilityEvent",
+    "AddressTimeline",
+    "build_origin_timeline",
+    "build_cdn_timeline",
+    "build_timeline",
+    "HOURS_PER_DAY",
+]
+
+HOURS_PER_DAY = 24
+
+
+@dataclass(frozen=True)
+class ContentMobilityEvent:
+    """A change of ``Addrs(d, t)`` between consecutive hours."""
+
+    name: ContentName
+    hour: int
+    old_addrs: FrozenSet[IPv4Address]
+    new_addrs: FrozenSet[IPv4Address]
+
+    def added(self) -> FrozenSet[IPv4Address]:
+        """Addresses that appeared."""
+        return self.new_addrs - self.old_addrs
+
+    def removed(self) -> FrozenSet[IPv4Address]:
+        """Addresses that disappeared."""
+        return self.old_addrs - self.new_addrs
+
+
+class AddressTimeline:
+    """``Addrs(d, t)`` for one name over a measurement period."""
+
+    def __init__(
+        self,
+        name: ContentName,
+        total_hours: int,
+        changes: Sequence[Tuple[int, FrozenSet[IPv4Address]]],
+    ):
+        if total_hours <= 0:
+            raise ValueError("total_hours must be positive")
+        if not changes or changes[0][0] != 0:
+            raise ValueError("timeline must start with a change at hour 0")
+        hours = [h for h, _ in changes]
+        if hours != sorted(hours) or len(set(hours)) != len(hours):
+            raise ValueError("change hours must be strictly increasing")
+        if hours[-1] >= total_hours:
+            raise ValueError("change hour beyond the measurement period")
+        self.name = name
+        self.total_hours = total_hours
+        self._hours = hours
+        self._sets = [frozenset(s) for _, s in changes]
+
+    def set_at(self, hour: int) -> FrozenSet[IPv4Address]:
+        """``Addrs(d, hour)``."""
+        if not 0 <= hour < self.total_hours:
+            raise ValueError(f"hour {hour} outside 0..{self.total_hours - 1}")
+        index = bisect.bisect_right(self._hours, hour) - 1
+        return self._sets[index]
+
+    def num_changes(self) -> int:
+        """Number of mobility events over the whole period."""
+        return len(self._hours) - 1
+
+    def events(self) -> List[ContentMobilityEvent]:
+        """All mobility events, in time order."""
+        out = []
+        for i in range(1, len(self._hours)):
+            out.append(
+                ContentMobilityEvent(
+                    name=self.name,
+                    hour=self._hours[i],
+                    old_addrs=self._sets[i - 1],
+                    new_addrs=self._sets[i],
+                )
+            )
+        return out
+
+    def daily_event_counts(self) -> List[int]:
+        """Mobility events per day (paper Fig. 11a)."""
+        days = max(1, self.total_hours // HOURS_PER_DAY)
+        counts = [0] * days
+        for h in self._hours[1:]:
+            day = min(h // HOURS_PER_DAY, days - 1)
+            counts[day] += 1
+        return counts
+
+    def union_all(self) -> FrozenSet[IPv4Address]:
+        """Every address ever observed for this name."""
+        out: Set[IPv4Address] = set()
+        for s in self._sets:
+            out |= s
+        return frozenset(out)
+
+
+def _geometric_next(rng: random.Random, prob: float) -> int:
+    """Hours until the next success of an hourly Bernoulli(prob)."""
+    if prob >= 1.0:
+        return 1
+    denominator = math.log(1.0 - prob) if prob > 0.0 else 0.0
+    if denominator == 0.0:
+        # prob == 0, or so small that log1p underflows: never fires.
+        return 1 << 30
+    u = rng.random()
+    return 1 + int(math.log(max(u, 1e-12)) / denominator)
+
+
+def build_origin_timeline(
+    name: ContentName,
+    model: OriginHosting,
+    hours: int,
+    rng: random.Random,
+    topology: Optional[ASTopology] = None,
+) -> AddressTimeline:
+    """Simulate an origin-hosted name: LB rotation + rare relocation."""
+    base = tuple(model.base)
+    window = rng.randrange(len(model.lb_pool)) if model.lb_pool else 0
+
+    def active_set() -> FrozenSet[IPv4Address]:
+        if not model.lb_pool or model.lb_active == 0:
+            return frozenset(base)
+        pool = model.lb_pool
+        chosen = {
+            pool[(window + i) % len(pool)] for i in range(model.lb_active)
+        }
+        return frozenset(base) | chosen
+
+    changes: List[Tuple[int, FrozenSet[IPv4Address]]] = [(0, active_set())]
+    for hour in range(1, hours):
+        changed = False
+        if (
+            hour % HOURS_PER_DAY == 0
+            and topology is not None
+            and rng.random() < model.relocation_prob_per_day
+        ):
+            base = tuple(_relocate(rng, topology, len(base)))
+            changed = True
+        if model.lb_pool and rng.random() < model.lb_rotation_prob:
+            window = (window + 1) % len(model.lb_pool)
+            changed = True
+        if changed:
+            new_set = active_set()
+            if new_set != changes[-1][1]:
+                changes.append((hour, new_set))
+    return AddressTimeline(name, hours, changes)
+
+
+def _relocate(
+    rng: random.Random, topology: ASTopology, count: int
+) -> List[IPv4Address]:
+    """A fresh origin site in a random stub AS (provider switch)."""
+    stubs = [a for a, n in topology.ases.items() if n.tier is Tier.STUB]
+    asn = rng.choice(sorted(stubs))
+    prefixes = topology.ases[asn].prefixes
+    out = []
+    for _ in range(count):
+        prefix = rng.choice(prefixes)
+        host = rng.randrange(1, min(prefix.num_addresses(), 1 << 16))
+        out.append(prefix.address_at(host))
+    return out
+
+
+def build_cdn_timeline(
+    name: ContentName,
+    model: CDNHosting,
+    hours: int,
+    rng: random.Random,
+    coverage: Optional[Set[str]] = None,
+) -> AddressTimeline:
+    """Simulate a CDN-delegated name.
+
+    Core clusters are always active; overflow clusters toggle with the
+    mapping-churn probability; each active cluster serves ``k``
+    addresses out of its pool, advancing its window on rotation.
+    Clusters in regions outside ``coverage`` are invisible (they exist
+    but no vantage point ever resolves against them).
+    """
+    clusters = list(model.core_clusters) + list(model.overflow_clusters)
+    n_core = len(model.core_clusters)
+    visible = [
+        coverage is None or c.region in coverage for c in clusters
+    ]
+    window = [rng.randrange(len(c.pool)) for c in clusters]
+    active = [i < n_core or rng.random() < 0.5 for i in range(len(clusters))]
+
+    # Pre-draw change times per cluster: rotations and (for overflow)
+    # mapping toggles, as geometric gap sequences.
+    per_cluster_rot = model.rotation_prob / max(len(clusters), 1)
+    events: List[Tuple[int, str, int]] = []  # (hour, kind, cluster index)
+    for i in range(len(clusters)):
+        h = _geometric_next(rng, per_cluster_rot)
+        while h < hours:
+            events.append((h, "rot", i))
+            h += _geometric_next(rng, per_cluster_rot)
+        if i >= n_core:
+            toggle_prob = model.remap_prob
+        elif i > 0:
+            # Non-anchor core clusters drop out only rarely; the anchor
+            # (index 0) never does.
+            toggle_prob = model.core_remap_prob
+        else:
+            toggle_prob = 0.0
+        h = _geometric_next(rng, toggle_prob)
+        while h < hours:
+            events.append((h, "map", i))
+            h += _geometric_next(rng, toggle_prob)
+    events.sort()
+
+    def current_set() -> FrozenSet[IPv4Address]:
+        out: Set[IPv4Address] = set()
+        for i, cluster in enumerate(clusters):
+            if not active[i] or not visible[i]:
+                continue
+            pool = cluster.pool
+            k = min(model.addrs_per_cluster, len(pool))
+            out |= {pool[(window[i] + j) % len(pool)] for j in range(k)}
+        return frozenset(out)
+
+    changes: List[Tuple[int, FrozenSet[IPv4Address]]] = [(0, current_set())]
+    for hour, kind, i in events:
+        if kind == "rot":
+            window[i] = (window[i] + 1) % len(clusters[i].pool)
+        else:
+            active[i] = not active[i]
+        new_set = current_set()
+        if new_set != changes[-1][1] and hour > changes[-1][0]:
+            changes.append((hour, new_set))
+        elif new_set != changes[-1][1]:
+            # Same hour as the previous change: merge, and drop the
+            # entry entirely if the merged set undoes the change.
+            changes[-1] = (changes[-1][0], new_set)
+            if len(changes) >= 2 and changes[-2][1] == new_set:
+                changes.pop()
+    return AddressTimeline(name, hours, changes)
+
+
+def build_timeline(
+    name: ContentName,
+    model,
+    hours: int,
+    rng: random.Random,
+    coverage: Optional[Set[str]] = None,
+    topology: Optional[ASTopology] = None,
+) -> AddressTimeline:
+    """Dispatch on the hosting model type."""
+    if isinstance(model, OriginHosting):
+        return build_origin_timeline(name, model, hours, rng, topology=topology)
+    if isinstance(model, CDNHosting):
+        return build_cdn_timeline(name, model, hours, rng, coverage=coverage)
+    raise TypeError(f"unknown hosting model: {type(model).__name__}")

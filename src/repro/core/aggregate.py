@@ -1,0 +1,102 @@
+"""Forwarding-table aggregateability (§3.3.2, Fig. 12).
+
+For a set of hierarchically organized names routed by some strategy,
+the *complete* forwarding table has one entry per name; the *LPM*
+table drops every entry subsumed by longest-prefix matching — an entry
+``[d1, port]`` is subsumed when the longest remaining ancestor entry
+already maps to the same port (Fig. 3: ``[travel.yahoo.com, 2]`` is
+subsumed by ``[yahoo.com, 2]``, while ``[sports.yahoo.com, 5]`` must
+stay).
+
+Aggregateability = |complete| / |LPM|.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from ..measurement.vantage import ContentMeasurement
+from ..net import ContentName, NameTrie
+from ..routing import RoutingOracle, VantagePoint
+from .strategies import ContentPortMapper
+
+__all__ = [
+    "complete_forwarding_table",
+    "lpm_forwarding_table",
+    "aggregateability",
+    "router_aggregateability",
+]
+
+
+def complete_forwarding_table(
+    mapper: ContentPortMapper,
+    address_sets: Mapping[ContentName, FrozenSet],
+) -> Dict[ContentName, int]:
+    """Best-port forwarding entry for every name (the complete table).
+
+    Names whose address set yields no route at this router are omitted
+    — a real router cannot install an entry it has no port for.
+    """
+    table: Dict[ContentName, int] = {}
+    for name in sorted(address_sets):
+        port = mapper.best_port(address_sets[name])
+        if port is not None:
+            table[name] = port
+    return table
+
+
+def lpm_forwarding_table(
+    complete: Mapping[ContentName, int],
+) -> Dict[ContentName, int]:
+    """Drop subsumed entries (Fig. 3), keeping LPM semantics intact.
+
+    Names are installed shallowest-first; an entry is subsumed exactly
+    when the LPM lookup over the already-kept entries returns its own
+    port, so lookups over the reduced table remain identical to the
+    complete table for every name in it.
+    """
+    trie: NameTrie[int] = NameTrie()
+    kept: Dict[ContentName, int] = {}
+    for name in sorted(complete, key=len):
+        port = complete[name]
+        match = trie.longest_match(name)
+        if match is not None and match[1] == port:
+            continue  # subsumed by an ancestor with the same port
+        trie.insert(name, port)
+        kept[name] = port
+    return kept
+
+
+def aggregateability(
+    complete: Mapping[ContentName, int],
+    lpm: Optional[Mapping[ContentName, int]] = None,
+) -> float:
+    """|complete| / |LPM| (1.0 for an empty table)."""
+    if lpm is None:
+        lpm = lpm_forwarding_table(complete)
+    if not complete:
+        return 1.0
+    if not lpm:
+        raise ValueError("non-empty complete table reduced to empty LPM table")
+    return len(complete) / len(lpm)
+
+
+def router_aggregateability(
+    vantage: VantagePoint,
+    oracle: RoutingOracle,
+    measurement: ContentMeasurement,
+    hour: int = 0,
+) -> Tuple[float, Dict[ContentName, int], Dict[ContentName, int]]:
+    """Fig. 12 for one router: aggregateability over a measured set.
+
+    Uses each name's address set at ``hour`` with best-port forwarding.
+    Returns ``(ratio, complete_table, lpm_table)``.
+    """
+    mapper = ContentPortMapper(vantage, oracle)
+    address_sets = {
+        name: measurement.timeline(name).set_at(hour)
+        for name in measurement.names()
+    }
+    complete = complete_forwarding_table(mapper, address_sets)
+    lpm = lpm_forwarding_table(complete)
+    return aggregateability(complete, lpm), complete, lpm

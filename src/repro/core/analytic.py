@@ -1,0 +1,216 @@
+"""The §5 analytic model: path stretch vs. update cost on toy topologies.
+
+Table 1 of the paper:
+
+    Topology     Indirection            Name-based routing
+                 stretch   update cost  stretch  update cost
+    Chain        n/3       1/n          0        1/3
+    Clique       1         1/n          0        1
+    Binary tree  2 log2 n  1/n          0        2 log2 n / (n-1)
+    Star         2         1/n          0        1/(n+1)
+
+This module provides (a) *exact* closed forms under the paper's
+discrete-time Markov mobility model (old and new locations independent
+uniform draws, so self-moves occur with probability 1/n), (b) the
+paper's asymptotic expressions as printed in Table 1, and (c) a Monte
+Carlo simulator over the actual topologies that the tests check the
+closed forms against.
+
+Conventions (matching the paper's derivations):
+
+* Indirection stretch is the expected hop distance from a uniformly
+  random home agent to the endpoint's location (§5.1.1).
+* Name-based update cost is the expected fraction of routers whose
+  next hop toward the endpoint changes per mobility event (§5.1.2).
+* For the star, endpoint-facing leaf routers carry a default route, so
+  only the hub holds per-endpoint entries (hence 1/(n+1) and not
+  3/(n+1)); ``n`` counts the leaves and the hub is the (n+1)-th router.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..topology import (
+    Graph,
+    binary_tree_topology,
+    chain_topology,
+    clique_topology,
+    star_topology,
+)
+from .architectures import IndirectionRouting, NameBasedRouting
+
+__all__ = [
+    "Table1Row",
+    "TOPOLOGY_KINDS",
+    "exact_indirection_stretch",
+    "exact_name_based_update_cost",
+    "closed_form_row",
+    "paper_asymptotic_row",
+    "simulate_row",
+    "expected_pairwise_distance",
+]
+
+TOPOLOGY_KINDS = ("chain", "clique", "binary-tree", "star")
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1 (values for a given n)."""
+
+    topology: str
+    n: int
+    indirection_stretch: float
+    indirection_update_cost: float
+    name_based_stretch: float
+    name_based_update_cost: float
+
+
+def _build(kind: str, n: int) -> Graph:
+    if kind == "chain":
+        return chain_topology(n)
+    if kind == "clique":
+        return clique_topology(n)
+    if kind == "binary-tree":
+        return binary_tree_topology(n)
+    if kind == "star":
+        return star_topology(n)
+    raise ValueError(f"unknown topology kind: {kind!r}")
+
+
+def expected_pairwise_distance(graph: Graph) -> float:
+    """E[dist(u, v)] for independent uniform u, v (self-pairs included)."""
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    total = 0
+    for u in nodes:
+        dist = graph.bfs_distances(u)
+        total += sum(dist[v] for v in nodes)
+    return total / (n * n)
+
+
+def exact_indirection_stretch(kind: str, n: int) -> float:
+    """Exact E[dist(H, L)] with H, L independent uniform."""
+    if kind == "chain":
+        # §5.1.1: (n^2 - 1) / (3n).
+        return (n * n - 1) / (3.0 * n)
+    if kind == "clique":
+        return (n - 1) / n
+    if kind == "star":
+        # Endpoints live at the n leaves; dist is 2 unless H == L.
+        return 2.0 * (n - 1) / n
+    if kind == "binary-tree":
+        return expected_pairwise_distance(_build(kind, n))
+    raise ValueError(f"unknown topology kind: {kind!r}")
+
+
+def exact_name_based_update_cost(kind: str, n: int) -> float:
+    """Exact expected fraction of routers updated per mobility event."""
+    if kind == "chain":
+        # §5.1.2: (n^3 + 3n^2 - n) / (3 n^3) -- wait, the paper prints
+        # this sum; derive it exactly from the per-router expression:
+        # E[cost_k] = (k-1)(n-k+1)/n^2 + (n-1)/n^2 + (n-k)k/n^2.
+        total = 0.0
+        for k in range(1, n + 1):
+            total += (
+                (k - 1) * (n - k + 1) + (n - 1) + (n - k) * k
+            ) / (n * n)
+        return total / n
+    if kind == "clique":
+        # Every router updates whenever the endpoint actually moves.
+        return (n - 1) / n
+    if kind == "star":
+        # Only the hub holds per-endpoint entries (leaves use default
+        # routes); it updates whenever the endpoint actually moves.
+        # Endpoints move among the n leaves; routers number n + 1.
+        return ((n - 1) / n) / (n + 1)
+    if kind == "binary-tree":
+        # Routers on the old-new path update: E = (E[dist] + P(move))/n.
+        graph = _build(kind, n)
+        return (expected_pairwise_distance(graph) + (n - 1) / n) / n
+    raise ValueError(f"unknown topology kind: {kind!r}")
+
+
+def closed_form_row(kind: str, n: int) -> Table1Row:
+    """Exact Table 1 row for a concrete n."""
+    return Table1Row(
+        topology=kind,
+        n=n,
+        indirection_stretch=exact_indirection_stretch(kind, n),
+        indirection_update_cost=1.0 / n,
+        name_based_stretch=0.0,
+        name_based_update_cost=exact_name_based_update_cost(kind, n),
+    )
+
+
+def paper_asymptotic_row(kind: str, n: int) -> Table1Row:
+    """Table 1 exactly as printed (asymptotic expressions)."""
+    if kind == "chain":
+        stretch, cost = n / 3.0, 1.0 / 3.0
+    elif kind == "clique":
+        stretch, cost = 1.0, 1.0
+    elif kind == "binary-tree":
+        stretch, cost = 2.0 * math.log2(n), 2.0 * math.log2(n) / (n - 1)
+    elif kind == "star":
+        stretch, cost = 2.0, 1.0 / (n + 1)
+    else:
+        raise ValueError(f"unknown topology kind: {kind!r}")
+    return Table1Row(
+        topology=kind,
+        n=n,
+        indirection_stretch=stretch,
+        indirection_update_cost=1.0 / n,
+        name_based_stretch=0.0,
+        name_based_update_cost=cost,
+    )
+
+
+def simulate_row(
+    kind: str, n: int, steps: int = 4000, seed: int = 2014
+) -> Table1Row:
+    """Monte Carlo estimate of the Table 1 row on the real topology.
+
+    Builds the actual graph, runs the random-hop mobility model, and
+    measures stretch/update cost with the architecture implementations
+    — validating that the closed forms describe the system we built.
+    """
+    graph = _build(kind, n)
+    rng = random.Random(seed)
+    if kind == "star":
+        # Endpoints at leaves; hub is transit-only with default-routed
+        # leaves (see module docstring).
+        leaves = [node for node in graph.nodes() if node != 0]
+        indirection = IndirectionRouting(graph, home_agent=leaves[0])
+        name_based = NameBasedRouting(graph, default_route_leaves=True)
+        total_stretch = total_cost = 0.0
+        for _ in range(steps):
+            indirection.home_agent = rng.choice(leaves)
+            old = rng.choice(leaves)
+            new = rng.choice(leaves)
+            corr = rng.choice(leaves)
+            total_stretch += indirection.evaluate_move(
+                old, new, corr
+            ).path_stretch
+            total_cost += name_based.evaluate_move(old, new, corr).update_fraction
+        return Table1Row(
+            topology=kind,
+            n=n,
+            indirection_stretch=total_stretch / steps,
+            indirection_update_cost=1.0 / n,
+            name_based_stretch=0.0,
+            name_based_update_cost=total_cost / steps,
+        )
+    indirection = IndirectionRouting(graph, rng=rng)
+    name_based = NameBasedRouting(graph)
+    ind = indirection.expected_metrics(steps, rng)
+    nb = name_based.expected_metrics(steps, rng)
+    return Table1Row(
+        topology=kind,
+        n=n,
+        indirection_stretch=ind.path_stretch,
+        indirection_update_cost=ind.update_fraction,
+        name_based_stretch=nb.path_stretch,
+        name_based_update_cost=nb.update_fraction,
+    )

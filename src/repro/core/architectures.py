@@ -1,0 +1,234 @@
+"""The three purist location-independence architectures (§2, Fig. 1).
+
+Every known approach reduces to one of three options for delivering the
+first packet to a moved endpoint:
+
+* **indirection routing** (Mobile IP / GSM / i3): packets detour via a
+  home agent that tracks the endpoint's current address;
+* **name resolution** (DNS / HIP / LISP / MobilityFirst / XIA): the
+  sender queries an extra-network service, then routes directly;
+* **name-based routing** (TRIAD / ROFL / NDN): routers forward on the
+  name itself; mobility updates propagate to (some) routers.
+
+Each class evaluates the paper's three metrics — per-event update cost
+(how many routers/agents must change state), additive path stretch, and
+forwarding-state size — over a shortest-path-routed topology with a
+random-hop mobility model, the same setting as the §5 analysis. The
+classes share one interface so the Table 1 bench and the examples can
+sweep them uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from ..topology import Graph
+
+__all__ = [
+    "ArchitectureMetrics",
+    "Architecture",
+    "IndirectionRouting",
+    "NameResolution",
+    "NameBasedRouting",
+]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class ArchitectureMetrics:
+    """Metrics of one mobility event under one architecture."""
+
+    #: Fraction of routers (plus agents/resolvers, for the aggregate
+    #: view the paper's Table 1 uses) that must update state.
+    update_fraction: float
+    #: Additive path stretch for reaching the endpoint after the move.
+    path_stretch: float
+    #: Number of routers holding per-endpoint forwarding state.
+    routers_with_state: int
+
+
+class Architecture:
+    """Common interface: evaluate one mobility event on a topology."""
+
+    name: str = "abstract"
+
+    def __init__(self, graph: Graph):
+        self._graph = graph
+        self._nodes = sorted(graph.nodes(), key=repr)
+        self._n = len(self._nodes)
+        self._dist_cache: Dict[Node, Dict[Node, int]] = {}
+
+    def _distances(self, node: Node) -> Dict[Node, int]:
+        if node not in self._dist_cache:
+            self._dist_cache[node] = self._graph.bfs_distances(node)
+        return self._dist_cache[node]
+
+    def evaluate_move(
+        self, old_router: Node, new_router: Node, correspondent: Node
+    ) -> ArchitectureMetrics:
+        """Metrics for an endpoint moving old -> new, reached from
+        ``correspondent``."""
+        raise NotImplementedError
+
+    def expected_metrics(
+        self, steps: int, rng: random.Random
+    ) -> ArchitectureMetrics:
+        """Average metrics under the §5 random-hop mobility model.
+
+        Old and new positions are independent uniform draws (so a
+        "move" may keep the endpoint in place, exactly as in the
+        paper's Markov model); the correspondent is uniform too.
+        """
+        total_update = total_stretch = total_state = 0.0
+        for _ in range(steps):
+            old = rng.choice(self._nodes)
+            new = rng.choice(self._nodes)
+            corr = rng.choice(self._nodes)
+            m = self.evaluate_move(old, new, corr)
+            total_update += m.update_fraction
+            total_stretch += m.path_stretch
+            total_state += m.routers_with_state
+        return ArchitectureMetrics(
+            update_fraction=total_update / steps,
+            path_stretch=total_stretch / steps,
+            routers_with_state=int(round(total_state / steps)),
+        )
+
+
+class IndirectionRouting(Architecture):
+    """Home-agent indirection: stretch = detour via the home agent."""
+
+    name = "indirection"
+
+    def __init__(self, graph: Graph, home_agent: Optional[Node] = None,
+                 rng: Optional[random.Random] = None):
+        super().__init__(graph)
+        if home_agent is None:
+            chooser = rng or random.Random(0)
+            home_agent = chooser.choice(self._nodes)
+        if home_agent not in graph:
+            raise ValueError(f"home agent {home_agent!r} not in topology")
+        self.home_agent = home_agent
+
+    def evaluate_move(
+        self, old_router: Node, new_router: Node, correspondent: Node
+    ) -> ArchitectureMetrics:
+        dist_h = self._distances(self.home_agent)
+        dist_c = self._distances(correspondent)
+        # Additive stretch: C->H->M versus C->M. The paper measures the
+        # H->M displacement as the (lower-bound) stretch proxy (§5.1.1
+        # defines stretch as the hop distance from home agent to the
+        # endpoint), so we report dist(H, M).
+        stretch = float(dist_h[new_router])
+        # One update: the home agent learns the new address. As a
+        # fraction of the n routers (Table 1's aggregate view): 1/n.
+        return ArchitectureMetrics(
+            update_fraction=1.0 / self._n,
+            path_stretch=stretch,
+            routers_with_state=1,  # only the home agent tracks u
+        )
+
+    def full_detour_stretch(
+        self, correspondent: Node, current: Node
+    ) -> float:
+        """The triangle-routing view: C->H->M minus C->M (additive)."""
+        dist_c = self._distances(correspondent)
+        dist_h = self._distances(self.home_agent)
+        return float(
+            dist_c[self.home_agent] + dist_h[current] - dist_c[current]
+        )
+
+    def expected_metrics(
+        self, steps: int, rng: random.Random
+    ) -> ArchitectureMetrics:
+        """As in the base class, but re-drawing the home agent each
+        trial — §5.1.1 averages over a *randomly chosen* home agent."""
+        total_update = total_stretch = total_state = 0.0
+        for _ in range(steps):
+            self.home_agent = rng.choice(self._nodes)
+            old = rng.choice(self._nodes)
+            new = rng.choice(self._nodes)
+            corr = rng.choice(self._nodes)
+            m = self.evaluate_move(old, new, corr)
+            total_update += m.update_fraction
+            total_stretch += m.path_stretch
+            total_state += m.routers_with_state
+        return ArchitectureMetrics(
+            update_fraction=total_update / steps,
+            path_stretch=total_stretch / steps,
+            routers_with_state=int(round(total_state / steps)),
+        )
+
+
+class NameResolution(Architecture):
+    """DNS-style resolution: one resolver update, zero data stretch."""
+
+    name = "name-resolution"
+
+    def __init__(self, graph: Graph, lookup_latency_hops: float = 1.0):
+        super().__init__(graph)
+        self.lookup_latency_hops = lookup_latency_hops
+        self.resolver_updates = 0
+
+    def evaluate_move(
+        self, old_router: Node, new_router: Node, correspondent: Node
+    ) -> ArchitectureMetrics:
+        self.resolver_updates += 1
+        # The resolver is extra-network: no router updates at all, and
+        # the data path follows underlying shortest-path routing.
+        return ArchitectureMetrics(
+            update_fraction=0.0,
+            path_stretch=0.0,
+            routers_with_state=0,
+        )
+
+
+class NameBasedRouting(Architecture):
+    """Pure name-based routing with shortest-path forwarding tables.
+
+    Every router keeps a next-hop entry per endpoint name; an event
+    updates every router whose next hop toward the endpoint changed
+    (§5.1.2). With ``default_route_leaves=True``, stub routers with a
+    single upstream install a default route instead of per-name
+    entries, so only the non-leaf routers count — the convention under
+    which the §5 star topology costs ``1/(n+1)`` rather than
+    ``3/(n+1)``.
+    """
+
+    name = "name-based"
+
+    def __init__(self, graph: Graph, default_route_leaves: bool = False):
+        super().__init__(graph)
+        self.default_route_leaves = default_route_leaves
+        self._next_hops: Dict[Node, Dict[Node, Node]] = {}
+
+    def _nh(self, router: Node) -> Dict[Node, Node]:
+        if router not in self._next_hops:
+            self._next_hops[router] = self._graph.next_hops_fast(router)
+        return self._next_hops[router]
+
+    def _counts_for_updates(self, router: Node) -> bool:
+        if not self.default_route_leaves:
+            return True
+        return self._graph.degree(router) > 1
+
+    def evaluate_move(
+        self, old_router: Node, new_router: Node, correspondent: Node
+    ) -> ArchitectureMetrics:
+        updated = 0
+        holders = 0
+        for router in self._nodes:
+            if not self._counts_for_updates(router):
+                continue
+            holders += 1
+            nh = self._nh(router)
+            if nh.get(old_router) != nh.get(new_router):
+                updated += 1
+        return ArchitectureMetrics(
+            update_fraction=updated / self._n,
+            path_stretch=0.0,  # tables always track shortest paths
+            routers_with_state=holders,
+        )

@@ -1,0 +1,111 @@
+"""Back-of-the-envelope calculators (§6.2 and §7.3).
+
+The paper closes both evaluation sections by scaling the measured
+per-event update probabilities to Internet size:
+
+* §6.2 — "if 2 billion smartphones change network addresses three
+  (seven) times per day like our median (mean) user, and 3% of these
+  mobility events induce an update at a router, the corresponding
+  update rate is 2.1K/sec (4.8K/sec)", plus "a typical router would
+  have to maintain extra forwarding entries for ~1% of all devices";
+* §7.3 — "if we assume 1B content domain names, ... an update rate of
+  2/day, and a 0.5% likelihood of inducing an update at a router, the
+  router would receive at most 100 updates/sec".
+
+These are deliberately simple multiplications; encoding them as
+functions keeps the bench output traceable to the paper's arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "router_updates_per_second",
+    "extra_fib_fraction",
+    "EnvelopeScenario",
+    "DEVICE_SCENARIO_MEDIAN",
+    "DEVICE_SCENARIO_MEAN",
+    "CONTENT_SCENARIO",
+]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def router_updates_per_second(
+    num_principals: float,
+    moves_per_day: float,
+    update_probability: float,
+) -> float:
+    """Expected update arrivals per second at one router.
+
+    ``num_principals`` devices (or content names) each move
+    ``moves_per_day`` times; each move induces an update at the router
+    with ``update_probability``.
+    """
+    if num_principals < 0 or moves_per_day < 0:
+        raise ValueError("counts must be non-negative")
+    if not 0.0 <= update_probability <= 1.0:
+        raise ValueError(f"bad probability: {update_probability}")
+    return num_principals * moves_per_day * update_probability / SECONDS_PER_DAY
+
+
+def extra_fib_fraction(
+    update_probability: float, fraction_of_day_away: float
+) -> float:
+    """§6.2: fraction of devices needing an extra entry at a router.
+
+    A device is displaced w.r.t. the router with ``update_probability``
+    whenever it is away from its dominant location, which happens
+    ``fraction_of_day_away`` of the time: 3% x 30% ~= 1%.
+    """
+    if not 0.0 <= update_probability <= 1.0:
+        raise ValueError(f"bad probability: {update_probability}")
+    if not 0.0 <= fraction_of_day_away <= 1.0:
+        raise ValueError(f"bad fraction: {fraction_of_day_away}")
+    return update_probability * fraction_of_day_away
+
+
+@dataclass(frozen=True)
+class EnvelopeScenario:
+    """A named back-of-the-envelope scenario."""
+
+    label: str
+    num_principals: float
+    moves_per_day: float
+    update_probability: float
+    paper_claim_per_sec: float
+
+    def updates_per_second(self) -> float:
+        """The computed update rate for this scenario."""
+        return router_updates_per_second(
+            self.num_principals, self.moves_per_day, self.update_probability
+        )
+
+
+#: §6.2, median user: 2B phones x 3 moves/day x 3% -> ~2.1K/sec.
+DEVICE_SCENARIO_MEDIAN = EnvelopeScenario(
+    label="devices (median user)",
+    num_principals=2e9,
+    moves_per_day=3,
+    update_probability=0.03,
+    paper_claim_per_sec=2100.0,
+)
+
+#: §6.2, mean user: 2B phones x 7 moves/day x 3% -> ~4.8K/sec.
+DEVICE_SCENARIO_MEAN = EnvelopeScenario(
+    label="devices (mean user)",
+    num_principals=2e9,
+    moves_per_day=7,
+    update_probability=0.03,
+    paper_claim_per_sec=4800.0,
+)
+
+#: §7.3: 1B names x 2 moves/day x 0.5% -> "at most 100 updates/sec".
+CONTENT_SCENARIO = EnvelopeScenario(
+    label="content names",
+    num_principals=1e9,
+    moves_per_day=2,
+    update_probability=0.005,
+    paper_claim_per_sec=100.0,
+)

@@ -1,0 +1,148 @@
+"""Hybrid architectures (§8's open question, and the paper's conclusion).
+
+The paper stops at three *pure* strategies and concludes that
+name-based routing "may need to be augmented with addressing-assisted
+approaches" to handle device mobility. This module builds that
+augmentation so the ablation bench can quantify it: a network that
+routes *content* names directly (they move rarely and aggregate) while
+handling *device* names through an indirection point or a resolver
+(one update per move, no router churn) — the custodian/indirection
+design sketched in [27]/[30] of the paper.
+
+The evaluation runs over the same shortest-path topology + random-hop
+mobility model as §5, with a workload mixing device and content
+mobility events at a configurable ratio and per-class mobility rates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+from ..topology import Graph
+from .architectures import (
+    IndirectionRouting,
+    NameBasedRouting,
+    NameResolution,
+)
+
+__all__ = ["MixedWorkloadMetrics", "HybridEvaluation", "evaluate_hybrid"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class MixedWorkloadMetrics:
+    """Costs of one architecture under a mixed device+content workload."""
+
+    architecture: str
+    #: Mean fraction of routers updated per mobility event (any kind).
+    update_fraction: float
+    #: Mean additive path stretch experienced by *device* traffic.
+    device_stretch: float
+    #: Mean additive path stretch experienced by *content* traffic.
+    content_stretch: float
+    #: Resolver/home-agent updates per event (the off-router cost).
+    agent_updates_per_event: float
+
+
+@dataclass
+class HybridEvaluation:
+    """Results for the three pure architectures and the hybrid."""
+
+    metrics: List[MixedWorkloadMetrics]
+    device_share: float
+    steps: int
+
+    def by_name(self, name: str) -> MixedWorkloadMetrics:
+        for m in self.metrics:
+            if m.architecture == name:
+                return m
+        raise KeyError(name)
+
+
+def evaluate_hybrid(
+    graph: Graph,
+    device_share: float = 0.8,
+    steps: int = 4000,
+    seed: int = 2014,
+) -> HybridEvaluation:
+    """Compare pure and hybrid architectures on a mixed workload.
+
+    ``device_share`` is the fraction of mobility events that are device
+    moves (the paper measures device mobility to be far more frequent
+    and far less router-friendly than content mobility). The hybrid
+    routes content on names and devices through indirection.
+    """
+    if not 0.0 <= device_share <= 1.0:
+        raise ValueError(f"bad device share: {device_share}")
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes(), key=repr)
+
+    name_based = NameBasedRouting(graph)
+    indirection = IndirectionRouting(graph, home_agent=nodes[0])
+    resolution = NameResolution(graph)
+
+    accum: Dict[str, Dict[str, float]] = {
+        name: {"update": 0.0, "dev_stretch": 0.0, "con_stretch": 0.0,
+               "agent": 0.0}
+        for name in ("name-based", "indirection", "name-resolution", "hybrid")
+    }
+    device_events = content_events = 0
+    for _ in range(steps):
+        old = rng.choice(nodes)
+        new = rng.choice(nodes)
+        corr = rng.choice(nodes)
+        home = rng.choice(nodes)
+        indirection.home_agent = home
+        is_device = rng.random() < device_share
+        if is_device:
+            device_events += 1
+        else:
+            content_events += 1
+
+        nb = name_based.evaluate_move(old, new, corr)
+        ind = indirection.evaluate_move(old, new, corr)
+        resolution.evaluate_move(old, new, corr)
+
+        # Pure name-based: every event (device or content) updates
+        # routers; no stretch for anyone.
+        accum["name-based"]["update"] += nb.update_fraction
+
+        # Pure indirection: one agent update; everyone detours.
+        accum["indirection"]["agent"] += 1.0
+        if is_device:
+            accum["indirection"]["dev_stretch"] += ind.path_stretch
+        else:
+            accum["indirection"]["con_stretch"] += ind.path_stretch
+
+        # Pure resolution: one resolver update; no stretch, plus a
+        # lookup RTT at connection setup (not modelled as stretch).
+        accum["name-resolution"]["agent"] += 1.0
+
+        # Hybrid: content moves are handled by name-based routing
+        # (cheap: content moves are the rare share), device moves go
+        # through the indirection point (no router updates, but device
+        # traffic detours).
+        if is_device:
+            accum["hybrid"]["agent"] += 1.0
+            accum["hybrid"]["dev_stretch"] += ind.path_stretch
+        else:
+            accum["hybrid"]["update"] += nb.update_fraction
+
+    def build(name: str) -> MixedWorkloadMetrics:
+        a = accum[name]
+        return MixedWorkloadMetrics(
+            architecture=name,
+            update_fraction=a["update"] / steps,
+            device_stretch=a["dev_stretch"] / max(device_events, 1),
+            content_stretch=a["con_stretch"] / max(content_events, 1),
+            agent_updates_per_event=a["agent"] / steps,
+        )
+
+    return HybridEvaluation(
+        metrics=[build(n) for n in accum],
+        device_share=device_share,
+        steps=steps,
+    )

@@ -1,0 +1,148 @@
+"""The §3.3.3 cost triangle: updates vs. table size vs. traffic.
+
+§3.3.3 observes that update cost, forwarding table size, and
+forwarding-plane traffic are *fungible*: a strategy can buy lower
+update cost by keeping more state and forwarding more copies. The
+paper's model "implicitly focuses on control plane costs"; this module
+completes the triangle so the ablation bench can quantify all three
+corners for every strategy:
+
+* **update cost** — fraction of mobility events changing router state
+  (§3.3.1, as elsewhere);
+* **forwarding traffic** — expected packet copies sent per forwarded
+  packet: 1 for best-port, the size of the *current* eligible port set
+  for controlled flooding, and the size of the *accumulated* port set
+  for union flooding;
+* **table size** — (name, port) state entries held by the router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..measurement.vantage import ContentMeasurement
+from ..routing import RoutingOracle, VantagePoint
+from .evaluator import ContentUpdateCostEvaluator
+from .strategies import ContentPortMapper, ForwardingStrategy
+
+__all__ = ["StrategyCosts", "TradeoffResult", "evaluate_tradeoff"]
+
+
+@dataclass(frozen=True)
+class StrategyCosts:
+    """The three §3.3.3 costs of one strategy at one router."""
+
+    strategy: ForwardingStrategy
+    router: str
+    update_rate: float
+    avg_copies_per_packet: float
+    table_entries: int
+
+
+@dataclass
+class TradeoffResult:
+    """All strategies x all routers."""
+
+    costs: List[StrategyCosts]
+    num_events: int
+    num_names: int
+
+    def for_strategy(self, strategy: ForwardingStrategy) -> List[StrategyCosts]:
+        """The per-router costs of one strategy."""
+        return [c for c in self.costs if c.strategy is strategy]
+
+    def at(self, strategy: ForwardingStrategy, router: str) -> StrategyCosts:
+        """The cost triple for one (strategy, router) pair."""
+        for c in self.costs:
+            if c.strategy is strategy and c.router == router:
+                return c
+        raise KeyError((strategy, router))
+
+
+def _time_averaged_port_sets(
+    mapper: ContentPortMapper,
+    measurement: ContentMeasurement,
+    accumulate: bool,
+) -> Dict[str, float]:
+    """Average eligible-port-set size per name, weighted by residence time.
+
+    With ``accumulate=True`` the port set is the running union (the
+    union-flooding data plane); otherwise it is the instantaneous set.
+    Returns {"copies": time-averaged copies, "entries": final entries}.
+    """
+    total_hours = 0.0
+    weighted_copies = 0.0
+    entries = 0
+    for name in measurement.names():
+        timeline = measurement.timeline(name)
+        union_ports: set = set()
+        prev_hour = 0
+        current_ports = mapper.eligible_ports(timeline.set_at(0))
+        union_ports |= current_ports
+        events = timeline.events()
+        for event in events + [None]:
+            end_hour = timeline.total_hours if event is None else event.hour
+            span = end_hour - prev_hour
+            size = len(union_ports) if accumulate else len(current_ports)
+            weighted_copies += span * size
+            total_hours += span
+            if event is None:
+                break
+            prev_hour = event.hour
+            current_ports = mapper.eligible_ports(event.new_addrs)
+            union_ports |= current_ports
+        entries += len(union_ports) if accumulate else len(current_ports)
+    return {
+        "copies": weighted_copies / total_hours if total_hours else 0.0,
+        "entries": float(entries),
+    }
+
+
+def evaluate_tradeoff(
+    routers: List[VantagePoint],
+    oracle: RoutingOracle,
+    measurement: ContentMeasurement,
+) -> TradeoffResult:
+    """Quantify all three §3.3.3 costs for all three strategies."""
+    evaluator = ContentUpdateCostEvaluator(routers, oracle)
+    reports = {
+        strategy: evaluator.evaluate(measurement, strategy)
+        for strategy in ForwardingStrategy
+    }
+    costs: List[StrategyCosts] = []
+    names = measurement.names()
+    for router in routers:
+        mapper = ContentPortMapper(router, oracle)
+        flooding_stats = _time_averaged_port_sets(
+            mapper, measurement, accumulate=False
+        )
+        union_stats = _time_averaged_port_sets(
+            mapper, measurement, accumulate=True
+        )
+        per_strategy = {
+            ForwardingStrategy.BEST_PORT: (1.0, float(len(names))),
+            ForwardingStrategy.CONTROLLED_FLOODING: (
+                flooding_stats["copies"],
+                flooding_stats["entries"],
+            ),
+            ForwardingStrategy.UNION_FLOODING: (
+                union_stats["copies"],
+                union_stats["entries"],
+            ),
+        }
+        for strategy, (copies, entries) in per_strategy.items():
+            costs.append(
+                StrategyCosts(
+                    strategy=strategy,
+                    router=router.name,
+                    update_rate=reports[strategy].rates[router.name],
+                    avg_copies_per_packet=copies,
+                    table_entries=int(entries),
+                )
+            )
+    return TradeoffResult(
+        costs=costs,
+        num_events=reports[ForwardingStrategy.BEST_PORT].num_events,
+        num_names=len(names),
+    )

@@ -1,0 +1,67 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each ``exp_*`` module exposes ``run(...)`` returning a result object
+and ``format_result(result)`` rendering the same rows/series the paper
+reports. :class:`World` (in :mod:`.context`) shares the expensive
+substrate pieces across experiments.
+"""
+
+from . import (
+    exp_ablation_caching,
+    exp_ablation_hybrid,
+    exp_ablation_multihoming,
+    exp_ablation_outage,
+    exp_ablation_strategy_layer,
+    exp_ablation_tradeoff,
+    exp_ablation_union,
+    exp_compact_routing,
+    exp_envelope,
+    exp_intradomain,
+    exp_perturbation,
+    exp_policy_sensitivity,
+    exp_fig6,
+    exp_fig7,
+    exp_fib_size,
+    exp_fig8,
+    exp_fig8_sensitivity,
+    exp_fig9,
+    exp_fig10,
+    exp_fig11,
+    exp_fig12,
+    exp_table1,
+)
+from .context import DEFAULT_SCALE, SMALL_SCALE, ExperimentScale, World, active_scale
+from .report import banner, render_cdf_summary, render_table
+
+__all__ = [
+    "World",
+    "ExperimentScale",
+    "DEFAULT_SCALE",
+    "SMALL_SCALE",
+    "active_scale",
+    "banner",
+    "render_table",
+    "render_cdf_summary",
+    "exp_table1",
+    "exp_fig6",
+    "exp_fig7",
+    "exp_fib_size",
+    "exp_fig8",
+    "exp_fig8_sensitivity",
+    "exp_fig9",
+    "exp_fig10",
+    "exp_fig11",
+    "exp_fig12",
+    "exp_compact_routing",
+    "exp_envelope",
+    "exp_ablation_union",
+    "exp_ablation_tradeoff",
+    "exp_ablation_caching",
+    "exp_ablation_hybrid",
+    "exp_ablation_multihoming",
+    "exp_ablation_outage",
+    "exp_ablation_strategy_layer",
+    "exp_intradomain",
+    "exp_perturbation",
+    "exp_policy_sensitivity",
+]

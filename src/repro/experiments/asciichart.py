@@ -1,0 +1,114 @@
+"""ASCII rendering of the paper's figures.
+
+The benches run in a terminal with no plotting stack, so the CDFs of
+Figs. 6/7/9/11(a) and the bar charts of Figs. 8/11(b,c)/12 are drawn as
+text: close enough to eyeball the shapes against the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+__all__ = ["render_cdf_chart", "render_bar_chart"]
+
+_MARKERS = "*o+x#@"
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def render_cdf_chart(
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    x_label: str = "",
+) -> str:
+    """Draw empirical CDFs of one or more samples on a shared axis.
+
+    ``series`` maps a legend label to its raw sample values. With
+    ``log_x`` the x axis is log10-scaled (matching the paper's Figs. 6
+    and 7). Each series gets a distinct marker.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    cleaned = {
+        label: sorted(v for v in values)
+        for label, values in series.items()
+        if values
+    }
+    if not cleaned:
+        raise ValueError("all series are empty")
+
+    all_values = [v for values in cleaned.values() for v in values]
+    x_min, x_max = min(all_values), max(all_values)
+    if log_x:
+        floor = min((v for v in all_values if v > 0), default=1.0)
+        x_min = max(x_min, floor)
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+
+    def x_to_col(value: float) -> int:
+        if log_x:
+            value = max(value, x_min)
+            span = math.log10(x_max) - math.log10(x_min)
+            frac = (math.log10(value) - math.log10(x_min)) / span
+        else:
+            frac = (value - x_min) / (x_max - x_min)
+        return min(width - 1, max(0, int(round(frac * (width - 1)))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, ordered) in enumerate(sorted(cleaned.items())):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for row in range(height):
+            # Row 0 is the top (CDF = 1.0).
+            q = 1.0 - row / (height - 1) if height > 1 else 1.0
+            value = _quantile(ordered, q)
+            col = x_to_col(value)
+            grid[row][col] = marker
+
+    lines = []
+    for row in range(height):
+        q = 1.0 - row / (height - 1) if height > 1 else 1.0
+        lines.append(f"{q * 100:5.0f}% |" + "".join(grid[row]))
+    lines.append("       +" + "-" * width)
+    left = f"{x_min:.3g}"
+    right = f"{x_max:.3g}"
+    pad = width - len(left) - len(right)
+    lines.append("        " + left + " " * max(pad, 1) + right)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, label in enumerate(sorted(cleaned))
+    )
+    lines.append(f"        {legend}"
+                 + (f"   [{x_label}{', log x' if log_x else ''}]" if x_label
+                    else (" [log x]" if log_x else "")))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    values: Dict[str, float],
+    width: int = 48,
+    unit: str = "",
+    scale_max: Optional[float] = None,
+) -> str:
+    """Horizontal bars, one per key, scaled to the maximum value."""
+    if not values:
+        raise ValueError("need at least one bar")
+    peak = scale_max if scale_max is not None else max(values.values())
+    peak = max(peak, 1e-12)
+    label_width = max(len(k) for k in values)
+    lines = []
+    for key, value in values.items():
+        bar = "#" * int(round(value / peak * width))
+        lines.append(
+            f"{key.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.4g}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,229 @@
+"""Shared experiment context.
+
+Every table/figure reproduction consumes some subset of the same world:
+the synthetic AS topology, the routing oracle, the RouteViews/RIPE
+routers, the NomadLog device workload, and the content measurement.
+:class:`World` builds each piece lazily and caches it, so a bench that
+only needs Fig. 6 does not pay for BGP route computation, while a full
+run shares everything.
+
+Two scales are provided: ``DEFAULT_SCALE`` reproduces the paper's
+parameters (372 users, full popular set); ``SMALL_SCALE`` runs the same
+pipelines in seconds for CI and examples.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..content import (
+    DomainUniverse,
+    DomainUniverseConfig,
+    HostingDirectory,
+    assign_hosting,
+    generate_domain_universe,
+)
+from ..latency import IPlanePredictor
+from ..measurement import (
+    ContentMeasurement,
+    MeasurementConfig,
+    MeasurementController,
+    build_ripe_routers,
+    build_routeviews_routers,
+)
+from ..mobility import (
+    MobilityEvent,
+    MobilityWorkload,
+    MobilityWorkloadConfig,
+    generate_workload,
+)
+from ..routing import RoutingOracle, VantagePoint
+from ..topology import ASTopology, generate_as_topology
+
+__all__ = ["ExperimentScale", "DEFAULT_SCALE", "SMALL_SCALE", "World", "active_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Workload sizes for one experiment run."""
+
+    label: str
+    num_users: int
+    device_days: int
+    content_days: int
+    #: None = the full 500-domain universe; otherwise a domain count.
+    num_popular_domains: Optional[int]
+    seed: int = 2014
+
+
+#: The paper's parameters: 372 users, the full popular set, 21
+#: measurement days shortened to 7 (content statistics are per-day, so
+#: the week-long window preserves every reported distribution).
+DEFAULT_SCALE = ExperimentScale(
+    label="paper",
+    num_users=372,
+    device_days=14,
+    content_days=7,
+    num_popular_domains=None,
+)
+
+#: A seconds-scale configuration for CI, examples, and quick benches.
+SMALL_SCALE = ExperimentScale(
+    label="small",
+    num_users=120,
+    device_days=5,
+    content_days=3,
+    num_popular_domains=120,
+)
+
+
+def active_scale() -> ExperimentScale:
+    """The scale selected via the ``REPRO_SCALE`` environment variable.
+
+    ``REPRO_SCALE=small`` selects :data:`SMALL_SCALE`; anything else
+    (including unset) selects the paper-parameter :data:`DEFAULT_SCALE`.
+    """
+    return SMALL_SCALE if os.environ.get("REPRO_SCALE") == "small" else DEFAULT_SCALE
+
+
+class World:
+    """Lazily-constructed shared substrate for all experiments."""
+
+    def __init__(self, scale: Optional[ExperimentScale] = None):
+        self.scale = scale or active_scale()
+        self._topology: Optional[ASTopology] = None
+        self._oracle: Optional[RoutingOracle] = None
+        self._routeviews: Optional[List[VantagePoint]] = None
+        self._ripe: Optional[List[VantagePoint]] = None
+        self._workload: Optional[MobilityWorkload] = None
+        self._events: Optional[List[MobilityEvent]] = None
+        self._universe: Optional[DomainUniverse] = None
+        self._hosting: Optional[HostingDirectory] = None
+        self._popular: Optional[ContentMeasurement] = None
+        self._unpopular: Optional[ContentMeasurement] = None
+        self._iplane: Optional[IPlanePredictor] = None
+
+    # -- substrate pieces ------------------------------------------------
+
+    @property
+    def topology(self) -> ASTopology:
+        """The synthetic AS-level Internet."""
+        if self._topology is None:
+            self._topology = generate_as_topology()
+        return self._topology
+
+    @property
+    def oracle(self) -> RoutingOracle:
+        """Policy routing over the topology."""
+        if self._oracle is None:
+            self._oracle = RoutingOracle(self.topology)
+        return self._oracle
+
+    @property
+    def routeviews(self) -> List[VantagePoint]:
+        """The 12 RouteViews routers of Fig. 8."""
+        if self._routeviews is None:
+            self._routeviews = build_routeviews_routers(self.topology)
+        return self._routeviews
+
+    @property
+    def ripe(self) -> List[VantagePoint]:
+        """The 13 RIPE routers of §6.2.2."""
+        if self._ripe is None:
+            self._ripe = build_ripe_routers(self.topology)
+        return self._ripe
+
+    @property
+    def iplane(self) -> IPlanePredictor:
+        """The iPlane latency-predictor substitute."""
+        if self._iplane is None:
+            self._iplane = IPlanePredictor(self.oracle)
+        return self._iplane
+
+    # -- device workload ---------------------------------------------------
+
+    @property
+    def workload(self) -> MobilityWorkload:
+        """The synthetic NomadLog workload."""
+        if self._workload is None:
+            self._workload = generate_workload(
+                self.topology,
+                MobilityWorkloadConfig(
+                    num_users=self.scale.num_users,
+                    num_days=self.scale.device_days,
+                    seed=self.scale.seed,
+                ),
+            )
+        return self._workload
+
+    @property
+    def device_events(self) -> List[MobilityEvent]:
+        """All device mobility events in the workload."""
+        if self._events is None:
+            self._events = self.workload.all_transitions()
+        return self._events
+
+    def alternate_workload(self, num_users: int, seed: int) -> MobilityWorkload:
+        """A second workload (the §6.2.2 IMAP-style sensitivity input)."""
+        return generate_workload(
+            self.topology,
+            MobilityWorkloadConfig(
+                num_users=num_users,
+                num_days=self.scale.device_days,
+                seed=seed,
+            ),
+        )
+
+    # -- content workload ---------------------------------------------------
+
+    @property
+    def universe(self) -> DomainUniverse:
+        """The popular + unpopular domain universe."""
+        if self._universe is None:
+            if self.scale.num_popular_domains is None:
+                cfg = DomainUniverseConfig(seed=self.scale.seed)
+            else:
+                n = self.scale.num_popular_domains
+                cfg = DomainUniverseConfig(
+                    num_popular=n,
+                    num_unpopular=max(n // 2, 20),
+                    popular_total_names=int(n * 24.7),
+                    seed=self.scale.seed,
+                )
+            self._universe = generate_domain_universe(cfg)
+        return self._universe
+
+    @property
+    def hosting(self) -> HostingDirectory:
+        """Hosting models for every name in the universe."""
+        if self._hosting is None:
+            self._hosting = assign_hosting(self.universe, self.topology)
+        return self._hosting
+
+    def _controller(self) -> MeasurementController:
+        return MeasurementController(
+            self.topology,
+            self.hosting,
+            config=MeasurementConfig(days=self.scale.content_days,
+                                     seed=self.scale.seed),
+        )
+
+    @property
+    def popular_measurement(self) -> ContentMeasurement:
+        """Merged hourly Addrs(d,t) for the popular set."""
+        if self._popular is None:
+            self._popular = self._controller().measure_universe(
+                self.universe, popular=True
+            )
+        return self._popular
+
+    @property
+    def unpopular_measurement(self) -> ContentMeasurement:
+        """Merged hourly Addrs(d,t) for the unpopular set."""
+        if self._unpopular is None:
+            self._unpopular = self._controller().measure_universe(
+                self.universe, popular=False
+            )
+        return self._unpopular

@@ -1,0 +1,92 @@
+"""Ablation — on-path caching under mobility (§8).
+
+§8: "on-path content caching can benefit most architectures ... but
+does not suffice to ensure reachability to at least one copy of the
+requested content." This ablation quantifies both halves on the
+stateful forwarding plane with stale FIBs: caching lifts delivery for
+popular content (many cached copies) under *every* strategy, but with
+best-only forwarding even generous caching leaves a reachability gap —
+only the strategy layer (or routing updates) closes it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..forwarding.stateful import InterestStrategy, StatefulForwardingPlane
+from ..topology import erdos_renyi_topology
+from .report import banner, render_table
+
+__all__ = ["CachingResult", "run", "format_result"]
+
+
+@dataclass
+class CachingResult:
+    """Success rates per (strategy, cache fraction) with stale FIBs."""
+
+    topology_size: int
+    fresh_radius: int
+    trials: int
+    cache_fractions: Tuple[float, ...]
+    #: (strategy, cache fraction) -> success rate.
+    success: Dict[Tuple[InterestStrategy, float], float]
+
+
+def run(
+    n: int = 40,
+    fresh_radius: int = 1,
+    cache_fractions: Tuple[float, ...] = (0.0, 0.05, 0.15, 0.4),
+    trials: int = 400,
+    seed: int = 2014,
+) -> CachingResult:
+    """Sweep cache density at a fixed (stale) freshness radius."""
+    graph = erdos_renyi_topology(n, 0.1, rng=random.Random(seed))
+    plane = StatefulForwardingPlane(graph)
+    success: Dict[Tuple[InterestStrategy, float], float] = {}
+    for fraction in cache_fractions:
+        for strategy in InterestStrategy:
+            rate, _ = plane.success_rate(
+                strategy,
+                fresh_radius,
+                trials,
+                random.Random((seed, fraction, strategy.value).__repr__()),
+                cache_fraction=fraction,
+            )
+            success[(strategy, fraction)] = rate
+    return CachingResult(
+        topology_size=n,
+        fresh_radius=fresh_radius,
+        trials=trials,
+        cache_fractions=cache_fractions,
+        success=success,
+    )
+
+
+def format_result(result: CachingResult) -> str:
+    """Render the cache-density sweep."""
+    rows = []
+    for fraction in result.cache_fractions:
+        rows.append(
+            [f"{fraction:.0%}"]
+            + [
+                f"{result.success[(s, fraction)] * 100:.0f}%"
+                for s in InterestStrategy
+            ]
+        )
+    table = render_table(
+        ["cached routers", "best-only", "flood", "adaptive"], rows
+    )
+    lines = [
+        banner("Ablation -- on-path caching under mobility (§8)"),
+        f"({result.topology_size}-router network, update reach "
+        f"{result.fresh_radius} hop(s), {result.trials} scenarios/cell)",
+        table,
+        "Reading: caching lifts every strategy (popular content is "
+        "found en route), but with single-best-port forwarding even "
+        "dense caching leaves a gap — caching 'does not suffice to "
+        "ensure reachability', only strategy-layer retries or routing "
+        "updates do.",
+    ]
+    return "\n".join(lines)

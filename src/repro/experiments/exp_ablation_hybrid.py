@@ -1,0 +1,83 @@
+"""Ablation — hybrid (addressing-assisted name-based) architecture.
+
+The paper's conclusion in executable form: pure name-based routing
+handles content well but drowns in device updates; pure indirection
+stretches every path. A hybrid that routes content on names and sends
+device mobility through an indirection point gets both benefits. This
+ablation sweeps the device share of the workload and reports where the
+hybrid wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.hybrid import HybridEvaluation, evaluate_hybrid
+from ..topology import erdos_renyi_topology
+from .report import banner, render_table
+
+__all__ = ["HybridSweepResult", "run", "format_result"]
+
+
+@dataclass
+class HybridSweepResult:
+    """Hybrid evaluations across device-share levels."""
+
+    topology_size: int
+    evaluations: Dict[float, HybridEvaluation]
+
+
+def run(
+    n: int = 40,
+    device_shares: Tuple[float, ...] = (0.2, 0.5, 0.8, 0.95),
+    steps: int = 3000,
+    seed: int = 2014,
+) -> HybridSweepResult:
+    """Sweep the device share on a random connected topology."""
+    import random
+
+    graph = erdos_renyi_topology(n, 0.1, rng=random.Random(seed))
+    evaluations = {
+        share: evaluate_hybrid(graph, device_share=share, steps=steps,
+                               seed=seed)
+        for share in device_shares
+    }
+    return HybridSweepResult(topology_size=n, evaluations=evaluations)
+
+
+def format_result(result: HybridSweepResult) -> str:
+    """Render the sweep as one table per device share."""
+    lines = [
+        banner(
+            f"Ablation -- hybrid architecture on a {result.topology_size}-"
+            "router network (§8)"
+        )
+    ]
+    for share in sorted(result.evaluations):
+        evaluation = result.evaluations[share]
+        rows = []
+        for m in evaluation.metrics:
+            rows.append(
+                [
+                    m.architecture,
+                    f"{m.update_fraction * 100:.2f}%",
+                    f"{m.device_stretch:.2f}",
+                    f"{m.content_stretch:.2f}",
+                    f"{m.agent_updates_per_event:.2f}",
+                ]
+            )
+        lines.append(f"\ndevice share = {share:.0%} of mobility events:")
+        lines.append(
+            render_table(
+                ["architecture", "router update frac", "device stretch",
+                 "content stretch", "agent updates/event"],
+                rows,
+            )
+        )
+    lines.append(
+        "\nThe hybrid's router update cost shrinks with the device share "
+        "(devices bypass routers entirely) while content traffic keeps "
+        "zero stretch — the augmentation the paper's conclusions call for."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Ablation — multihomed device mobility (§3.3 applied to devices).
+
+Re-runs the Fig. 8 update-cost question with the §3.3 multihomed model:
+devices keep their cellular attachment alive while on WiFi (dual
+radio), and routers track the device's *set* of addresses with either
+best-port forwarding or controlled flooding. The device analogue of the
+paper's content finding emerges: the stable cellular anchor makes the
+best port far less volatile than single-attachment forwarding, at the
+price of a larger eligible set.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core import ContentPortMapper, ForwardingStrategy
+from ..mobility.multihoming import MultihomedTimeline, build_multihomed_timeline
+from .context import World
+from .report import banner, render_table
+
+__all__ = ["MultihomingResult", "run", "format_result"]
+
+
+@dataclass
+class MultihomingResult:
+    """Update rates per router for each device-tracking mode."""
+
+    #: router -> rate, single attachment (classic Fig. 8 displacement).
+    single: Dict[str, float]
+    #: router -> rate, multihomed set with best-port forwarding.
+    multi_best_port: Dict[str, float]
+    #: router -> rate, multihomed set with controlled flooding.
+    multi_flooding: Dict[str, float]
+    dual_radio_users: int
+    total_users: int
+    events_single: int
+    events_multi: int
+
+
+def run(
+    world: World, dual_radio_prob: float = 0.7, seed: int = 2014
+) -> MultihomingResult:
+    """Evaluate single- vs multi-attachment device tracking."""
+    rng = random.Random(seed)
+    workload = world.workload
+    by_user: Dict[str, List] = {}
+    for user_day in workload.user_days:
+        by_user.setdefault(user_day.user_id, []).append(user_day)
+
+    timelines: List[MultihomedTimeline] = []
+    dual_count = 0
+    for user_id in sorted(by_user):
+        dual = rng.random() < dual_radio_prob
+        dual_count += int(dual)
+        timelines.append(
+            build_multihomed_timeline(by_user[user_id], dual_radio=dual)
+        )
+
+    mappers = [
+        ContentPortMapper(router, world.oracle) for router in world.routeviews
+    ]
+    single_updates = {m.vantage.name: 0 for m in mappers}
+    best_updates = {m.vantage.name: 0 for m in mappers}
+    flood_updates = {m.vantage.name: 0 for m in mappers}
+    events_single = events_multi = 0
+
+    # Single attachment baseline: classic per-event displacement.
+    for event in world.device_events:
+        events_single += 1
+        for mapper in mappers:
+            old = mapper.best_route_for_address(event.old.ip)
+            new = mapper.best_route_for_address(event.new.ip)
+            if old is not None and new is not None and (
+                old.next_hop != new.next_hop
+            ):
+                single_updates[mapper.vantage.name] += 1
+
+    # Multihomed sets: §3.3.1 strategies over the set timelines.
+    for timeline in timelines:
+        for event in timeline.events():
+            events_multi += 1
+            for mapper in mappers:
+                if mapper.update_for_event(
+                    ForwardingStrategy.BEST_PORT,
+                    event.old_addrs,
+                    event.new_addrs,
+                ):
+                    best_updates[mapper.vantage.name] += 1
+                if mapper.update_for_event(
+                    ForwardingStrategy.CONTROLLED_FLOODING,
+                    event.old_addrs,
+                    event.new_addrs,
+                ):
+                    flood_updates[mapper.vantage.name] += 1
+
+    def rates(updates: Dict[str, int], events: int) -> Dict[str, float]:
+        return {
+            name: (count / events if events else 0.0)
+            for name, count in updates.items()
+        }
+
+    return MultihomingResult(
+        single=rates(single_updates, events_single),
+        multi_best_port=rates(best_updates, events_multi),
+        multi_flooding=rates(flood_updates, events_multi),
+        dual_radio_users=dual_count,
+        total_users=len(timelines),
+        events_single=events_single,
+        events_multi=events_multi,
+    )
+
+
+def format_result(result: MultihomingResult) -> str:
+    """Render the three tracking modes side by side."""
+    rows = [
+        [
+            router,
+            f"{result.single[router] * 100:.2f}%",
+            f"{result.multi_best_port[router] * 100:.2f}%",
+            f"{result.multi_flooding[router] * 100:.2f}%",
+        ]
+        for router in result.single
+    ]
+    lines = [
+        banner("Ablation -- multihomed device mobility (§3.3 on devices)"),
+        f"{result.dual_radio_users}/{result.total_users} devices dual-radio; "
+        f"{result.events_single} single-attachment events, "
+        f"{result.events_multi} set-change events",
+        render_table(
+            ["router", "single attach", "multihomed best-port",
+             "multihomed flooding"],
+            rows,
+        ),
+        "Reading: with the cellular anchor in the set, the best port "
+        "survives most WiFi flaps — the device-side version of the "
+        "paper's 'content locations do not change arbitrarily' argument, "
+        "and the mechanism multipath/addressing-assisted designs exploit.",
+    ]
+    return "\n".join(lines)

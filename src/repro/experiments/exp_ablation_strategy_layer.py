@@ -1,0 +1,91 @@
+"""Ablation — the strategy layer in a stateful forwarding plane.
+
+The paper's findings "show ... the emerging importance of the strategy
+layer in content-oriented architectures" (§1) and §8 points to the
+stateful-forwarding-plane proposal [55]. This ablation measures why:
+during the stale window after a content mobility event (only routers
+within a freshness radius have updated FIBs), an adaptive strategy
+layer retries alternative FIB ports and recovers nearly all of
+flooding's delivery success at a fraction of its traffic — while
+single-best-port forwarding blackholes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..forwarding.stateful import InterestStrategy, StatefulForwardingPlane
+from ..topology import erdos_renyi_topology
+from .report import banner, render_table
+
+__all__ = ["StrategyLayerResult", "run", "format_result"]
+
+
+@dataclass
+class StrategyLayerResult:
+    """Success/traffic per strategy per freshness radius."""
+
+    topology_size: int
+    trials: int
+    #: (strategy, radius) -> (success rate, mean traversals).
+    outcomes: Dict[Tuple[InterestStrategy, int], Tuple[float, float]]
+    radii: Tuple[int, ...]
+
+    def success(self, strategy: InterestStrategy, radius: int) -> float:
+        return self.outcomes[(strategy, radius)][0]
+
+    def traffic(self, strategy: InterestStrategy, radius: int) -> float:
+        return self.outcomes[(strategy, radius)][1]
+
+
+def run(
+    n: int = 40,
+    radii: Tuple[int, ...] = (0, 1, 2, 4),
+    trials: int = 400,
+    seed: int = 2014,
+) -> StrategyLayerResult:
+    """Sweep the freshness radius on a random connected topology."""
+    graph = erdos_renyi_topology(n, 0.1, rng=random.Random(seed))
+    plane = StatefulForwardingPlane(graph)
+    outcomes = {}
+    for radius in radii:
+        for strategy in InterestStrategy:
+            rate, cost = plane.success_rate(
+                strategy, radius, trials, random.Random((seed, radius, strategy.value).__repr__())
+            )
+            outcomes[(strategy, radius)] = (rate, cost)
+    return StrategyLayerResult(
+        topology_size=n, trials=trials, outcomes=outcomes, radii=radii
+    )
+
+
+def format_result(result: StrategyLayerResult) -> str:
+    """Render the radius sweep."""
+    rows = []
+    for radius in result.radii:
+        row = [f"{radius} hops"]
+        for strategy in InterestStrategy:
+            rate, cost = result.outcomes[(strategy, radius)]
+            row.append(f"{rate * 100:.0f}% / {cost:.1f}")
+        rows.append(row)
+    table = render_table(
+        ["update reach", "best-only (succ/traffic)",
+         "flood (succ/traffic)", "adaptive (succ/traffic)"],
+        rows,
+    )
+    lines = [
+        banner("Ablation -- the strategy layer under content mobility "
+               "(§1/§8)"),
+        f"({result.topology_size}-router network, {result.trials} random "
+        "consumer/mobility scenarios per cell; traffic = Interest link "
+        "traversals)",
+        table,
+        "Reading: with stale FIBs (small update reach), single-best-port "
+        "forwarding blackholes; flooding recovers deliveries by brute "
+        "force; the adaptive strategy layer matches flooding's success "
+        "at a fraction of the traffic — the §3.3.3 fungibility, living "
+        "in the data plane.",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""§6.2 / §7.3 back-of-the-envelope calculations.
+
+Scales the measured per-event update probabilities to Internet size,
+reproducing the paper's arithmetic — optionally substituting the update
+probabilities measured by *this* reproduction for the paper's 3% / 0.5%
+constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core import (
+    CONTENT_SCENARIO,
+    DEVICE_SCENARIO_MEAN,
+    DEVICE_SCENARIO_MEDIAN,
+    EnvelopeScenario,
+    extra_fib_fraction,
+)
+from .report import banner, render_table
+
+__all__ = ["EnvelopeResult", "run", "format_result"]
+
+
+@dataclass
+class EnvelopeResult:
+    """Computed rates for the paper's scenarios (plus measured ones)."""
+
+    scenarios: List[EnvelopeScenario]
+    extra_fib: float
+
+
+def run(
+    measured_device_probability: Optional[float] = None,
+    measured_content_probability: Optional[float] = None,
+    measured_time_away: float = 0.30,
+) -> EnvelopeResult:
+    """Evaluate the paper's scenarios and, optionally, measured ones."""
+    scenarios = [DEVICE_SCENARIO_MEDIAN, DEVICE_SCENARIO_MEAN, CONTENT_SCENARIO]
+    if measured_device_probability is not None:
+        scenarios.append(
+            EnvelopeScenario(
+                label="devices (our measured probability)",
+                num_principals=2e9,
+                moves_per_day=3,
+                update_probability=measured_device_probability,
+                paper_claim_per_sec=2100.0,
+            )
+        )
+    if measured_content_probability is not None:
+        scenarios.append(
+            EnvelopeScenario(
+                label="content (our measured probability)",
+                num_principals=1e9,
+                moves_per_day=2,
+                update_probability=measured_content_probability,
+                paper_claim_per_sec=100.0,
+            )
+        )
+    device_prob = (
+        measured_device_probability
+        if measured_device_probability is not None
+        else 0.03
+    )
+    return EnvelopeResult(
+        scenarios=scenarios,
+        extra_fib=extra_fib_fraction(device_prob, measured_time_away),
+    )
+
+
+def format_result(result: EnvelopeResult) -> str:
+    """Render the scenario table."""
+    rows = [
+        [
+            s.label,
+            f"{s.num_principals:.0e}",
+            f"{s.moves_per_day:g}/day",
+            f"{s.update_probability * 100:.2f}%",
+            f"{s.updates_per_second():.0f}/s",
+            f"{s.paper_claim_per_sec:.0f}/s",
+        ]
+        for s in result.scenarios
+    ]
+    table = render_table(
+        ["scenario", "principals", "moves", "P(update)", "computed",
+         "paper claim"],
+        rows,
+    )
+    lines = [
+        banner("Back-of-the-envelope update rates (§6.2, §7.3)"),
+        table,
+        f"extra FIB entries per router (paper: ~1%): "
+        f"{result.extra_fib * 100:.2f}% of all devices",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Fig. 10 — network distance from the dominant ("home") location.
+
+The indirection-routing stretch proxy of §6.3.2: for every (dominant
+AS, visited AS) pair in the trace, the iPlane-predicted one-way delay
+and AS hop count — answered for only ~5% of pairs because of iPlane's
+coverage — plus the topology-based lower bound on the AS hop count.
+Headlines: median predicted delay ~50 ms; median shortest physical AS
+path 2, "suggesting that mobile users typically wander two or more
+ASes away from the home AS".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..mobility import day_stats, percentile
+from .context import World
+from .report import banner, render_cdf_summary
+
+__all__ = ["Fig10Result", "run", "format_result"]
+
+
+@dataclass
+class Fig10Result:
+    """Predicted delays, predicted hops, and physical lower bounds."""
+
+    total_pairs: int
+    answered_pairs: int
+    delays_ms: List[float]
+    predicted_hops: List[int]
+    physical_hops: List[int]
+
+    def answer_rate(self) -> float:
+        return self.answered_pairs / self.total_pairs if self.total_pairs else 0.0
+
+    def median_delay(self) -> float:
+        return percentile(self.delays_ms, 0.5)
+
+    def median_predicted_hops(self) -> float:
+        return percentile(self.predicted_hops, 0.5)
+
+    def median_physical_hops(self) -> float:
+        return percentile(self.physical_hops, 0.5)
+
+
+def run(world: World) -> Fig10Result:
+    """Predict home-to-current distances for every user-day pair."""
+    predictor = world.iplane
+    delays: List[float] = []
+    predicted_hops: List[int] = []
+    physical: List[int] = []
+    total = answered = 0
+    physical_cache = {}
+    for user_day in world.workload.user_days:
+        stats = day_stats(user_day)
+        home = stats.dominant_asn
+        for asn in stats.hours_by_asn:
+            if asn == home:
+                continue
+            total += 1
+            prediction = predictor.predict_as(home, asn)
+            if prediction is not None:
+                answered += 1
+                delays.append(prediction.latency_ms)
+                predicted_hops.append(prediction.as_hops)
+            key = (home, asn)
+            if key not in physical_cache:
+                physical_cache[key] = predictor.shortest_physical_as_hops(
+                    home, asn
+                )
+            if physical_cache[key] is not None:
+                physical.append(physical_cache[key])
+    return Fig10Result(
+        total_pairs=total,
+        answered_pairs=answered,
+        delays_ms=delays,
+        predicted_hops=predicted_hops,
+        physical_hops=physical,
+    )
+
+
+def format_result(result: Fig10Result) -> str:
+    """Render the Fig. 10 summary."""
+    lines = [banner("Fig. 10 -- displacement from the dominant location")]
+    lines.append(
+        f"iPlane answer rate (paper: ~5%): {result.answer_rate() * 100:.1f}% "
+        f"({result.answered_pairs}/{result.total_pairs} pairs)"
+    )
+    lines.append(render_cdf_summary("one-way delay (ms)", result.delays_ms))
+    lines.append(
+        f"median delay (paper: ~50 ms): {result.median_delay():.1f} ms"
+    )
+    lines.append(
+        f"median predicted AS hops (paper: 4): "
+        f"{result.median_predicted_hops():.1f}"
+    )
+    lines.append(
+        f"median shortest physical AS path (paper: 2): "
+        f"{result.median_physical_hops():.1f}"
+    )
+    return "\n".join(lines)

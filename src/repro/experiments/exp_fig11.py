@@ -1,0 +1,110 @@
+"""Fig. 11 — content mobility and its router update cost.
+
+Three panels:
+
+* **(a)** CDF across the ~12K popular subdomains of mobility events per
+  day (changes of the merged ``Addrs(d, t)`` set). Paper: median 2,
+  bounded at 24 by the hourly measurement.
+* **(b)** per-router update rate for popular content, with controlled
+  flooding vs. best-port forwarding. Paper: flooding up to ~13%,
+  best-port at most ~6%, flooding >= best-port at every router.
+* **(c)** the same for unpopular content. Paper: at most ~1% even with
+  flooding; best-port median 0.08%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core import ContentUpdateCostEvaluator, ForwardingStrategy, UpdateRateReport
+from ..mobility import cdf_points, percentile
+from .context import World
+from .report import banner, render_cdf_summary, render_table
+
+__all__ = ["Fig11Result", "run", "format_result"]
+
+
+@dataclass
+class Fig11Result:
+    """All three Fig. 11 panels."""
+
+    events_per_day: List[float]  # panel (a), per popular name
+    popular_flooding: UpdateRateReport
+    popular_best_port: UpdateRateReport
+    unpopular_flooding: UpdateRateReport
+    unpopular_best_port: UpdateRateReport
+
+    def median_events_per_day(self) -> float:
+        return percentile(self.events_per_day, 0.5)
+
+    def max_events_per_day(self) -> float:
+        return max(self.events_per_day)
+
+    def cdf_events(self):
+        return cdf_points(self.events_per_day)
+
+
+def run(world: World) -> Fig11Result:
+    """Measure content mobility and evaluate both strategies."""
+    popular = world.popular_measurement
+    unpopular = world.unpopular_measurement
+    evaluator = ContentUpdateCostEvaluator(world.routeviews, world.oracle)
+    events_per_day = list(popular.daily_event_counts().values())
+    return Fig11Result(
+        events_per_day=events_per_day,
+        popular_flooding=evaluator.evaluate(
+            popular, ForwardingStrategy.CONTROLLED_FLOODING
+        ),
+        popular_best_port=evaluator.evaluate(
+            popular, ForwardingStrategy.BEST_PORT
+        ),
+        unpopular_flooding=evaluator.evaluate(
+            unpopular, ForwardingStrategy.CONTROLLED_FLOODING
+        ),
+        unpopular_best_port=evaluator.evaluate(
+            unpopular, ForwardingStrategy.BEST_PORT
+        ),
+    )
+
+
+def _rate_table(flooding: UpdateRateReport, best: UpdateRateReport) -> str:
+    rows = [
+        [router, f"{flooding.rates[router] * 100:.3f}%",
+         f"{best.rates[router] * 100:.3f}%"]
+        for router in flooding.rates
+    ]
+    return render_table(["router", "controlled flooding", "best-port"], rows)
+
+
+def format_result(result: Fig11Result) -> str:
+    """Render all three panels."""
+    lines = [banner("Fig. 11(a) -- popular content mobility events per day")]
+    lines.append(render_cdf_summary("events/day", result.events_per_day))
+    lines.append(
+        f"median (paper: 2): {result.median_events_per_day():.2f}   "
+        f"max (paper: 24, hourly cap): {result.max_events_per_day():.1f}"
+    )
+    lines.append(
+        banner("Fig. 11(b) -- popular content update rate "
+               "(paper: flooding <= ~13%, best-port <= ~6%)")
+    )
+    lines.append(_rate_table(result.popular_flooding, result.popular_best_port))
+    lines.append(
+        f"events: {result.popular_flooding.num_events}  "
+        f"flooding max {result.popular_flooding.max_rate() * 100:.2f}%  "
+        f"best-port max {result.popular_best_port.max_rate() * 100:.2f}%"
+    )
+    lines.append(
+        banner("Fig. 11(c) -- unpopular content update rate "
+               "(paper: flooding <= ~1%, best-port median 0.08%)")
+    )
+    lines.append(
+        _rate_table(result.unpopular_flooding, result.unpopular_best_port)
+    )
+    lines.append(
+        f"events: {result.unpopular_flooding.num_events}  "
+        f"flooding max {result.unpopular_flooding.max_rate() * 100:.2f}%  "
+        f"best-port median {result.unpopular_best_port.median_rate() * 100:.3f}%"
+    )
+    return "\n".join(lines)

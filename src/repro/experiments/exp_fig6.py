@@ -1,0 +1,80 @@
+"""Fig. 6 — distinct network locations visited per user per day.
+
+The paper's series: a CDF across 372 users of the average number of
+distinct IP addresses, IP prefixes, and ASes visited per day. Headline
+numbers: medians of 3 / 2 / 2 and more than 20% of users above 10 IP
+addresses a day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..mobility import cdf_points, percentile, user_averages
+from .context import World
+from .asciichart import render_cdf_chart
+from .report import banner, render_cdf_summary
+
+__all__ = ["Fig6Result", "run", "format_result"]
+
+
+@dataclass
+class Fig6Result:
+    """Per-user averages of distinct daily locations."""
+
+    ips: List[float]
+    prefixes: List[float]
+    ases: List[float]
+
+    def median_ips(self) -> float:
+        return percentile(self.ips, 0.5)
+
+    def median_prefixes(self) -> float:
+        return percentile(self.prefixes, 0.5)
+
+    def median_ases(self) -> float:
+        return percentile(self.ases, 0.5)
+
+    def fraction_above_10_ips(self) -> float:
+        return sum(1 for v in self.ips if v > 10) / len(self.ips)
+
+    def cdf(self, series: str) -> List[Tuple[float, float]]:
+        """CDF points for ``"ips"``, ``"prefixes"``, or ``"ases"``."""
+        return cdf_points(getattr(self, series))
+
+
+def run(world: World) -> Fig6Result:
+    """Compute the Fig. 6 series from the NomadLog workload."""
+    averages = user_averages(world.workload.user_days)
+    return Fig6Result(
+        ips=[u.avg_distinct_ips for u in averages],
+        prefixes=[u.avg_distinct_prefixes for u in averages],
+        ases=[u.avg_distinct_ases for u in averages],
+    )
+
+
+def format_result(result: Fig6Result) -> str:
+    """Render the Fig. 6 summary with the paper's headline numbers."""
+    lines = [banner("Fig. 6 -- distinct network locations per user per day")]
+    lines.append(render_cdf_summary("IP addresses", result.ips))
+    lines.append(render_cdf_summary("IP prefixes ", result.prefixes))
+    lines.append(render_cdf_summary("ASes        ", result.ases))
+    lines.append(
+        f"medians (paper: 3 / 2 / 2): "
+        f"{result.median_ips():.2f} / {result.median_prefixes():.2f} / "
+        f"{result.median_ases():.2f}"
+    )
+    lines.append(
+        f"users above 10 IPs/day (paper: >20%): "
+        f"{result.fraction_above_10_ips() * 100:.1f}%"
+    )
+    lines.append(
+        render_cdf_chart(
+            {"IPs": result.ips, "prefixes": result.prefixes,
+             "ASes": result.ases},
+            log_x=True,
+            x_label="locations/day",
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Table 1 — path stretch vs. aggregate update cost on toy topologies.
+
+Reproduces the §5 analytic comparison for the chain, clique, binary
+tree, and star, printing for each topology the paper's asymptotic
+expression, our exact closed form, and a Monte Carlo measurement on the
+actual graph (which validates that the formulas describe the system we
+built).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core import (
+    TOPOLOGY_KINDS,
+    Table1Row,
+    closed_form_row,
+    paper_asymptotic_row,
+    simulate_row,
+)
+from .report import banner, render_table
+
+__all__ = ["Table1Result", "run", "format_result"]
+
+
+@dataclass
+class Table1Result:
+    """Closed-form, asymptotic, and simulated rows per topology."""
+
+    n: int
+    steps: int
+    exact: Dict[str, Table1Row]
+    asymptotic: Dict[str, Table1Row]
+    simulated: Dict[str, Table1Row]
+
+
+def run(n: int = 63, steps: int = 4000, seed: int = 2014) -> Table1Result:
+    """Evaluate all four toy topologies at size ``n``."""
+    exact = {}
+    asym = {}
+    sim = {}
+    for kind in TOPOLOGY_KINDS:
+        exact[kind] = closed_form_row(kind, n)
+        asym[kind] = paper_asymptotic_row(kind, n)
+        sim[kind] = simulate_row(kind, n, steps=steps, seed=seed)
+    return Table1Result(n=n, steps=steps, exact=exact, asymptotic=asym,
+                        simulated=sim)
+
+
+def format_result(result: Table1Result) -> str:
+    """Render the Table 1 comparison."""
+    rows = []
+    for kind in TOPOLOGY_KINDS:
+        e, a, s = (
+            result.exact[kind],
+            result.asymptotic[kind],
+            result.simulated[kind],
+        )
+        rows.append(
+            [
+                kind,
+                f"{a.indirection_stretch:.2f}",
+                f"{e.indirection_stretch:.3f}",
+                f"{s.indirection_stretch:.3f}",
+                f"{a.name_based_update_cost:.4f}",
+                f"{e.name_based_update_cost:.4f}",
+                f"{s.name_based_update_cost:.4f}",
+            ]
+        )
+    table = render_table(
+        [
+            "topology",
+            "ind.stretch (paper)",
+            "(exact)",
+            "(simulated)",
+            "nb.update (paper)",
+            "(exact)",
+            "(simulated)",
+        ],
+        rows,
+    )
+    head = banner(
+        f"Table 1 -- stretch vs update cost (n={result.n}, "
+        f"{result.steps} Monte Carlo steps)"
+    )
+    note = (
+        "indirection update cost = 1/n and name-based stretch = 0 "
+        "everywhere, as in the paper."
+    )
+    return f"{head}\n{table}\n{note}"

@@ -1,0 +1,17 @@
+"""Forwarding-plane dynamics: routing convergence / mobility outage,
+and an NDN-style stateful forwarding plane with a strategy layer."""
+
+from .convergence import ConvergenceSimulator, MobilityOutage
+from .stateful import (
+    InterestStrategy,
+    RetrievalResult,
+    StatefulForwardingPlane,
+)
+
+__all__ = [
+    "ConvergenceSimulator",
+    "MobilityOutage",
+    "InterestStrategy",
+    "RetrievalResult",
+    "StatefulForwardingPlane",
+]

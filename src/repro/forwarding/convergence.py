@@ -1,0 +1,174 @@
+"""Routing convergence and mobility outage for name-based routing.
+
+§2 of the paper: achieving location independence "purely at the network
+layer without inducing significant stretch or long outage times upon
+mobility events is nontrivial", and §8 lists routing convergence delay
+among the metrics the empirical methodology could not evaluate. This
+module evaluates it on the §5 toy setting: a shortest-path name-routing
+network where, after an endpoint moves, the routing update propagates
+hop-by-hop outward from the new attachment router with a fixed per-hop
+delay. Until a router has processed the update it forwards on its old
+entry — so packets can chase the endpoint's old location (a blackhole)
+or even loop between stale and fresh routers.
+
+:class:`ConvergenceSimulator` computes, per mobility event:
+
+* **outage duration** at each source — how long packets from that
+  source fail to reach the endpoint;
+* **convergence time** — when the whole network is consistent;
+* **delivery success** for probe packets injected during convergence.
+
+For comparison, indirection's outage is a single home-agent update
+(one RTT) and resolution's is bounded by the binding TTL
+(:mod:`repro.resolution.staleness`) — which is exactly the paper's
+qualitative argument made quantitative.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..topology import Graph
+
+__all__ = ["MobilityOutage", "ConvergenceSimulator"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class MobilityOutage:
+    """Outage metrics of one mobility event under name-based routing."""
+
+    old_router: Node
+    new_router: Node
+    #: Time (in per-hop delay units) until every router has updated.
+    convergence_time: float
+    #: Per-source outage duration (0 for sources never disrupted).
+    outage_by_source: Dict[Node, float]
+
+    def max_outage(self) -> float:
+        """The worst source's outage duration."""
+        return max(self.outage_by_source.values(), default=0.0)
+
+    def mean_outage(self) -> float:
+        """Outage duration averaged over all sources."""
+        if not self.outage_by_source:
+            return 0.0
+        return sum(self.outage_by_source.values()) / len(self.outage_by_source)
+
+
+class ConvergenceSimulator:
+    """Hop-by-hop update propagation on a shortest-path name network."""
+
+    def __init__(self, graph: Graph, per_hop_delay: float = 1.0):
+        if per_hop_delay <= 0:
+            raise ValueError("per-hop delay must be positive")
+        self._graph = graph
+        self._delay = per_hop_delay
+        self._nodes = sorted(graph.nodes(), key=repr)
+        self._next_hops: Dict[Node, Dict[Node, Node]] = {}
+
+    def _nh(self, router: Node) -> Dict[Node, Node]:
+        if router not in self._next_hops:
+            self._next_hops[router] = self._graph.next_hops_fast(router)
+        return self._next_hops[router]
+
+    def update_arrival_times(self, new_router: Node) -> Dict[Node, float]:
+        """When each router learns of the endpoint's new attachment.
+
+        The announcement floods outward from the new attachment router;
+        a router at hop distance h processes it at ``h * per_hop_delay``.
+        """
+        return {
+            node: hops * self._delay
+            for node, hops in self._graph.bfs_distances(new_router).items()
+        }
+
+    def forwarding_state_at(
+        self, time: float, old_router: Node, new_router: Node
+    ) -> Dict[Node, Node]:
+        """Each router's next hop toward the endpoint at ``time``."""
+        arrivals = self.update_arrival_times(new_router)
+        state = {}
+        for node in self._nodes:
+            target = new_router if arrivals[node] <= time else old_router
+            state[node] = self._nh(node)[target]
+        return state
+
+    def deliver(
+        self, source: Node, time: float, old_router: Node, new_router: Node
+    ) -> bool:
+        """Does a packet injected at ``source``/``time`` reach the endpoint?
+
+        The packet follows each router's instantaneous entry; it is
+        delivered when it arrives at the router where the endpoint now
+        lives, and lost if it revisits a router (loop) or strands at
+        the old attachment.
+        """
+        state = self.forwarding_state_at(time, old_router, new_router)
+        current = source
+        visited = set()
+        while True:
+            if current == new_router:
+                return True
+            if current in visited:
+                return False  # loop between stale and fresh routers
+            visited.add(current)
+            hop = state[current]
+            if hop == current:
+                # Local delivery attempted at a router the endpoint
+                # left (the old attachment): blackhole.
+                return False
+            current = hop
+
+    def simulate_event(
+        self, old_router: Node, new_router: Node, probe_step: float = 0.25
+    ) -> MobilityOutage:
+        """Measure outage per source for one mobility event.
+
+        Probes each source at ``probe_step`` granularity from the move
+        until convergence; the outage is the span from the move to the
+        last failed probe + step (0 if no probe ever fails).
+        """
+        arrivals = self.update_arrival_times(new_router)
+        convergence = max(arrivals.values())
+        outage: Dict[Node, float] = {}
+        for source in self._nodes:
+            if source == new_router:
+                outage[source] = 0.0
+                continue
+            last_failure: Optional[float] = None
+            t = 0.0
+            while t <= convergence + probe_step:
+                if not self.deliver(source, t, old_router, new_router):
+                    last_failure = t
+                t += probe_step
+            outage[source] = (
+                0.0 if last_failure is None else last_failure + probe_step
+            )
+        return MobilityOutage(
+            old_router=old_router,
+            new_router=new_router,
+            convergence_time=convergence,
+            outage_by_source=outage,
+        )
+
+    def expected_outage(
+        self, events: int, rng: random.Random
+    ) -> Tuple[float, float]:
+        """(mean, max) outage over random mobility events."""
+        total = 0.0
+        worst = 0.0
+        count = 0
+        for _ in range(events):
+            old = rng.choice(self._nodes)
+            new = rng.choice(self._nodes)
+            if old == new:
+                continue
+            result = self.simulate_event(old, new)
+            total += result.mean_outage()
+            worst = max(worst, result.max_outage())
+            count += 1
+        return (total / count if count else 0.0, worst)

@@ -1,0 +1,220 @@
+"""A stateful (NDN-style) forwarding plane with a strategy layer.
+
+The paper's findings "show ... the emerging importance of the strategy
+layer in content-oriented architectures" (§1) and §8 cites the "case
+for a stateful forwarding plane" [55]: with per-Interest state (a PIT)
+a router can *retry alternative ports* when the best one fails, masking
+mobility-induced staleness without any routing update.
+
+This module implements the minimal faithful machinery on a router
+graph:
+
+* a per-router **content FIB**: name -> ranked list of output ports;
+* **Interest** forwarding with a Pending Interest Table (duplicate
+  suppression + reverse-path state) and hop/retransmission accounting;
+* three **strategies** — ``BEST_ONLY`` (forward on the single best
+  port, fail on a dead end), ``FLOOD`` (all ports at once), and
+  ``ADAPTIVE`` (best first; on NACK/dead-end, the strategy layer tries
+  the next-ranked port);
+* a **mobility scenario**: content moves from one attachment router to
+  another while only routers within a *freshness radius* of the new
+  location have updated FIB entries — everyone else still points at
+  the old location.
+
+The metric is retrieval success and cost (total link traversals) during
+that stale window, per strategy: exactly the "forwarding strategies can
+buy robustness with traffic" trade-off of §3.3.3, in the data plane.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..topology import Graph
+
+__all__ = [
+    "InterestStrategy",
+    "RetrievalResult",
+    "StatefulForwardingPlane",
+]
+
+Node = Hashable
+
+
+class InterestStrategy(enum.Enum):
+    """What the strategy layer does with an Interest."""
+
+    BEST_ONLY = "best-only"
+    FLOOD = "flood"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass(frozen=True)
+class RetrievalResult:
+    """Outcome of one Interest retrieval attempt."""
+
+    success: bool
+    #: Total link traversals spent (Interests, including retries).
+    traversals: int
+    #: Routers that held PIT state for this Interest.
+    pit_entries: int
+
+
+class StatefulForwardingPlane:
+    """Name forwarding with PIT state over a router graph.
+
+    The FIB is derived from shortest-path routing toward the content's
+    *believed* location: fresh routers (within ``fresh_radius`` hops of
+    the new attachment, i.e. those the routing update has reached) rank
+    ports toward the new location first; stale routers rank ports
+    toward the old location first. The ranked alternatives at every
+    router are its neighbors ordered by shortest-path progress toward
+    the believed location — what a real FIB with multiple next hops
+    holds.
+    """
+
+    def __init__(self, graph: Graph, max_alternatives: int = 3):
+        if max_alternatives < 1:
+            raise ValueError("need at least one FIB alternative")
+        self._graph = graph
+        self._max_alts = max_alternatives
+        self._nodes = sorted(graph.nodes(), key=repr)
+        self._dist_cache: Dict[Node, Dict[Node, int]] = {}
+
+    def _dist(self, target: Node) -> Dict[Node, int]:
+        if target not in self._dist_cache:
+            self._dist_cache[target] = self._graph.bfs_distances(target)
+        return self._dist_cache[target]
+
+    def ranked_ports(self, router: Node, believed: Node) -> List[Node]:
+        """FIB alternatives at ``router`` toward ``believed`` location.
+
+        Neighbors sorted by their distance to the believed location
+        (ties broken deterministically), truncated to the configured
+        number of alternatives. The router itself comes first when it
+        *is* the believed location (local delivery).
+        """
+        dist = self._dist(believed)
+        neighbors = sorted(
+            self._graph.neighbors(router),
+            key=lambda n: (dist.get(n, 1 << 30), repr(n)),
+        )
+        return neighbors[: self._max_alts]
+
+    def _believed(self, router: Node, old: Node, new: Node,
+                  fresh: Set[Node]) -> Node:
+        return new if router in fresh else old
+
+    def fresh_set(self, new_location: Node, fresh_radius: int) -> Set[Node]:
+        """Routers the routing update has reached."""
+        dist = self._dist(new_location)
+        return {n for n, d in dist.items() if d <= fresh_radius}
+
+    def retrieve(
+        self,
+        consumer: Node,
+        old_location: Node,
+        new_location: Node,
+        fresh_radius: int,
+        strategy: InterestStrategy,
+        ttl: int = 32,
+        cached_routers: Optional[Set[Node]] = None,
+    ) -> RetrievalResult:
+        """Send one Interest and try to reach the content.
+
+        The content lives at ``new_location``; routers outside the
+        freshness radius still believe ``old_location``. The PIT
+        suppresses duplicate forwarding of the same Interest at a
+        router; ``ttl`` bounds the total path length of any one branch.
+        ``cached_routers`` (§8's on-path caching) satisfy the Interest
+        immediately — caching helps exactly when a cached copy sits on
+        the path the stale FIBs produce, which is why it "does not
+        suffice to ensure reachability to at least one copy".
+        """
+        fresh = self.fresh_set(new_location, fresh_radius)
+        caches = cached_routers or set()
+        pit: Set[Node] = set()
+        traversals = 0
+
+        def forward(router: Node, depth: int) -> bool:
+            nonlocal traversals
+            if depth > ttl:
+                return False
+            if router == new_location or router in caches:
+                return True
+            if router in pit:
+                return False  # duplicate Interest: PIT suppresses it
+            pit.add(router)
+            believed = self._believed(router, old_location, new_location,
+                                      fresh)
+            if believed == router:
+                # Stale router thinks the content is local but it is
+                # gone: NACK. The strategy layer upstream handles it.
+                return False
+            ports = self.ranked_ports(router, believed)
+            if not ports:
+                return False
+            if strategy is InterestStrategy.BEST_ONLY:
+                traversals += 1
+                return forward(ports[0], depth + 1)
+            if strategy is InterestStrategy.FLOOD:
+                # Copies go out on every alternative simultaneously, so
+                # every copy costs traffic even after one succeeds.
+                delivered = False
+                for port in ports:
+                    traversals += 1
+                    if forward(port, depth + 1):
+                        delivered = True
+                return delivered
+            # ADAPTIVE: the strategy layer retries sequentially and
+            # stops at the first success.
+            for port in ports:
+                traversals += 1
+                if forward(port, depth + 1):
+                    return True
+            return False
+
+        success = forward(consumer, 0)
+        return RetrievalResult(
+            success=success, traversals=traversals, pit_entries=len(pit)
+        )
+
+    def success_rate(
+        self,
+        strategy: InterestStrategy,
+        fresh_radius: int,
+        trials: int,
+        rng: random.Random,
+        cache_fraction: float = 0.0,
+    ) -> Tuple[float, float]:
+        """(success rate, mean traversals) over random scenarios.
+
+        With ``cache_fraction`` > 0, that share of routers holds an
+        on-path cached copy of the content (drawn fresh per trial).
+        """
+        if not 0.0 <= cache_fraction <= 1.0:
+            raise ValueError(f"bad cache fraction: {cache_fraction}")
+        successes = 0
+        total_traversals = 0
+        for _ in range(trials):
+            consumer, old, new = (
+                rng.choice(self._nodes),
+                rng.choice(self._nodes),
+                rng.choice(self._nodes),
+            )
+            if old == new:
+                successes += 1
+                continue
+            caches = {
+                node for node in self._nodes if rng.random() < cache_fraction
+            }
+            result = self.retrieve(
+                consumer, old, new, fresh_radius, strategy,
+                cached_routers=caches,
+            )
+            successes += int(result.success)
+            total_traversals += result.traversals
+        return successes / trials, total_traversals / trials

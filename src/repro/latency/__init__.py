@@ -1,0 +1,6 @@
+"""Latency and path prediction: the iPlane substitute used for the
+§6.3 path-stretch analysis."""
+
+from .iplane import IPlanePredictor, PathPrediction
+
+__all__ = ["IPlanePredictor", "PathPrediction"]

@@ -1,0 +1,43 @@
+"""Measurement instruments: the NomadLog app pipeline, the PlanetLab
+vantage fleet + controller, and synthetic RouteViews/RIPE routers."""
+
+from .nomadlog import LogRow, NomadLogApp, NomadLogDatabase, collect_logs
+from .riblib import ParsedRib, parse_rib_dump, write_rib_dump
+from .routeviews import (
+    RIPE_SPECS,
+    ROUTEVIEWS_SPECS,
+    RouterSpec,
+    build_ripe_routers,
+    build_routers,
+    build_routeviews_routers,
+    rib_rows,
+)
+from .vantage import (
+    ContentMeasurement,
+    MeasurementConfig,
+    MeasurementController,
+    VantageFleet,
+    VantageNode,
+)
+
+__all__ = [
+    "ParsedRib",
+    "parse_rib_dump",
+    "write_rib_dump",
+    "LogRow",
+    "NomadLogApp",
+    "NomadLogDatabase",
+    "collect_logs",
+    "RouterSpec",
+    "ROUTEVIEWS_SPECS",
+    "RIPE_SPECS",
+    "build_routers",
+    "build_routeviews_routers",
+    "build_ripe_routers",
+    "rib_rows",
+    "VantageNode",
+    "VantageFleet",
+    "MeasurementConfig",
+    "MeasurementController",
+    "ContentMeasurement",
+]

@@ -1,0 +1,185 @@
+"""NomadLog app simulator (§4).
+
+The paper's measurement instrument is a lean Android app that records
+the device's public-facing IP address on every *connectivity event*
+(an interface successfully connecting to or disconnecting from a
+network), stores log rows locally, and uploads them in batches only
+when the device is on power and WiFi. Rows look like::
+
+    device_id | time | ip_addr | net_type | (lat, long) | ...
+
+This module reproduces the instrument on top of the behavioural
+workload: it converts simulated user-days into connectivity-event log
+rows (with hashed device ids and optional geolocation), models the
+store-and-forward upload pipeline, and applies the paper's cleaning
+rule (drop users who ran the app for less than a day). The analysis
+pipeline then consumes exactly what the app would have delivered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..mobility import MobilityWorkload
+from ..topology import REGIONS
+
+__all__ = ["LogRow", "NomadLogApp", "NomadLogDatabase", "collect_logs"]
+
+
+@dataclass(frozen=True)
+class LogRow:
+    """One database row, in the paper's §4 schema."""
+
+    device_id: str
+    time_hours: float  # hours since trace start
+    ip_addr: str
+    net_type: str
+    latlon: Optional[Tuple[float, float]]
+
+    def as_tuple(self) -> Tuple:
+        """The row as a plain tuple (for CSV-ish export)."""
+        return (
+            self.device_id,
+            round(self.time_hours, 4),
+            self.ip_addr,
+            self.net_type,
+            self.latlon,
+        )
+
+
+def _hash_device(user_id: str, salt: str = "nomadlog") -> str:
+    """The paper's privacy measure: a hashed device identifier."""
+    return hashlib.sha256(f"{salt}:{user_id}".encode()).hexdigest()[:16]
+
+
+class NomadLogApp:
+    """The on-device half: buffers rows, uploads when on WiFi + power."""
+
+    def __init__(self, user_id: str, gps_permission: bool = True):
+        self.device_id = _hash_device(user_id)
+        self.gps_permission = gps_permission
+        self._buffer: List[LogRow] = []
+        self.uploaded: List[LogRow] = []
+
+    def record_connectivity_event(
+        self,
+        time_hours: float,
+        ip_addr: str,
+        net_type: str,
+        latlon: Optional[Tuple[float, float]] = None,
+    ) -> None:
+        """Log one event (IP resolved via the echo server)."""
+        row = LogRow(
+            device_id=self.device_id,
+            time_hours=time_hours,
+            ip_addr=ip_addr,
+            net_type=net_type,
+            latlon=latlon if self.gps_permission else None,
+        )
+        self._buffer.append(row)
+
+    def try_upload(self, on_wifi: bool, on_power: bool) -> int:
+        """Flush buffered rows if the upload conditions hold."""
+        if not (on_wifi and on_power) or not self._buffer:
+            return 0
+        count = len(self._buffer)
+        self.uploaded.extend(self._buffer)
+        self._buffer.clear()
+        return count
+
+    def pending(self) -> int:
+        """Rows recorded but not yet uploaded."""
+        return len(self._buffer)
+
+
+class NomadLogDatabase:
+    """The server half: the postgres table the paper analyses."""
+
+    def __init__(self) -> None:
+        self.rows: List[LogRow] = []
+
+    def ingest(self, rows: Iterable[LogRow]) -> None:
+        """Append uploaded rows."""
+        self.rows.extend(rows)
+
+    def devices(self) -> List[str]:
+        """Distinct device ids."""
+        return sorted({r.device_id for r in self.rows})
+
+    def rows_for(self, device_id: str) -> List[LogRow]:
+        """All rows of one device, in time order."""
+        return sorted(
+            (r for r in self.rows if r.device_id == device_id),
+            key=lambda r: r.time_hours,
+        )
+
+    def active_days(self, device_id: str) -> float:
+        """Span between a device's first and last row, in days."""
+        rows = self.rows_for(device_id)
+        if len(rows) < 2:
+            return 0.0
+        return (rows[-1].time_hours - rows[0].time_hours) / 24.0
+
+    def filter_short_users(self, min_days: float = 1.0) -> "NomadLogDatabase":
+        """The paper's cleaning rule: drop users active < ``min_days``."""
+        keep = {
+            d for d in self.devices() if self.active_days(d) >= min_days
+        }
+        out = NomadLogDatabase()
+        out.ingest(r for r in self.rows if r.device_id in keep)
+        return out
+
+
+def _region_latlon(
+    region: str, rng: random.Random
+) -> Tuple[float, float]:
+    """A pseudo-geolocation near the region's planar center."""
+    cx, cy = REGIONS[region]
+    return (round(cy + rng.uniform(-2, 2), 4), round(cx + rng.uniform(-2, 2), 4))
+
+
+def collect_logs(
+    workload: MobilityWorkload,
+    seed: int = 2014,
+    gps_opt_in_rate: float = 0.8,
+    min_days: float = 1.0,
+) -> NomadLogDatabase:
+    """Run the full NomadLog pipeline over a simulated workload.
+
+    Every segment boundary is a connectivity event; uploads happen when
+    the user is back on WiFi (we approximate "on power" as overnight,
+    i.e. the first WiFi segment of a day). Returns the cleaned
+    database.
+    """
+    rng = random.Random(seed)
+    region_of = {p.user_id: p.region for p in workload.profiles}
+    apps: Dict[str, NomadLogApp] = {}
+    db = NomadLogDatabase()
+    for profile in workload.profiles:
+        apps[profile.user_id] = NomadLogApp(
+            profile.user_id, gps_permission=rng.random() < gps_opt_in_rate
+        )
+    for user_day in sorted(workload.user_days, key=lambda d: (d.user_id, d.day)):
+        app = apps[user_day.user_id]
+        region = region_of[user_day.user_id]
+        for seg in user_day.segments:
+            latlon = (
+                _region_latlon(region, rng) if rng.random() < 0.6 else None
+            )
+            app.record_connectivity_event(
+                time_hours=user_day.day * 24.0 + seg.start_hour,
+                ip_addr=str(seg.location.ip),
+                net_type=seg.net_type,
+                latlon=latlon,
+            )
+            if seg.net_type == "wifi":
+                uploaded_before = len(app.uploaded)
+                app.try_upload(on_wifi=True, on_power=True)
+                if len(app.uploaded) > uploaded_before:
+                    db.ingest(app.uploaded[uploaded_before:])
+    # End of trace: whatever is still buffered never reaches the server,
+    # exactly like a device that uninstalled before its last sync.
+    return db.filter_short_users(min_days=min_days)

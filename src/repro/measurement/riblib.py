@@ -1,0 +1,166 @@
+"""RIB dump serialization and parsing.
+
+The paper's §6.2.1 pipeline begins from RouteViews table dumps in the
+row format ``ip_prefix | next_hop | local_pref | metric | as_path``.
+This module writes our synthetic RIBs in that format and parses such
+dumps back into :class:`~repro.routing.ranking.Route` objects — so the
+displacement methodology can be pointed at a *real* dump whenever one
+is available: parse it, wrap the routes in a :class:`ParsedRib`, and
+feed the same evaluators.
+
+Relationship labels are not part of the dump (the paper infers them
+Gao-style); :meth:`ParsedRib.infer_relationships` runs that inference
+over the dump's own AS paths, mirroring §6.2.1 rule 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, TextIO
+
+from ..net import IPv4Address, IPv4Prefix
+from ..routing import (
+    Route,
+    RoutingOracle,
+    VantagePoint,
+    best_route,
+    infer_relationships,
+    relationship_for,
+)
+from ..topology import Relationship
+
+__all__ = ["write_rib_dump", "parse_rib_dump", "ParsedRib"]
+
+_HEADER = "# ip_prefix|next_hop|local_pref|metric|as_path"
+
+
+def write_rib_dump(
+    vantage: VantagePoint,
+    oracle: RoutingOracle,
+    prefixes: Iterable[IPv4Prefix],
+    out: TextIO,
+) -> int:
+    """Write the vantage's RIB entries for ``prefixes``; returns rows."""
+    out.write(f"# rib dump for {vantage.name} ({vantage.host_region})\n")
+    out.write(_HEADER + "\n")
+    rows = 0
+    for prefix in prefixes:
+        for route in vantage.candidate_routes(oracle, prefix):
+            path_text = " ".join(str(a) for a in route.as_path)
+            out.write(
+                f"{prefix}|{route.next_hop}|{route.local_pref}|"
+                f"{route.med}|{path_text}\n"
+            )
+            rows += 1
+    return rows
+
+
+@dataclass
+class ParsedRib:
+    """A parsed dump: per-prefix candidate routes, plus helpers."""
+
+    router_name: str
+    routes_by_prefix: Dict[IPv4Prefix, List[Route]] = field(
+        default_factory=dict
+    )
+
+    def prefixes(self) -> List[IPv4Prefix]:
+        """All prefixes in the dump, sorted."""
+        return sorted(self.routes_by_prefix)
+
+    def num_routes(self) -> int:
+        """Total route rows."""
+        return sum(len(rs) for rs in self.routes_by_prefix.values())
+
+    def routes_for(self, prefix: IPv4Prefix) -> List[Route]:
+        """Candidate routes for one prefix (empty if absent)."""
+        return list(self.routes_by_prefix.get(prefix, ()))
+
+    def best_for_address(self, address: IPv4Address) -> Optional[Route]:
+        """Longest-matching prefix's best route for ``address``."""
+        covering = [
+            p for p in self.routes_by_prefix if p.contains(address)
+        ]
+        if not covering:
+            return None
+        longest = max(covering, key=lambda p: p.length)
+        return best_route(self.routes_by_prefix[longest])
+
+    def infer_relationships(self) -> "ParsedRib":
+        """Re-label every route's relationship Gao-style (§6.2.1 rule 1).
+
+        Returns a new :class:`ParsedRib` whose routes carry inferred
+        customer/peer/provider labels; routes over edges the inference
+        never saw keep their previous label.
+        """
+        paths = [
+            route.as_path
+            for routes in self.routes_by_prefix.values()
+            for route in routes
+            if len(route.as_path) >= 2
+        ]
+        # The vantage itself is not on the paths; prepend a virtual
+        # ASN 0 so the first hop's edge is part of the inference input.
+        augmented = [(0,) + path for path in paths]
+        labels = infer_relationships(augmented)
+        relabeled: Dict[IPv4Prefix, List[Route]] = {}
+        for prefix, routes in self.routes_by_prefix.items():
+            new_routes = []
+            for route in routes:
+                try:
+                    rel = relationship_for(labels, 0, route.next_hop)
+                except KeyError:
+                    rel = route.relationship
+                new_routes.append(
+                    Route(
+                        prefix=route.prefix,
+                        next_hop=route.next_hop,
+                        as_path=route.as_path,
+                        relationship=rel,
+                        med=route.med,
+                        local_pref=route.local_pref,
+                    )
+                )
+            relabeled[prefix] = new_routes
+        return ParsedRib(
+            router_name=self.router_name, routes_by_prefix=relabeled
+        )
+
+
+def parse_rib_dump(
+    source: TextIO, router_name: str = "parsed"
+) -> ParsedRib:
+    """Parse a dump written by :func:`write_rib_dump` (or hand-made).
+
+    Unknown relationships default to PROVIDER (a full-table transit
+    feed) — run :meth:`ParsedRib.infer_relationships` to re-label.
+    Malformed lines raise ``ValueError`` with the offending line number.
+    """
+    rib = ParsedRib(router_name=router_name)
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|")
+        if len(parts) != 5:
+            raise ValueError(f"line {lineno}: expected 5 fields, got "
+                             f"{len(parts)}: {line!r}")
+        prefix_text, next_hop_text, lpref_text, med_text, path_text = parts
+        try:
+            prefix = IPv4Prefix.from_string(prefix_text)
+            next_hop = int(next_hop_text)
+            local_pref = int(lpref_text)
+            med = int(med_text)
+            as_path = tuple(int(a) for a in path_text.split())
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from exc
+        route = Route(
+            prefix=prefix,
+            next_hop=next_hop,
+            as_path=as_path,
+            relationship=Relationship.PROVIDER,
+            med=med,
+            local_pref=local_pref,
+        )
+        rib.routes_by_prefix.setdefault(prefix, []).append(route)
+    return rib

@@ -1,0 +1,221 @@
+"""Synthetic RouteViews and RIPE vantage routers (§6.2.1).
+
+The paper derives FIBs from the RIBs of 12 BGP-speaking RouteViews
+routers — four in Oregon and one each in Virginia, California, Georgia,
+Mauritius, London, Tokyo, Sydney and Sao Paulo — plus 13 RIPE routers
+for sensitivity analysis. Those dumps embed the global effects of
+topology and policy; our substitute builds each router as a
+:class:`~repro.routing.bgp.VantagePoint` whose neighbor profile matches
+what the paper reports about it:
+
+* the Oregon collectors are densely peered (RouteViews' Oregon
+  collector famously has the largest feed set), giving them high
+  next-hop diversity and therefore the highest update rates;
+* the Georgia router "has a much lower next-hop degree compared to the
+  Oregon routers, which could plausibly explain its lower update rate";
+* Mauritius and Tokyo sit behind one (or two) regional transit
+  providers far from where the NomadLog users live, so they
+  "experience hardly any updates".
+
+The neighbor counts below are the knobs that reproduce those shapes;
+the actual neighbor ASes are drawn deterministically from the topology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..net import IPv4Prefix
+from ..routing import RoutingOracle, VantagePoint
+from ..topology import ASTopology, Relationship, Tier
+
+__all__ = [
+    "RouterSpec",
+    "ROUTEVIEWS_SPECS",
+    "RIPE_SPECS",
+    "build_routers",
+    "build_routeviews_routers",
+    "build_ripe_routers",
+    "rib_rows",
+]
+
+
+@dataclass(frozen=True)
+class RouterSpec:
+    """Neighbor profile of one vantage router."""
+
+    name: str
+    region: str
+    num_providers: int
+    num_peers: int
+    num_customers: int
+    #: Fraction of the router's peers drawn from remote regions
+    #: (collectors with global feeds have many remote peers).
+    remote_peer_fraction: float = 0.5
+    #: Where the router buys transit. Tier-1-fed routers see uniform
+    #: path lengths to the edge (every stub is provider->T1->T2->stub),
+    #: so their best next hop is stable under mobility; routers whose
+    #: transit comes from regional tier-2s inherit the access-level
+    #: path diversity that drives update rates up.
+    provider_tier: str = "t1"
+
+
+#: The 12 RouteViews routers of Fig. 8, in the paper's plot order.
+ROUTEVIEWS_SPECS: Tuple[RouterSpec, ...] = (
+    RouterSpec("Oregon-1", "us-west", 2, 16, 4, 0.55, "t2"),
+    RouterSpec("Oregon-2", "us-west", 2, 13, 3, 0.50, "t2"),
+    RouterSpec("Oregon-3", "us-west", 2, 11, 2, 0.45, "t2"),
+    RouterSpec("Oregon-4", "us-west", 3, 9, 2, 0.40, "t2"),
+    RouterSpec("California-1", "us-west", 2, 2, 2, 0.40, "t2"),
+    RouterSpec("Georgia", "us-east", 2, 0, 0, 0.0, "t2"),
+    RouterSpec("Virginia", "us-east", 2, 1, 2, 0.40, "t2"),
+    RouterSpec("Saopaulo-1", "sa", 2, 2, 1, 0.35, "t2"),
+    RouterSpec("London-1", "eu-west", 2, 2, 2, 0.45, "t2"),
+    RouterSpec("Mauritius", "indian-ocean", 1, 1, 0, 0.0, "t2"),
+    RouterSpec("Tokyo", "asia-east", 1, 1, 0, 0.0, "t2"),
+    RouterSpec("Sydney", "oceania", 2, 2, 1, 0.30, "t2"),
+)
+
+#: 13 RIPE RIS collectors in 13 cities, 10 distinct from the
+#: RouteViews set (§6.2.2 sensitivity analysis).
+RIPE_SPECS: Tuple[RouterSpec, ...] = (
+    RouterSpec("Amsterdam", "eu-west", 2, 12, 3, 0.45, "t2"),
+    RouterSpec("Frankfurt", "eu-west", 2, 9, 2, 0.45, "t2"),
+    RouterSpec("Paris", "eu-west", 2, 3, 2, 0.40, "t2"),
+    RouterSpec("Stockholm", "eu-west", 2, 1, 1, 0.35, "t2"),
+    RouterSpec("Vienna", "eu-east", 2, 1, 1, 0.35, "t2"),
+    RouterSpec("Moscow", "eu-east", 2, 1, 1, 0.30, "t2"),
+    RouterSpec("Milan", "eu-west", 2, 1, 1, 0.35, "t2"),
+    RouterSpec("NewYork", "us-east", 2, 9, 2, 0.45, "t2"),
+    RouterSpec("Miami", "us-east", 2, 2, 1, 0.40, "t2"),
+    RouterSpec("London-RIPE", "eu-west", 2, 4, 2, 0.45, "t2"),
+    RouterSpec("Tokyo-RIPE", "asia-east", 1, 2, 0, 0.20, "t2"),
+    RouterSpec("Singapore", "asia-south", 2, 3, 1, 0.30, "t2"),
+    RouterSpec("Johannesburg", "africa", 1, 1, 0, 0.0, "t2"),
+)
+
+
+def _draw_neighbors(
+    spec: RouterSpec, topology: ASTopology, rng: random.Random
+) -> Dict[int, Relationship]:
+    """Pick neighbor ASes matching the spec's profile."""
+    neighbors: Dict[int, Relationship] = {}
+    regional_t2 = topology.ases_in_region(spec.region, Tier.T2)
+    regional_t1 = topology.ases_in_region(spec.region, Tier.T1)
+    all_t2 = sorted(
+        asn for asn, node in topology.ases.items() if node.tier is Tier.T2
+    )
+    regional_stubs = topology.ases_in_region(spec.region, Tier.STUB)
+
+    all_t1 = sorted(
+        asn for asn, node in topology.ases.items() if node.tier is Tier.T1
+    )
+    # Consumer carriers (the two best-connected tier-2s per region, the
+    # same rule the mobility workload uses to place cellular users) are
+    # access networks, not wholesale transit: exclude them from the
+    # provider pool so the collector's own transit does not sit on one
+    # side of every home<->cellular transition.
+    carriers = set(
+        sorted(regional_t2, key=lambda a: (-topology.ases[a].degree(), a))[:2]
+    )
+    wholesale_t2 = [a for a in regional_t2 if a not in carriers]
+    if spec.provider_tier == "t1":
+        provider_pool = regional_t1 + all_t1 + wholesale_t2
+    else:
+        provider_pool = wholesale_t2 + regional_t1 + all_t2
+    for asn in provider_pool:
+        if len([r for r in neighbors.values() if r is Relationship.PROVIDER]) \
+                >= spec.num_providers:
+            break
+        if asn not in neighbors:
+            neighbors[asn] = Relationship.PROVIDER
+
+    # Peers: a mix of regional and remote tier-2s.
+    remote_t2 = [a for a in all_t2 if topology.ases[a].region != spec.region]
+    local_pool = [a for a in regional_t2 if a not in neighbors]
+    remote_pool = [a for a in remote_t2 if a not in neighbors]
+    rng.shuffle(local_pool)
+    rng.shuffle(remote_pool)
+    n_remote = round(spec.num_peers * spec.remote_peer_fraction)
+    picks = remote_pool[:n_remote] + local_pool[: spec.num_peers - n_remote]
+    # Top up from whichever pool still has members.
+    leftovers = remote_pool[n_remote:] + local_pool[spec.num_peers - n_remote:]
+    for asn in leftovers:
+        if len(picks) >= spec.num_peers:
+            break
+        picks.append(asn)
+    for asn in picks[: spec.num_peers]:
+        neighbors[asn] = Relationship.PEER
+
+    # Customers: regional stubs.
+    pool = [a for a in regional_stubs if a not in neighbors]
+    rng.shuffle(pool)
+    for asn in pool[: spec.num_customers]:
+        neighbors[asn] = Relationship.CUSTOMER
+
+    if not neighbors:
+        raise ValueError(f"could not place router {spec.name!r}")
+    return neighbors
+
+
+def build_routers(
+    specs: Sequence[RouterSpec],
+    topology: ASTopology,
+    seed: int = 2014,
+    selective_fraction: float = 0.12,
+) -> List[VantagePoint]:
+    """Instantiate vantage routers for ``specs`` over ``topology``."""
+    routers = []
+    for spec in specs:
+        rng = random.Random((seed, spec.name).__repr__())
+        routers.append(
+            VantagePoint(
+                name=spec.name,
+                host_region=spec.region,
+                neighbors=_draw_neighbors(spec, topology, rng),
+                selective_fraction=selective_fraction,
+            )
+        )
+    return routers
+
+
+def build_routeviews_routers(
+    topology: ASTopology, seed: int = 2014
+) -> List[VantagePoint]:
+    """The 12 RouteViews routers of Fig. 8."""
+    return build_routers(ROUTEVIEWS_SPECS, topology, seed=seed)
+
+
+def build_ripe_routers(
+    topology: ASTopology, seed: int = 2014
+) -> List[VantagePoint]:
+    """The 13 RIPE routers of the §6.2.2 sensitivity analysis."""
+    return build_routers(RIPE_SPECS, topology, seed=seed)
+
+
+def rib_rows(
+    vantage: VantagePoint,
+    oracle: RoutingOracle,
+    prefixes: Iterable[IPv4Prefix],
+) -> List[Tuple[str, int, int, int, str]]:
+    """Render RIB entries in the paper's §6.2.1 row format.
+
+    Each row is ``(ip_prefix, next_hop, local_pref, metric, as_path)``
+    — one row per candidate route per prefix, like a RouteViews dump.
+    local_pref is uniformly 0, as the paper observed in the real dumps.
+    """
+    rows = []
+    for prefix in prefixes:
+        for route in vantage.candidate_routes(oracle, prefix):
+            rows.append(
+                (
+                    str(prefix),
+                    route.next_hop,
+                    route.local_pref,
+                    route.med,
+                    " ".join(str(a) for a in route.as_path),
+                )
+            )
+    return rows

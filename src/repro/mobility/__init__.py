@@ -1,0 +1,62 @@
+"""Device network-mobility: record types, behavioural model, synthetic
+NomadLog workload generation, and the Fig. 6/7/9 statistics."""
+
+from .device import AccessNetwork, UserClass, UserProfile, simulate_user_day
+from .events import (
+    HOURS_PER_DAY,
+    DaySegment,
+    MobilityEvent,
+    NetworkLocation,
+    UserDay,
+)
+from .stats import (
+    DayStats,
+    UserAverages,
+    cdf_points,
+    day_stats,
+    dominant_residence_samples,
+    percentile,
+    user_averages,
+)
+from .multihoming import (
+    MultihomedEvent,
+    MultihomedTimeline,
+    build_multihomed_timeline,
+)
+from .tracefile import read_trace, write_trace
+from .synth import (
+    CLASS_WEIGHTS,
+    REGION_WEIGHTS,
+    MobilityWorkload,
+    MobilityWorkloadConfig,
+    generate_workload,
+)
+
+__all__ = [
+    "NetworkLocation",
+    "DaySegment",
+    "UserDay",
+    "MobilityEvent",
+    "HOURS_PER_DAY",
+    "AccessNetwork",
+    "UserClass",
+    "UserProfile",
+    "simulate_user_day",
+    "MobilityWorkload",
+    "MobilityWorkloadConfig",
+    "generate_workload",
+    "REGION_WEIGHTS",
+    "CLASS_WEIGHTS",
+    "DayStats",
+    "UserAverages",
+    "day_stats",
+    "user_averages",
+    "dominant_residence_samples",
+    "percentile",
+    "cdf_points",
+    "MultihomedEvent",
+    "MultihomedTimeline",
+    "build_multihomed_timeline",
+    "read_trace",
+    "write_trace",
+]

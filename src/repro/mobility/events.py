@@ -1,0 +1,121 @@
+"""Record types for device network mobility.
+
+A *network location* is the triple the paper's analysis operates on —
+public IP address, its covering (announced) prefix, and the origin AS —
+because NomadLog characterizes mobility across *network* attachment
+points, not physical movement (§4). A user who roams between base
+stations while keeping one IP is stationary here; a user who hops from
+WiFi to LTE while sitting still is mobile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..net import IPv4Address, IPv4Prefix
+
+__all__ = [
+    "NetworkLocation",
+    "DaySegment",
+    "UserDay",
+    "MobilityEvent",
+    "HOURS_PER_DAY",
+]
+
+HOURS_PER_DAY = 24.0
+
+
+@dataclass(frozen=True)
+class NetworkLocation:
+    """A point of attachment to the Internet."""
+
+    ip: IPv4Address
+    prefix: IPv4Prefix
+    asn: int
+
+    def __post_init__(self) -> None:
+        if not self.prefix.contains(self.ip):
+            raise ValueError(f"{self.ip} is not inside {self.prefix}")
+
+
+@dataclass(frozen=True)
+class DaySegment:
+    """A contiguous stay at one network location within a day."""
+
+    location: NetworkLocation
+    start_hour: float
+    duration_hours: float
+    net_type: str = "wifi"  # "wifi" or "cellular"
+
+    def __post_init__(self) -> None:
+        if self.duration_hours <= 0:
+            raise ValueError(f"non-positive duration: {self.duration_hours}")
+        if not 0.0 <= self.start_hour < HOURS_PER_DAY:
+            raise ValueError(f"start hour out of range: {self.start_hour}")
+
+    @property
+    def end_hour(self) -> float:
+        """When the segment ends (may exceed 24 only by float error)."""
+        return self.start_hour + self.duration_hours
+
+
+@dataclass
+class UserDay:
+    """One user's full day: contiguous segments covering 0..24h."""
+
+    user_id: str
+    day: int
+    segments: List[DaySegment]
+
+    def __post_init__(self) -> None:
+        if not self.segments:
+            raise ValueError("a user day needs at least one segment")
+        cursor = 0.0
+        for seg in self.segments:
+            if abs(seg.start_hour - cursor) > 1e-6:
+                raise ValueError(
+                    f"segments must be contiguous: gap at hour {cursor:.3f}"
+                )
+            cursor = seg.start_hour + seg.duration_hours
+        if abs(cursor - HOURS_PER_DAY) > 1e-6:
+            raise ValueError(f"day covers {cursor:.3f}h, expected 24h")
+
+    def locations(self) -> List[NetworkLocation]:
+        """The location of each segment, in order."""
+        return [seg.location for seg in self.segments]
+
+    def transitions(self) -> List["MobilityEvent"]:
+        """Mobility events: consecutive segments with a changed IP."""
+        events = []
+        for a, b in zip(self.segments, self.segments[1:]):
+            if a.location.ip != b.location.ip:
+                events.append(
+                    MobilityEvent(
+                        user_id=self.user_id,
+                        day=self.day,
+                        hour=b.start_hour,
+                        old=a.location,
+                        new=b.location,
+                    )
+                )
+        return events
+
+
+@dataclass(frozen=True)
+class MobilityEvent:
+    """A device moving from one network location to another (Fig. 1a)."""
+
+    user_id: str
+    day: int
+    hour: float
+    old: NetworkLocation
+    new: NetworkLocation
+
+    def changes_prefix(self) -> bool:
+        """True if the covering prefix changed."""
+        return self.old.prefix != self.new.prefix
+
+    def changes_as(self) -> bool:
+        """True if the origin AS changed."""
+        return self.old.asn != self.new.asn

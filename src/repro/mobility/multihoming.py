@@ -1,0 +1,141 @@
+"""Multihomed device mobility (§3.3 applied to devices).
+
+§3.3 develops the multihomed update-cost model "in the context of
+content mobility, but note that it applies to both device and content
+mobility" — and modern phones *are* multihomed: the cellular radio
+stays attached while the device uses WiFi. This module turns a
+single-attachment :class:`~repro.mobility.events.UserDay` sequence into
+a *multihomed address-set timeline*: during WiFi segments of a
+dual-radio device, the set contains both the WiFi address and the
+still-held cellular address.
+
+The §3.3.1 strategies then apply verbatim: with best-port forwarding, a
+router tracking the device by its *set* of addresses rarely changes its
+best port when the WiFi side flaps, because the cellular anchor —
+usually the stable, carrier-reached side — persists. That is the device
+analogue of the paper's content finding, and the reason addressing-
+assisted multipath designs tame device mobility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..net import IPv4Address
+from .events import NetworkLocation, UserDay
+
+__all__ = [
+    "MultihomedEvent",
+    "MultihomedTimeline",
+    "build_multihomed_timeline",
+]
+
+
+@dataclass(frozen=True)
+class MultihomedEvent:
+    """A change in a device's simultaneous address set."""
+
+    user_id: str
+    hour: float  # hours since trace start
+    old_addrs: FrozenSet[IPv4Address]
+    new_addrs: FrozenSet[IPv4Address]
+
+    def added(self) -> FrozenSet[IPv4Address]:
+        return self.new_addrs - self.old_addrs
+
+    def removed(self) -> FrozenSet[IPv4Address]:
+        return self.old_addrs - self.new_addrs
+
+
+@dataclass
+class MultihomedTimeline:
+    """``Addrs(device, t)`` over a whole trace, as change points."""
+
+    user_id: str
+    dual_radio: bool
+    changes: List[Tuple[float, FrozenSet[IPv4Address]]]
+
+    def events(self) -> List[MultihomedEvent]:
+        """All set-changing events, in time order."""
+        out = []
+        for (_, old), (hour, new) in zip(self.changes, self.changes[1:]):
+            out.append(
+                MultihomedEvent(
+                    user_id=self.user_id,
+                    hour=hour,
+                    old_addrs=old,
+                    new_addrs=new,
+                )
+            )
+        return out
+
+    def set_at(self, hour: float) -> FrozenSet[IPv4Address]:
+        """The address set at ``hour`` (hours since trace start)."""
+        current = self.changes[0][1]
+        for change_hour, addrs in self.changes:
+            if change_hour > hour:
+                break
+            current = addrs
+        return current
+
+
+def build_multihomed_timeline(
+    user_days: Sequence[UserDay],
+    dual_radio: bool,
+    cellular_hold_hours: float = 2.0,
+) -> MultihomedTimeline:
+    """Overlay a persistent cellular attachment onto a device's days.
+
+    For a dual-radio device, the most recent cellular address remains
+    in the set during WiFi segments for up to ``cellular_hold_hours``
+    after the device left cellular (idle radios eventually detach).
+    Single-radio devices produce the singleton-set timeline.
+    """
+    if not user_days:
+        raise ValueError("need at least one user day")
+    ordered = sorted(user_days, key=lambda d: d.day)
+    user_ids = {d.user_id for d in ordered}
+    if len(user_ids) != 1:
+        raise ValueError(f"user days span multiple users: {sorted(user_ids)}")
+    user_id = ordered[0].user_id
+
+    changes: List[Tuple[float, FrozenSet[IPv4Address]]] = []
+    last_cellular: Optional[Tuple[float, NetworkLocation]] = None
+
+    def emit(hour: float, addrs: FrozenSet[IPv4Address]) -> None:
+        if changes and changes[-1][1] == addrs:
+            return
+        if changes and changes[-1][0] == hour:
+            changes[-1] = (hour, addrs)
+            if len(changes) >= 2 and changes[-2][1] == addrs:
+                changes.pop()
+            return
+        changes.append((hour, addrs))
+
+    for user_day in ordered:
+        base_hour = user_day.day * 24.0
+        for segment in user_day.segments:
+            start = base_hour + segment.start_hour
+            end = start + segment.duration_hours
+            addrs = {segment.location.ip}
+            if segment.net_type == "cellular":
+                last_cellular = (end, segment.location)
+                emit(start, frozenset(addrs))
+                continue
+            if dual_radio and last_cellular is not None:
+                left_cellular_at, cellular_loc = last_cellular
+                expiry = left_cellular_at + cellular_hold_hours
+                if start < expiry:
+                    emit(start, frozenset(addrs | {cellular_loc.ip}))
+                    if expiry < end:
+                        # The idle radio detaches mid-segment: the
+                        # cellular address drops out of the set.
+                        emit(expiry, frozenset(addrs))
+                    continue
+            emit(start, frozenset(addrs))
+    if not changes:
+        raise ValueError("user days produced no segments")
+    return MultihomedTimeline(
+        user_id=user_id, dual_radio=dual_radio, changes=changes
+    )

@@ -1,0 +1,165 @@
+"""Per-day and per-user mobility statistics (Figs. 6, 7, and 9).
+
+These reductions turn simulated user-days into exactly the series the
+paper plots: per-user averages of distinct network locations visited
+per day (Fig. 6), per-user averages of transitions per day (Fig. 7),
+and per-user-day fractions of time at the dominant location (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .events import HOURS_PER_DAY, UserDay
+
+__all__ = [
+    "DayStats",
+    "day_stats",
+    "UserAverages",
+    "user_averages",
+    "dominant_residence_samples",
+    "cdf_points",
+    "percentile",
+]
+
+
+@dataclass(frozen=True)
+class DayStats:
+    """Network-mobility statistics for one user-day."""
+
+    user_id: str
+    day: int
+    distinct_ips: int
+    distinct_prefixes: int
+    distinct_ases: int
+    ip_transitions: int
+    prefix_transitions: int
+    as_transitions: int
+    dominant_ip_fraction: float
+    dominant_prefix_fraction: float
+    dominant_as_fraction: float
+    dominant_asn: int
+    hours_by_asn: Dict[int, float]
+
+
+def day_stats(user_day: UserDay) -> DayStats:
+    """All per-day statistics for one :class:`UserDay`."""
+    ips = set()
+    prefixes = set()
+    ases = set()
+    ip_hours: Dict[object, float] = {}
+    prefix_hours: Dict[object, float] = {}
+    as_hours: Dict[int, float] = {}
+    for seg in user_day.segments:
+        loc = seg.location
+        ips.add(loc.ip)
+        prefixes.add(loc.prefix)
+        ases.add(loc.asn)
+        ip_hours[loc.ip] = ip_hours.get(loc.ip, 0.0) + seg.duration_hours
+        prefix_hours[loc.prefix] = (
+            prefix_hours.get(loc.prefix, 0.0) + seg.duration_hours
+        )
+        as_hours[loc.asn] = as_hours.get(loc.asn, 0.0) + seg.duration_hours
+
+    ip_trans = prefix_trans = as_trans = 0
+    for a, b in zip(user_day.segments, user_day.segments[1:]):
+        if a.location.ip != b.location.ip:
+            ip_trans += 1
+        if a.location.prefix != b.location.prefix:
+            prefix_trans += 1
+        if a.location.asn != b.location.asn:
+            as_trans += 1
+
+    dominant_asn = max(as_hours, key=lambda k: (as_hours[k], -k))
+    return DayStats(
+        user_id=user_day.user_id,
+        day=user_day.day,
+        distinct_ips=len(ips),
+        distinct_prefixes=len(prefixes),
+        distinct_ases=len(ases),
+        ip_transitions=ip_trans,
+        prefix_transitions=prefix_trans,
+        as_transitions=as_trans,
+        dominant_ip_fraction=max(ip_hours.values()) / HOURS_PER_DAY,
+        dominant_prefix_fraction=max(prefix_hours.values()) / HOURS_PER_DAY,
+        dominant_as_fraction=max(as_hours.values()) / HOURS_PER_DAY,
+        dominant_asn=dominant_asn,
+        hours_by_asn=as_hours,
+    )
+
+
+@dataclass(frozen=True)
+class UserAverages:
+    """Per-user averages across days — the Fig. 6/7 sample points."""
+
+    user_id: str
+    num_days: int
+    avg_distinct_ips: float
+    avg_distinct_prefixes: float
+    avg_distinct_ases: float
+    avg_ip_transitions: float
+    avg_prefix_transitions: float
+    avg_as_transitions: float
+
+
+def user_averages(user_days: Iterable[UserDay]) -> List[UserAverages]:
+    """Group user-days by user and average the daily statistics."""
+    per_user: Dict[str, List[DayStats]] = {}
+    for ud in user_days:
+        per_user.setdefault(ud.user_id, []).append(day_stats(ud))
+    result = []
+    for user_id in sorted(per_user):
+        days = per_user[user_id]
+        n = len(days)
+        result.append(
+            UserAverages(
+                user_id=user_id,
+                num_days=n,
+                avg_distinct_ips=sum(d.distinct_ips for d in days) / n,
+                avg_distinct_prefixes=sum(d.distinct_prefixes for d in days) / n,
+                avg_distinct_ases=sum(d.distinct_ases for d in days) / n,
+                avg_ip_transitions=sum(d.ip_transitions for d in days) / n,
+                avg_prefix_transitions=sum(d.prefix_transitions for d in days) / n,
+                avg_as_transitions=sum(d.as_transitions for d in days) / n,
+            )
+        )
+    return result
+
+
+def dominant_residence_samples(
+    user_days: Iterable[UserDay],
+) -> Tuple[List[float], List[float], List[float]]:
+    """Fig. 9 samples: (ip, prefix, AS) dominant fractions per user-day."""
+    ip_samples: List[float] = []
+    prefix_samples: List[float] = []
+    as_samples: List[float] = []
+    for ud in user_days:
+        stats = day_stats(ud)
+        ip_samples.append(stats.dominant_ip_fraction)
+        prefix_samples.append(stats.dominant_prefix_fraction)
+        as_samples.append(stats.dominant_as_fraction)
+    return ip_samples, prefix_samples, as_samples
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) by linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as ``(value, fraction <= value)`` step points."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]

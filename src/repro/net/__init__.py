@@ -1,0 +1,21 @@
+"""Network naming and addressing primitives.
+
+Integer-backed IPv4 addresses/prefixes, hierarchical content names, and
+the two longest-prefix-match tries (binary for IP, label-based for
+names) that back every forwarding table in the evaluation.
+"""
+
+from .ipaddr import IPv4Address, IPv4Prefix, parse_address, parse_prefix
+from .nameid import ContentName
+from .nametrie import NameTrie
+from .trie import PrefixTrie
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Prefix",
+    "parse_address",
+    "parse_prefix",
+    "ContentName",
+    "NameTrie",
+    "PrefixTrie",
+]

@@ -1,0 +1,233 @@
+"""IPv4 address and prefix primitives.
+
+These are deliberately small, integer-backed value types: the evaluation
+pipeline performs millions of longest-prefix-match lookups, so addresses
+are plain 32-bit integers wrapped in a thin hashable type, and prefixes
+carry a pre-computed netmask.
+
+The module is self-contained (no dependency on :mod:`ipaddress`) so the
+semantics used by the routing substrate — containment, supernet/subnet
+relations, canonical string forms — are explicit and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+__all__ = ["IPv4Address", "IPv4Prefix", "parse_address", "parse_prefix"]
+
+_MAX32 = 0xFFFFFFFF
+
+
+def _check_u32(value: int) -> int:
+    if not 0 <= value <= _MAX32:
+        raise ValueError(f"IPv4 address out of range: {value!r}")
+    return value
+
+
+class IPv4Address:
+    """A single IPv4 address backed by a 32-bit integer.
+
+    Instances are immutable, hashable, and totally ordered by numeric
+    value, so they can be used as dict keys and sorted deterministically.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int):
+        self._value = _check_u32(int(value))
+
+    @classmethod
+    def from_string(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad notation, e.g. ``"22.33.44.55"``."""
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise ValueError(f"malformed IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise ValueError(f"malformed IPv4 address: {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise ValueError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @property
+    def value(self) -> int:
+        """The address as an unsigned 32-bit integer."""
+        return self._value
+
+    def octets(self) -> Tuple[int, int, int, int]:
+        """The four octets, most significant first."""
+        v = self._value
+        return ((v >> 24) & 0xFF, (v >> 16) & 0xFF, (v >> 8) & 0xFF, v & 0xFF)
+
+    def bit(self, index: int) -> int:
+        """Bit ``index`` counted from the most significant bit (0..31)."""
+        if not 0 <= index < 32:
+            raise IndexError(f"bit index out of range: {index}")
+        return (self._value >> (31 - index)) & 1
+
+    def __str__(self) -> str:
+        return ".".join(str(o) for o in self.octets())
+
+    def __repr__(self) -> str:
+        return f"IPv4Address({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IPv4Address) and self._value == other._value
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        if not isinstance(other, IPv4Address):
+            return NotImplemented
+        return self._value < other._value
+
+    def __le__(self, other: "IPv4Address") -> bool:
+        if not isinstance(other, IPv4Address):
+            return NotImplemented
+        return self._value <= other._value
+
+    def __hash__(self) -> int:
+        return hash(("IPv4Address", self._value))
+
+    def __int__(self) -> int:
+        return self._value
+
+
+class IPv4Prefix:
+    """An IPv4 prefix (``network/length``) in canonical form.
+
+    The network value is masked on construction, so two prefixes that
+    denote the same address block always compare equal regardless of the
+    host bits the caller passed in.
+    """
+
+    __slots__ = ("_network", "_length")
+
+    def __init__(self, network: int, length: int):
+        if not 0 <= length <= 32:
+            raise ValueError(f"prefix length out of range: {length}")
+        _check_u32(int(network))
+        self._length = int(length)
+        self._network = int(network) & self.netmask()
+
+    @classmethod
+    def from_string(cls, text: str) -> "IPv4Prefix":
+        """Parse ``"a.b.c.d/len"`` notation; a bare address means /32."""
+        text = text.strip()
+        if "/" in text:
+            addr_text, _, len_text = text.partition("/")
+            if not len_text.isdigit():
+                raise ValueError(f"malformed prefix: {text!r}")
+            length = int(len_text)
+        else:
+            addr_text, length = text, 32
+        return cls(IPv4Address.from_string(addr_text).value, length)
+
+    @classmethod
+    def host(cls, address: IPv4Address) -> "IPv4Prefix":
+        """The /32 prefix covering exactly ``address``."""
+        return cls(address.value, 32)
+
+    @property
+    def network(self) -> int:
+        """Network value as an unsigned 32-bit integer (host bits zero)."""
+        return self._network
+
+    @property
+    def length(self) -> int:
+        """Prefix length in bits (0..32)."""
+        return self._length
+
+    def netmask(self) -> int:
+        """The netmask as an unsigned 32-bit integer."""
+        if self._length == 0:
+            return 0
+        return (_MAX32 << (32 - self._length)) & _MAX32
+
+    def contains(self, address: IPv4Address) -> bool:
+        """True if ``address`` falls inside this prefix."""
+        return (address.value & self.netmask()) == self._network
+
+    def contains_prefix(self, other: "IPv4Prefix") -> bool:
+        """True if ``other`` is equal to or a subnet of this prefix."""
+        if other._length < self._length:
+            return False
+        return (other._network & self.netmask()) == self._network
+
+    def is_subnet_of(self, other: "IPv4Prefix") -> bool:
+        """True if this prefix is equal to or contained in ``other``."""
+        return other.contains_prefix(self)
+
+    def bits(self) -> Iterator[int]:
+        """The prefix bits, most significant first (``length`` of them)."""
+        for i in range(self._length):
+            yield (self._network >> (31 - i)) & 1
+
+    def first_address(self) -> IPv4Address:
+        """The lowest address in the block (the network address)."""
+        return IPv4Address(self._network)
+
+    def last_address(self) -> IPv4Address:
+        """The highest address in the block (the broadcast address)."""
+        return IPv4Address(self._network | (~self.netmask() & _MAX32))
+
+    def num_addresses(self) -> int:
+        """Number of addresses covered (2 ** (32 - length))."""
+        return 1 << (32 - self._length)
+
+    def address_at(self, offset: int) -> IPv4Address:
+        """The address ``offset`` positions into the block."""
+        if not 0 <= offset < self.num_addresses():
+            raise ValueError(f"offset {offset} outside /{self._length} block")
+        return IPv4Address(self._network + offset)
+
+    def subnets(self, new_length: int) -> Iterator["IPv4Prefix"]:
+        """All subnets of this prefix at ``new_length``."""
+        if new_length < self._length or new_length > 32:
+            raise ValueError(
+                f"cannot split /{self._length} into /{new_length} subnets"
+            )
+        step = 1 << (32 - new_length)
+        for net in range(self._network, self._network + self.num_addresses(), step):
+            yield IPv4Prefix(net, new_length)
+
+    def supernet(self, new_length: int) -> "IPv4Prefix":
+        """The enclosing prefix at the (shorter) ``new_length``."""
+        if new_length > self._length or new_length < 0:
+            raise ValueError(
+                f"supernet length {new_length} longer than /{self._length}"
+            )
+        return IPv4Prefix(self._network, new_length)
+
+    def __str__(self) -> str:
+        return f"{IPv4Address(self._network)}/{self._length}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Prefix({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, IPv4Prefix)
+            and self._network == other._network
+            and self._length == other._length
+        )
+
+    def __lt__(self, other: "IPv4Prefix") -> bool:
+        if not isinstance(other, IPv4Prefix):
+            return NotImplemented
+        return (self._network, self._length) < (other._network, other._length)
+
+    def __hash__(self) -> int:
+        return hash(("IPv4Prefix", self._network, self._length))
+
+
+def parse_address(text: str) -> IPv4Address:
+    """Convenience alias for :meth:`IPv4Address.from_string`."""
+    return IPv4Address.from_string(text)
+
+
+def parse_prefix(text: str) -> IPv4Prefix:
+    """Convenience alias for :meth:`IPv4Prefix.from_string`."""
+    return IPv4Prefix.from_string(text)

@@ -1,0 +1,127 @@
+"""Hierarchical content names.
+
+The paper treats two notations as the same structure (§3.1, Fig. 2):
+
+* DNS-style domain names, hierarchical right-to-left:
+  ``travel.yahoo.com`` is a subdomain of ``yahoo.com``;
+* NDN-style slash paths, hierarchical left-to-right:
+  ``/20thCenturyFox/StarWars-EpisodeIV`` is under ``/20thCenturyFox``.
+
+:class:`ContentName` stores labels most-significant-first (root first),
+so both notations map onto the same comparison and prefix semantics.
+The strict-subdomain relation ``d1 ≺ d2`` of §3.3.2 is
+:meth:`ContentName.is_strict_descendant_of`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+__all__ = ["ContentName"]
+
+
+class ContentName:
+    """An immutable hierarchical name (sequence of labels, root first)."""
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: Sequence[str]):
+        cleaned = tuple(labels)
+        if not cleaned:
+            raise ValueError("a content name needs at least one label")
+        for label in cleaned:
+            if not label or "." in label or "/" in label:
+                raise ValueError(f"malformed name label: {label!r}")
+        self._labels = cleaned
+
+    @classmethod
+    def from_domain(cls, text: str) -> "ContentName":
+        """Parse a dotted domain name, e.g. ``"travel.yahoo.com"``.
+
+        Domain labels are hierarchical right-to-left, so they are
+        reversed into root-first order (``("com", "yahoo", "travel")``).
+        """
+        parts = [p for p in text.strip().lower().split(".") if p != ""]
+        if not parts:
+            raise ValueError(f"malformed domain name: {text!r}")
+        return cls(tuple(reversed(parts)))
+
+    @classmethod
+    def from_path(cls, text: str) -> "ContentName":
+        """Parse an NDN-style path, e.g. ``"/Disney/StarWars-EpisodeIV"``."""
+        parts = [p for p in text.strip().split("/") if p != ""]
+        if not parts:
+            raise ValueError(f"malformed name path: {text!r}")
+        return cls(tuple(parts))
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """Labels in root-first order."""
+        return self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    def to_domain(self) -> str:
+        """Dotted-domain rendering (labels reversed back)."""
+        return ".".join(reversed(self._labels))
+
+    def to_path(self) -> str:
+        """Slash-path rendering."""
+        return "/" + "/".join(self._labels)
+
+    def parent(self) -> "ContentName":
+        """The immediate ancestor; raises for a single-label (root) name."""
+        if len(self._labels) == 1:
+            raise ValueError(f"{self!r} has no parent")
+        return ContentName(self._labels[:-1])
+
+    def child(self, label: str) -> "ContentName":
+        """This name extended by one label."""
+        return ContentName(self._labels + (label,))
+
+    def ancestors(self) -> Iterator["ContentName"]:
+        """All strict ancestors, shortest (most aggregate) first."""
+        for i in range(1, len(self._labels)):
+            yield ContentName(self._labels[:i])
+
+    def is_descendant_of(self, other: "ContentName") -> bool:
+        """True if ``other`` equals this name or is one of its ancestors."""
+        if len(other._labels) > len(self._labels):
+            return False
+        return self._labels[: len(other._labels)] == other._labels
+
+    def is_strict_descendant_of(self, other: "ContentName") -> bool:
+        """The paper's ``self ≺ other`` strict-subdomain relation."""
+        return len(self._labels) > len(other._labels) and self.is_descendant_of(
+            other
+        )
+
+    def common_ancestor_length(self, other: "ContentName") -> int:
+        """Number of leading labels shared with ``other``."""
+        shared = 0
+        for a, b in zip(self._labels, other._labels):
+            if a != b:
+                break
+            shared += 1
+        return shared
+
+    def __str__(self) -> str:
+        return self.to_domain()
+
+    def __repr__(self) -> str:
+        return f"ContentName({self.to_domain()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ContentName) and self._labels == other._labels
+
+    def __lt__(self, other: "ContentName") -> bool:
+        if not isinstance(other, ContentName):
+            return NotImplemented
+        return self._labels < other._labels
+
+    def __hash__(self) -> int:
+        return hash(("ContentName", self._labels))

@@ -1,0 +1,142 @@
+"""Label trie with longest-prefix matching over hierarchical names.
+
+This is the content-router FIB structure of Fig. 2/Fig. 3: entries are
+installed on :class:`~repro.net.nameid.ContentName` keys and a lookup
+returns the entry whose name is the longest ancestor-or-self of the
+queried name (e.g. a lookup for ``travel.yahoo.com`` matches the
+``yahoo.com`` entry unless a more specific entry exists).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .nameid import ContentName
+
+__all__ = ["NameTrie"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "name", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "_Node[V]"] = {}
+        self.name: Optional[ContentName] = None
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class NameTrie(Generic[V]):
+    """Maps :class:`ContentName` keys to values with hierarchical LPM."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, name: ContentName) -> bool:
+        return self._find_exact(name) is not None
+
+    def _find_exact(self, name: ContentName) -> Optional[_Node[V]]:
+        node = self._root
+        for label in name.labels:
+            child = node.children.get(label)
+            if child is None:
+                return None
+            node = child
+        return node if node.has_value else None
+
+    def insert(self, name: ContentName, value: V) -> None:
+        """Insert or replace the entry for ``name``."""
+        node = self._root
+        for label in name.labels:
+            node = node.children.setdefault(label, _Node())
+        if not node.has_value:
+            self._size += 1
+        node.name = name
+        node.value = value
+        node.has_value = True
+
+    def get(self, name: ContentName, default: Optional[V] = None) -> Optional[V]:
+        """The value stored for exactly ``name``, or ``default``."""
+        node = self._find_exact(name)
+        if node is None:
+            return default
+        return node.value
+
+    def delete(self, name: ContentName) -> bool:
+        """Remove the entry for exactly ``name``; True if it existed."""
+        path: List[Tuple[_Node[V], str]] = []
+        node = self._root
+        for label in name.labels:
+            child = node.children.get(label)
+            if child is None:
+                return False
+            path.append((node, label))
+            node = child
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        node.name = None
+        self._size -= 1
+        for parent, label in reversed(path):
+            child = parent.children[label]
+            if child.has_value or child.children:
+                break
+            del parent.children[label]
+        return True
+
+    def longest_match(
+        self, name: ContentName
+    ) -> Optional[Tuple[ContentName, V]]:
+        """The most specific ancestor-or-self entry covering ``name``."""
+        best: Optional[Tuple[ContentName, V]] = None
+        node = self._root
+        for label in name.labels:
+            child = node.children.get(label)
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                assert node.name is not None
+                best = (node.name, node.value)  # type: ignore[arg-type]
+        return best
+
+    def all_matches(self, name: ContentName) -> List[Tuple[ContentName, V]]:
+        """Every ancestor-or-self entry covering ``name``, shortest first."""
+        matches: List[Tuple[ContentName, V]] = []
+        node = self._root
+        for label in name.labels:
+            child = node.children.get(label)
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                assert node.name is not None
+                matches.append((node.name, node.value))  # type: ignore[arg-type]
+        return matches
+
+    def items(self) -> Iterator[Tuple[ContentName, V]]:
+        """All ``(name, value)`` entries in depth-first label order."""
+        stack: List[_Node[V]] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.has_value:
+                assert node.name is not None
+                yield node.name, node.value  # type: ignore[misc]
+            for label in sorted(node.children, reverse=True):
+                stack.append(node.children[label])
+
+    def names(self) -> Iterator[ContentName]:
+        """All installed names."""
+        for name, _ in self.items():
+            yield name
+
+    def to_dict(self) -> Dict[ContentName, V]:
+        """A plain dict snapshot of the entries."""
+        return dict(self.items())

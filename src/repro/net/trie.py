@@ -1,0 +1,171 @@
+"""Binary prefix trie with longest-prefix matching over IPv4 prefixes.
+
+This is the FIB data structure used throughout the evaluation: routers
+install ``(prefix, value)`` entries and look up the value attached to the
+longest prefix covering an address (§3.1 of the paper). The trie also
+answers *which* prefix matched, which the displacement test needs in
+order to decide whether a mobility event moved an endpoint across
+longest-matching prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .ipaddr import IPv4Address, IPv4Prefix
+
+__all__ = ["PrefixTrie"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "prefix", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.prefix: Optional[IPv4Prefix] = None
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTrie(Generic[V]):
+    """A binary trie mapping :class:`IPv4Prefix` keys to arbitrary values.
+
+    Supports exact insert/delete/get plus the two queries routing needs:
+
+    * :meth:`longest_match` — the longest installed prefix covering an
+      address, with its value (classic LPM forwarding lookup).
+    * :meth:`all_matches` — every installed prefix covering an address,
+      shortest first (used to reason about covering entries when a more
+      specific route is injected or withdrawn).
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        return self._find_exact(prefix) is not None
+
+    def _find_exact(self, prefix: IPv4Prefix) -> Optional[_Node[V]]:
+        node = self._root
+        for bit in prefix.bits():
+            child = node.children[bit]
+            if child is None:
+                return None
+            node = child
+        return node if node.has_value else None
+
+    def insert(self, prefix: IPv4Prefix, value: V) -> None:
+        """Insert or replace the entry for ``prefix``."""
+        node = self._root
+        for bit in prefix.bits():
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.prefix = prefix
+        node.value = value
+        node.has_value = True
+
+    def get(self, prefix: IPv4Prefix, default: Optional[V] = None) -> Optional[V]:
+        """The value stored for exactly ``prefix``, or ``default``."""
+        node = self._find_exact(prefix)
+        if node is None:
+            return default
+        return node.value
+
+    def delete(self, prefix: IPv4Prefix) -> bool:
+        """Remove the entry for exactly ``prefix``; True if it existed.
+
+        Nodes left without values or children are pruned so repeated
+        insert/delete cycles do not leak memory.
+        """
+        path: List[Tuple[_Node[V], int]] = []
+        node = self._root
+        for bit in prefix.bits():
+            child = node.children[bit]
+            if child is None:
+                return False
+            path.append((node, bit))
+            node = child
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        node.prefix = None
+        self._size -= 1
+        # Prune dangling chains bottom-up.
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            assert child is not None
+            if child.has_value or child.children[0] or child.children[1]:
+                break
+            parent.children[bit] = None
+        return True
+
+    def longest_match(
+        self, address: IPv4Address
+    ) -> Optional[Tuple[IPv4Prefix, V]]:
+        """The longest installed prefix covering ``address``, with value."""
+        best: Optional[Tuple[IPv4Prefix, V]] = None
+        node = self._root
+        if node.has_value:
+            assert node.prefix is not None
+            best = (node.prefix, node.value)  # type: ignore[arg-type]
+        for i in range(32):
+            child = node.children[address.bit(i)]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                assert node.prefix is not None
+                best = (node.prefix, node.value)  # type: ignore[arg-type]
+        return best
+
+    def all_matches(self, address: IPv4Address) -> List[Tuple[IPv4Prefix, V]]:
+        """Every installed prefix covering ``address``, shortest first."""
+        matches: List[Tuple[IPv4Prefix, V]] = []
+        node = self._root
+        if node.has_value:
+            assert node.prefix is not None
+            matches.append((node.prefix, node.value))  # type: ignore[arg-type]
+        for i in range(32):
+            child = node.children[address.bit(i)]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                assert node.prefix is not None
+                matches.append((node.prefix, node.value))  # type: ignore[arg-type]
+        return matches
+
+    def items(self) -> Iterator[Tuple[IPv4Prefix, V]]:
+        """All ``(prefix, value)`` entries in depth-first (sorted) order."""
+        stack: List[_Node[V]] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.has_value:
+                assert node.prefix is not None
+                yield node.prefix, node.value  # type: ignore[misc]
+            # Push right then left so left (bit 0) pops first.
+            if node.children[1] is not None:
+                stack.append(node.children[1])
+            if node.children[0] is not None:
+                stack.append(node.children[0])
+
+    def prefixes(self) -> Iterator[IPv4Prefix]:
+        """All installed prefixes."""
+        for prefix, _ in self.items():
+            yield prefix
+
+    def to_dict(self) -> Dict[IPv4Prefix, V]:
+        """A plain dict snapshot of the entries."""
+        return dict(self.items())

@@ -1,0 +1,21 @@
+"""Name-resolution service substrate (DNS / MobilityFirst-GNS style):
+replicated lookups, TTL caching, and the staleness analysis behind the
+paper's "augment with addressing-assisted approaches" conclusion."""
+
+from .service import (
+    ClientResolverCache,
+    NameRecord,
+    NameResolutionService,
+    ResolutionResult,
+)
+from .staleness import TtlPoint, default_service, simulate_ttl
+
+__all__ = [
+    "NameRecord",
+    "ResolutionResult",
+    "NameResolutionService",
+    "ClientResolverCache",
+    "TtlPoint",
+    "simulate_ttl",
+    "default_service",
+]

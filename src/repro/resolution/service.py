@@ -1,0 +1,192 @@
+"""A name-resolution service substrate (DNS / GNS style).
+
+The paper treats name resolution as an extra-network service whose
+update cost is O(1) per mobility event and whose only data-path price
+is "a lookup latency at connection setup time" (§2). This module makes
+that service concrete enough to quantify the two costs the paper
+glosses over, which its §8 augmentation argument ultimately depends on:
+
+* **lookup latency** — resolving against the nearest of a set of
+  geo-replicated resolver sites (MobilityFirst's GNS model [49] rather
+  than DNS's hierarchy, but the latency accounting is the same);
+* **staleness** — client-side caching with a TTL means a binding can
+  be stale for up to TTL after a mobility event; a connection initiated
+  against a stale binding fails and must re-resolve.
+
+Time is a plain float of seconds; the service is deterministic given
+its inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..mobility import NetworkLocation
+
+__all__ = [
+    "NameRecord",
+    "ResolutionResult",
+    "NameResolutionService",
+    "ClientResolverCache",
+]
+
+
+@dataclass
+class NameRecord:
+    """The service's authoritative state for one name."""
+
+    name: str
+    locations: Tuple[NetworkLocation, ...]
+    version: int
+    updated_at: float
+
+
+@dataclass(frozen=True)
+class ResolutionResult:
+    """One resolution: the binding handed out plus its cost."""
+
+    locations: Tuple[NetworkLocation, ...]
+    latency_ms: float
+    from_cache: bool
+    version: int
+
+
+class NameResolutionService:
+    """A logically centralized, geo-replicated resolution service.
+
+    ``replica_latency_ms`` is the one-way latency from each replica
+    site to a client region (the client always queries the nearest
+    replica, so lookup latency is the minimum). ``propagation_ms`` is
+    how long an update takes to reach all replicas; reads within that
+    window may return the previous version — the same anomaly a real
+    eventually-consistent GNS exhibits.
+    """
+
+    def __init__(
+        self,
+        replica_latency_ms: Dict[str, Dict[str, float]],
+        propagation_ms: float = 50.0,
+    ):
+        if not replica_latency_ms:
+            raise ValueError("need at least one replica site")
+        self._replica_latency = replica_latency_ms
+        self._propagation_ms = propagation_ms
+        self._records: Dict[str, NameRecord] = {}
+        self._history: Dict[str, List[NameRecord]] = {}
+        self.update_count = 0
+        self.lookup_count = 0
+
+    # -- authoritative updates -----------------------------------------
+
+    def update(
+        self, name: str, locations: Sequence[NetworkLocation], now: float
+    ) -> NameRecord:
+        """Install a new binding; cost is one update, as in §2."""
+        if not locations:
+            raise ValueError("a binding needs at least one location")
+        previous = self._records.get(name)
+        record = NameRecord(
+            name=name,
+            locations=tuple(locations),
+            version=(previous.version + 1) if previous else 1,
+            updated_at=now,
+        )
+        self._records[name] = record
+        self._history.setdefault(name, []).append(record)
+        self.update_count += 1
+        return record
+
+    def authoritative(self, name: str) -> Optional[NameRecord]:
+        """The latest committed record (None if never registered)."""
+        return self._records.get(name)
+
+    # -- lookups ----------------------------------------------------------
+
+    def nearest_replica_latency(self, client_region: str) -> float:
+        """One-way latency from ``client_region`` to its best replica."""
+        latencies = [
+            sites.get(client_region)
+            for sites in self._replica_latency.values()
+        ]
+        usable = [l for l in latencies if l is not None]
+        if not usable:
+            raise KeyError(f"no replica serves region {client_region!r}")
+        return min(usable)
+
+    def resolve(
+        self, name: str, client_region: str, now: float
+    ) -> Optional[ResolutionResult]:
+        """Query the nearest replica (a full round trip).
+
+        Returns the record visible at ``now`` — the newest version old
+        enough to have propagated, or the previous one inside the
+        propagation window.
+        """
+        self.lookup_count += 1
+        history = self._history.get(name)
+        if not history:
+            return None
+        visible = None
+        for record in history:
+            if record.updated_at + self._propagation_ms / 1000.0 <= now:
+                visible = record
+        if visible is None:
+            # Nothing has propagated yet: replicas still serve the
+            # oldest version if one exists prior to the window.
+            visible = history[0]
+        rtt = 2.0 * self.nearest_replica_latency(client_region)
+        return ResolutionResult(
+            locations=visible.locations,
+            latency_ms=rtt,
+            from_cache=False,
+            version=visible.version,
+        )
+
+
+class ClientResolverCache:
+    """A client-side cache with TTL — where staleness comes from."""
+
+    def __init__(self, service: NameResolutionService, ttl_s: float,
+                 client_region: str):
+        if ttl_s < 0:
+            raise ValueError("TTL must be non-negative")
+        self._service = service
+        self._ttl = ttl_s
+        self._region = client_region
+        self._cache: Dict[str, Tuple[float, ResolutionResult]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def resolve(self, name: str, now: float) -> Optional[ResolutionResult]:
+        """Resolve through the cache; hits are free and instantaneous."""
+        cached = self._cache.get(name)
+        if cached is not None and now - cached[0] < self._ttl:
+            self.hits += 1
+            result = cached[1]
+            return ResolutionResult(
+                locations=result.locations,
+                latency_ms=0.0,
+                from_cache=True,
+                version=result.version,
+            )
+        self.misses += 1
+        fresh = self._service.resolve(name, self._region, now)
+        if fresh is not None and self._ttl > 0:
+            self._cache[name] = (now, fresh)
+        return fresh
+
+    def is_stale(self, name: str, now: float) -> bool:
+        """Would a cache hit right now hand out an outdated binding?"""
+        cached = self._cache.get(name)
+        if cached is None or now - cached[0] >= self._ttl:
+            return False  # no hit would occur, so no stale answer
+        authoritative = self._service.authoritative(name)
+        if authoritative is None:
+            return False
+        return cached[1].version != authoritative.version
+
+    def hit_rate(self) -> float:
+        """Fraction of resolutions served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

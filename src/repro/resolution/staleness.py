@@ -1,0 +1,130 @@
+"""TTL staleness analysis for resolution-based mobility support.
+
+The paper's conclusion — augment name-based routing "with
+addressing-assisted approaches like DNS" — hides a knob: the binding
+TTL. Long TTLs amortize lookup latency but hand out stale addresses to
+correspondents while a device is mid-move; TTL 0 is always fresh but
+pays a resolver round trip per connection.
+
+:func:`simulate_ttl` replays a device's mobility events against a
+:class:`~repro.resolution.service.NameResolutionService`, issues
+Poisson connection attempts through a TTL cache, and reports the two
+costs. The device updates the service at every mobility event (the
+§6.2 model), connections resolve through the correspondent's cache,
+and a connection fails if the binding it got no longer matches the
+device's current attachment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..mobility import MobilityEvent, NetworkLocation
+from .service import ClientResolverCache, NameResolutionService
+
+__all__ = ["TtlPoint", "simulate_ttl", "default_service"]
+
+
+@dataclass(frozen=True)
+class TtlPoint:
+    """Outcome of one TTL setting."""
+
+    ttl_s: float
+    connections: int
+    stale_failures: int
+    cache_hit_rate: float
+    mean_lookup_ms: float
+
+    @property
+    def failure_rate(self) -> float:
+        """Fraction of connection attempts hitting a stale binding."""
+        return self.stale_failures / self.connections if self.connections else 0.0
+
+
+def default_service(propagation_ms: float = 50.0) -> NameResolutionService:
+    """A three-replica service with continental latencies."""
+    return NameResolutionService(
+        replica_latency_ms={
+            "us": {"us": 12.0, "eu": 55.0, "asia": 95.0},
+            "eu": {"us": 55.0, "eu": 10.0, "asia": 80.0},
+            "asia": {"us": 95.0, "eu": 80.0, "asia": 14.0},
+        },
+        propagation_ms=propagation_ms,
+    )
+
+
+def simulate_ttl(
+    events: Sequence[MobilityEvent],
+    ttls_s: Sequence[float],
+    connections_per_hour: float = 2.0,
+    client_region: str = "us",
+    seed: int = 2014,
+) -> List[TtlPoint]:
+    """Sweep TTLs over one device's mobility events.
+
+    ``events`` must belong to a single device and be time-ordered; each
+    event updates the service immediately (update cost 1, as in §2).
+    Connection attempts arrive Poisson at ``connections_per_hour`` over
+    the events' time span and resolve through a fresh cache per TTL.
+    """
+    if not events:
+        raise ValueError("need at least one mobility event")
+    user_ids = {e.user_id for e in events}
+    if len(user_ids) != 1:
+        raise ValueError(f"events span multiple devices: {sorted(user_ids)}")
+    timeline = sorted(events, key=lambda e: (e.day, e.hour))
+    name = timeline[0].user_id
+
+    def event_time(e: MobilityEvent) -> float:
+        return (e.day * 24.0 + e.hour) * 3600.0
+
+    start = event_time(timeline[0]) - 3600.0
+    end = event_time(timeline[-1]) + 3600.0
+
+    # Draw one shared arrival process so all TTLs see identical load.
+    rng = random.Random(seed)
+    arrivals: List[float] = []
+    t = start
+    rate_per_s = connections_per_hour / 3600.0
+    while True:
+        t += rng.expovariate(rate_per_s)
+        if t >= end:
+            break
+        arrivals.append(t)
+
+    points: List[TtlPoint] = []
+    for ttl in ttls_s:
+        service = default_service()
+        cache = ClientResolverCache(service, ttl_s=ttl,
+                                    client_region=client_region)
+        service.update(name, [timeline[0].old], now=start)
+        current: NetworkLocation = timeline[0].old
+
+        pending = list(timeline)
+        failures = 0
+        total_latency = 0.0
+        answered = 0
+        for arrival in arrivals:
+            while pending and event_time(pending[0]) <= arrival:
+                event = pending.pop(0)
+                current = event.new
+                service.update(name, [event.new], now=event_time(event))
+            result = cache.resolve(name, now=arrival)
+            if result is None:
+                continue
+            answered += 1
+            total_latency += result.latency_ms
+            if current not in result.locations:
+                failures += 1
+        points.append(
+            TtlPoint(
+                ttl_s=ttl,
+                connections=answered,
+                stale_failures=failures,
+                cache_hit_rate=cache.hit_rate(),
+                mean_lookup_ms=total_latency / answered if answered else 0.0,
+            )
+        )
+    return points

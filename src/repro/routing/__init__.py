@@ -1,0 +1,21 @@
+"""Interdomain and intradomain routing: BGP propagation, route ranking,
+relationship inference, and RIB/FIB derivation at vantage routers."""
+
+from .bgp import BestPath, PathType, RoutingOracle, VantagePoint
+from .ranking import Route, best_route, rank_key, rank_routes, synthetic_med
+from .relationships import as_degrees, infer_relationships, relationship_for
+
+__all__ = [
+    "BestPath",
+    "PathType",
+    "RoutingOracle",
+    "VantagePoint",
+    "Route",
+    "best_route",
+    "rank_key",
+    "rank_routes",
+    "synthetic_med",
+    "as_degrees",
+    "infer_relationships",
+    "relationship_for",
+]

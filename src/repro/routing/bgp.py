@@ -1,0 +1,309 @@
+"""Policy-driven interdomain routing over the synthetic AS topology.
+
+This module computes, for every destination AS, the best
+policy-compliant (valley-free / Gao-Rexford) route from every other AS,
+and derives the *candidate route set* visible at a vantage router —
+the synthetic equivalent of a RouteViews RIB (§3.2, §6.2.1).
+
+Model
+-----
+Routes propagate under the standard export rules:
+
+* an AS exports routes learned from customers (and its own prefixes) to
+  *everyone*;
+* routes learned from peers or providers are exported *only to
+  customers*.
+
+Each AS selects one best route per destination with the canonical
+preference: customer-learned > peer-learned > provider-learned, then
+shortest AS path, then lowest next-hop ASN. The per-destination
+computation is the usual three-stage breadth-first sweep (customer
+routes up the provider DAG, one peer hop, provider routes down), which
+yields exactly the stable state of this policy system.
+
+A :class:`VantagePoint` is a route collector attached to a set of
+neighbor ASes with explicit business relationships. It originates
+nothing and transits nothing (like a RouteViews collector), so its RIB
+for a destination is: for each neighbor, the neighbor's best route —
+if the neighbor's export policy towards the collector allows it.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..net import IPv4Address, IPv4Prefix
+from ..topology import ASTopology, Relationship
+from .ranking import Route, best_route, rank_routes, synthetic_med
+
+__all__ = [
+    "PathType",
+    "BestPath",
+    "RoutingOracle",
+    "VantagePoint",
+]
+
+
+class PathType(enum.Enum):
+    """How an AS learned its best route (determines what it re-exports)."""
+
+    ORIGIN = "origin"  # the AS originates the destination itself
+    CUSTOMER = "customer"  # learned from a customer
+    PEER = "peer"  # learned from a peer
+    PROVIDER = "provider"  # learned from a provider
+
+
+#: Path types an AS may export to its peers and providers.
+_EXPORTABLE_UPWARD = (PathType.ORIGIN, PathType.CUSTOMER)
+
+
+@dataclass(frozen=True)
+class BestPath:
+    """An AS's best route to some destination AS."""
+
+    path: Tuple[int, ...]  # from this AS (inclusive) to the destination
+    path_type: PathType
+
+    def length(self) -> int:
+        """Number of ASNs on the path."""
+        return len(self.path)
+
+
+def _better(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+    """Within one path type: shorter path wins, then lexicographic path.
+
+    Lexicographic comparison on the ASN tuple subsumes the lowest-
+    next-hop tiebreak and makes the oracle fully deterministic.
+    """
+    return (len(a), a) < (len(b), b)
+
+
+class RoutingOracle:
+    """Per-destination best policy paths for every AS, computed lazily."""
+
+    def __init__(self, topology: ASTopology):
+        self._topo = topology
+        self._cache: Dict[int, Dict[int, BestPath]] = {}
+
+    @property
+    def topology(self) -> ASTopology:
+        """The AS topology routes are computed over."""
+        return self._topo
+
+    def routes_to(self, dest_asn: int) -> Dict[int, BestPath]:
+        """Best path from every AS to ``dest_asn`` (absent = unreachable)."""
+        cached = self._cache.get(dest_asn)
+        if cached is not None:
+            return cached
+        if dest_asn not in self._topo.ases:
+            raise KeyError(f"unknown destination AS{dest_asn}")
+        result = self._compute(dest_asn)
+        self._cache[dest_asn] = result
+        return result
+
+    def best_path(self, source_asn: int, dest_asn: int) -> Optional[BestPath]:
+        """The best policy path from ``source_asn`` to ``dest_asn``."""
+        return self.routes_to(dest_asn).get(source_asn)
+
+    def _compute(self, dest: int) -> Dict[int, BestPath]:
+        topo = self._topo
+        info: Dict[int, BestPath] = {dest: BestPath((dest,), PathType.ORIGIN)}
+
+        # Stage 1 — customer routes: propagate up provider links, level
+        # by level (BFS), so every AS in the destination's provider
+        # cone gets its shortest customer-learned path.
+        current: Dict[int, Tuple[int, ...]] = {dest: (dest,)}
+        while current:
+            candidates: Dict[int, Tuple[int, ...]] = {}
+            for child in sorted(current):
+                child_path = current[child]
+                for provider in sorted(topo.ases[child].providers):
+                    if provider in info:
+                        continue
+                    cand = (provider,) + child_path
+                    prev = candidates.get(provider)
+                    if prev is None or _better(cand, prev):
+                        candidates[provider] = cand
+            for asn, path in candidates.items():
+                info[asn] = BestPath(path, PathType.CUSTOMER)
+            current = candidates
+
+        # Stage 2 — peer routes: one peering hop off any AS holding a
+        # customer/origin route. Only ASes that did not get a customer
+        # route take one (customer routes are strictly preferred).
+        peer_adds: Dict[int, Tuple[int, ...]] = {}
+        holders = dict(info)
+        for asn in sorted(topo.ases):
+            if asn in info:
+                continue
+            best: Optional[Tuple[int, ...]] = None
+            for peer in sorted(topo.ases[asn].peers):
+                held = holders.get(peer)
+                if held is None:
+                    continue
+                cand = (asn,) + held.path
+                if best is None or _better(cand, best):
+                    best = cand
+            if best is not None:
+                peer_adds[asn] = best
+        for asn, path in peer_adds.items():
+            info[asn] = BestPath(path, PathType.PEER)
+
+        # Stage 3 — provider routes: propagate down customer links from
+        # every AS that has a route, in order of total path length
+        # (Dijkstra with unit weights and multi-source initialization;
+        # sources start at their existing path lengths).
+        heap: List[Tuple[int, Tuple[int, ...], int]] = []
+        for asn, bp in info.items():
+            for customer in topo.ases[asn].customers:
+                if customer in info:
+                    continue
+                cand = (customer,) + bp.path
+                heapq.heappush(heap, (len(cand), cand, customer))
+        while heap:
+            _, path, asn = heapq.heappop(heap)
+            if asn in info:
+                continue
+            if asn in path[1:]:
+                continue  # loop prevention
+            info[asn] = BestPath(path, PathType.PROVIDER)
+            for customer in topo.ases[asn].customers:
+                if customer in info:
+                    continue
+                cand = (customer,) + path
+                heapq.heappush(heap, (len(cand), cand, customer))
+        return info
+
+
+@dataclass
+class VantagePoint:
+    """A route collector: the synthetic analogue of one paper router.
+
+    ``neighbors`` maps each adjacent ASN to its relationship *from the
+    collector's point of view* (``Relationship.CUSTOMER`` means the
+    neighbor is the collector's customer). ``host_region`` records
+    where the router physically sits, for reporting only.
+    """
+
+    name: str
+    host_region: str
+    neighbors: Dict[int, Relationship]
+    #: Fraction of multi-provider origins whose prefixes are selectively
+    #: announced (traffic engineering); adds prefix-level diversity.
+    selective_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.neighbors:
+            raise ValueError(f"vantage {self.name!r} has no neighbors")
+
+    def next_hop_degree(self) -> int:
+        """Number of distinct possible next hops (neighbor count)."""
+        return len(self.neighbors)
+
+    # -- RIB / FIB derivation -----------------------------------------
+
+    def candidate_routes(
+        self, oracle: RoutingOracle, prefix: IPv4Prefix
+    ) -> List[Route]:
+        """The RIB entries this collector holds for ``prefix``.
+
+        For each neighbor: take the neighbor's best path to the
+        prefix's origin AS, apply the neighbor's export policy toward
+        the collector, stamp a deterministic MED, and label the route
+        with the collector's relationship to that neighbor.
+        """
+        origin = oracle.topology.origin_of_prefix(prefix)
+        if origin is None:
+            origin = oracle.topology.origin_of_address(prefix.first_address())
+        if origin is None:
+            return []
+        return self.candidate_routes_to_origin(oracle, origin, prefix)
+
+    def candidate_routes_to_origin(
+        self, oracle: RoutingOracle, origin_asn: int, prefix: IPv4Prefix
+    ) -> List[Route]:
+        """RIB entries for a prefix known to be originated by ``origin_asn``."""
+        table = oracle.routes_to(origin_asn)
+        routes: List[Route] = []
+        for nbr in sorted(self.neighbors):
+            rel = self.neighbors[nbr]
+            bp = table.get(nbr)
+            if bp is None:
+                continue
+            if rel is not Relationship.PROVIDER and bp.path_type not in (
+                _EXPORTABLE_UPWARD
+            ):
+                # The neighbor treats the collector as a peer or its
+                # provider, so it exports only customer/origin routes.
+                continue
+            routes.append(
+                Route(
+                    prefix=prefix,
+                    next_hop=nbr,
+                    as_path=bp.path,
+                    relationship=rel,
+                    med=synthetic_med(nbr, prefix),
+                )
+            )
+        routes = self._apply_selective_announcement(oracle, origin_asn, prefix, routes)
+        return routes
+
+    def _apply_selective_announcement(
+        self,
+        oracle: RoutingOracle,
+        origin_asn: int,
+        prefix: IPv4Prefix,
+        routes: List[Route],
+    ) -> List[Route]:
+        """Prefix-level traffic engineering (§3.2 prefix diversity).
+
+        A deterministic fraction of prefixes belonging to multi-provider
+        origins are announced through a single chosen provider; routes
+        entering the origin through a different provider are dropped
+        (falling back to the full set if the filter would strand the
+        prefix).
+        """
+        if self.selective_fraction <= 0.0 or len(routes) <= 1:
+            return routes
+        providers = sorted(oracle.topology.ases[origin_asn].providers)
+        if len(providers) < 2:
+            return routes
+        # Deterministic per-prefix coin flip and provider choice.
+        h = (prefix.network * 1103515245 + prefix.length) & 0x7FFFFFFF
+        if (h % 1000) / 1000.0 >= self.selective_fraction:
+            return routes
+        chosen = providers[(h >> 8) % len(providers)]
+        filtered = [
+            r
+            for r in routes
+            if len(r.as_path) < 2 or r.as_path[-2] == chosen
+        ]
+        return filtered if filtered else routes
+
+    def fib_best(
+        self, oracle: RoutingOracle, prefix: IPv4Prefix
+    ) -> Optional[Route]:
+        """The FIB entry: the top-ranked RIB route for ``prefix``."""
+        return best_route(self.candidate_routes(oracle, prefix))
+
+    def best_next_hop_for_address(
+        self, oracle: RoutingOracle, address: IPv4Address
+    ) -> Optional[int]:
+        """The output port (next-hop ASN) used for ``address``."""
+        prefix = oracle.topology.covering_prefix(address)
+        if prefix is None:
+            return None
+        best = self.fib_best(oracle, prefix)
+        return None if best is None else best.next_hop
+
+    def ranked_routes_for_address(
+        self, oracle: RoutingOracle, address: IPv4Address
+    ) -> List[Route]:
+        """All RIB routes covering ``address``, best first."""
+        prefix = oracle.topology.covering_prefix(address)
+        if prefix is None:
+            return []
+        return rank_routes(self.candidate_routes(oracle, prefix))

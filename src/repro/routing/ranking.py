@@ -1,0 +1,116 @@
+"""Interdomain routes and the §6.2.1 route-ranking rules.
+
+The paper derives a FIB from each RouteViews RIB by rank-ordering all
+routes for a prefix with typical BGP policy rules:
+
+1. higher ``local_pref`` first — and because local_pref is uniformly 0
+   in the dumps, the customer > peer > provider relationship (inferred
+   Gao-style) stands in for it;
+2. shorter AS path;
+3. smaller MED;
+4. (deterministic tiebreak) lowest next-hop ASN.
+
+:func:`rank_key` encodes exactly that order, so ``min(routes,
+key=rank_key)`` is the route whose ``next_hop`` the paper treats as the
+output port (§6.2.2).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..net import IPv4Prefix
+from ..topology import Relationship
+
+__all__ = ["Route", "rank_key", "best_route", "rank_routes", "synthetic_med"]
+
+#: Preference order of the relationship rule: lower is better.
+_REL_RANK = {
+    Relationship.CUSTOMER: 0,
+    Relationship.PEER: 1,
+    Relationship.PROVIDER: 2,
+}
+
+
+@dataclass(frozen=True)
+class Route:
+    """One RIB entry: an interdomain route towards ``prefix``.
+
+    ``next_hop`` is the neighbor ASN the route was learned from; the
+    paper uses the next hop as a proxy for the output port (§6.2.2).
+    ``relationship`` is what the next-hop neighbor is to the local AS
+    (customer, peer, or provider), standing in for local_pref.
+    """
+
+    prefix: IPv4Prefix
+    next_hop: int
+    as_path: Tuple[int, ...]
+    relationship: Relationship
+    med: int = 0
+    local_pref: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.as_path:
+            raise ValueError("a route must have a non-empty AS path")
+        if self.as_path[0] != self.next_hop:
+            raise ValueError(
+                f"AS path must start at the next hop: "
+                f"{self.as_path[0]} != {self.next_hop}"
+            )
+
+    @property
+    def origin_asn(self) -> int:
+        """The AS originating the prefix (last ASN on the path)."""
+        return self.as_path[-1]
+
+    def path_length(self) -> int:
+        """AS-path length in ASNs."""
+        return len(self.as_path)
+
+
+def rank_key(route: Route) -> Tuple[int, int, int, int, int]:
+    """Sort key implementing the §6.2.1 decision process (lower wins)."""
+    return (
+        -route.local_pref,
+        _REL_RANK[route.relationship],
+        route.path_length(),
+        route.med,
+        route.next_hop,
+    )
+
+
+def rank_routes(routes: Iterable[Route]) -> List[Route]:
+    """All routes, best first, under :func:`rank_key`."""
+    return sorted(routes, key=rank_key)
+
+
+def best_route(routes: Iterable[Route]) -> Optional[Route]:
+    """The top-ranked route, or None for an empty iterable."""
+    routes = list(routes)
+    if not routes:
+        return None
+    return min(routes, key=rank_key)
+
+
+def synthetic_med(
+    next_hop: int,
+    prefix: IPv4Prefix,
+    modulus: int = 8,
+    nonzero_fraction: float = 0.02,
+) -> int:
+    """A deterministic per-(neighbor, prefix) MED value.
+
+    Real MEDs vary by prefix and neighbor for intradomain traffic-
+    engineering reasons our AS-level substrate cannot see; this stable
+    hash reproduces prefix-level FIB diversity with no global state.
+    Most pairs get MED 0 (as in real tables, where MED is sparsely
+    set), so full ties usually fall through to the deterministic
+    lowest-next-hop rule instead of flapping per prefix.
+    """
+    seed = (next_hop << 40) ^ (prefix.network << 8) ^ prefix.length
+    digest = zlib.crc32(seed.to_bytes(8, "big"))
+    if (digest % 1000) / 1000.0 >= nonzero_fraction:
+        return 0
+    return (digest >> 10) % modulus

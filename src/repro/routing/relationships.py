@@ -1,0 +1,124 @@
+"""AS business-relationship inference from AS paths (Gao 2001).
+
+§6.2.1 of the paper: local_pref is uniformly zero in the RouteViews
+dumps, so the customer > peer > provider rule is applied using AS
+relationships inferred with "standard techniques" — the degree-based
+algorithm of L. Gao, *On Inferring Autonomous System Relationships in
+the Internet* (ToN 2001). This module implements the basic form of that
+algorithm:
+
+1. every AS's *degree* is its number of distinct neighbors seen across
+   all paths;
+2. each path is split at its highest-degree AS (the "top provider"):
+   edges before the top are *uphill* (left AS is a customer of the
+   right), edges after are *downhill*;
+3. edges that collect transit votes in both directions become
+   sibling/mutual-transit — we conservatively label them peers;
+4. edges adjacent to the top whose endpoint degrees are within a
+   configurable ratio are re-labelled peering.
+
+The output vocabulary is the :class:`~repro.topology.aslevel.Relationship`
+enum so inferred relationships plug directly into the route-ranking
+rules.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+from ..topology import Relationship
+
+__all__ = ["infer_relationships", "relationship_for", "as_degrees"]
+
+Edge = FrozenSet[int]
+
+
+def as_degrees(paths: Iterable[Sequence[int]]) -> Dict[int, int]:
+    """Neighbor-set size of every AS appearing in ``paths``."""
+    neighbors: Dict[int, set] = defaultdict(set)
+    for path in paths:
+        for u, v in zip(path, path[1:]):
+            if u == v:
+                continue
+            neighbors[u].add(v)
+            neighbors[v].add(u)
+    return {asn: len(nbrs) for asn, nbrs in neighbors.items()}
+
+
+def infer_relationships(
+    paths: Iterable[Sequence[int]],
+    peer_degree_ratio: float = 2.0,
+) -> Dict[Edge, Tuple[int, int]]:
+    """Infer provider/customer/peer labels for every AS edge in ``paths``.
+
+    Returns a map from the undirected edge ``frozenset({a, b})`` to a
+    directed label: ``(provider, customer)`` for transit edges, or
+    ``(0, 0)`` for peering edges. Use :func:`relationship_for` to read
+    the result from one endpoint's perspective.
+
+    ``peer_degree_ratio`` controls step 4: an edge at the top of some
+    path is considered a peering when the endpoint degrees differ by
+    less than this factor.
+    """
+    paths = [tuple(p) for p in paths]
+    degree = as_degrees(paths)
+
+    # Votes: (provider, customer) direction counts per undirected edge.
+    transit_votes: Dict[Edge, Counter] = defaultdict(Counter)
+    top_edges: set = set()
+    for path in paths:
+        if len(path) < 2:
+            continue
+        top_index = max(range(len(path)), key=lambda i: (degree[path[i]], -i))
+        for i, (u, v) in enumerate(zip(path, path[1:])):
+            if u == v:
+                continue
+            edge = frozenset((u, v))
+            if i < top_index:
+                # Uphill segment: u is v's customer, v provides transit.
+                transit_votes[edge][(v, u)] += 1
+            else:
+                # Downhill: u provides transit to v.
+                transit_votes[edge][(u, v)] += 1
+            if i == top_index - 1 or i == top_index:
+                top_edges.add(edge)
+
+    labels: Dict[Edge, Tuple[int, int]] = {}
+    for edge, votes in transit_votes.items():
+        a, b = sorted(edge)
+        ab = votes.get((a, b), 0)  # a provides to b
+        ba = votes.get((b, a), 0)
+        if ab > 0 and ba > 0:
+            # Transit observed in both directions: treat as peering
+            # (Gao labels these sibling/mutual transit; for route
+            # ranking peering is the conservative choice).
+            labels[edge] = (0, 0)
+        elif ab > 0:
+            labels[edge] = (a, b)
+        else:
+            labels[edge] = (b, a)
+
+    # Step 4: re-label near-equal-degree top edges as peerings.
+    for edge in top_edges:
+        a, b = sorted(edge)
+        da, db = degree.get(a, 1), degree.get(b, 1)
+        lo, hi = min(da, db), max(da, db)
+        if lo > 0 and hi / lo < peer_degree_ratio:
+            labels[edge] = (0, 0)
+    return labels
+
+
+def relationship_for(
+    labels: Mapping[Edge, Tuple[int, int]], asn: int, neighbor: int
+) -> Relationship:
+    """What ``neighbor`` is to ``asn`` under inferred ``labels``."""
+    edge = frozenset((asn, neighbor))
+    if edge not in labels:
+        raise KeyError(f"no inferred relationship for AS{asn} -- AS{neighbor}")
+    provider, customer = labels[edge]
+    if (provider, customer) == (0, 0):
+        return Relationship.PEER
+    if provider == asn:
+        return Relationship.CUSTOMER  # neighbor is our customer
+    return Relationship.PROVIDER

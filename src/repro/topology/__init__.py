@@ -1,0 +1,44 @@
+"""Network topologies: toy graphs, intradomain networks, AS-level Internet."""
+
+from .aslevel import (
+    REGIONS,
+    ASNode,
+    ASTopology,
+    ASTopologyConfig,
+    Relationship,
+    Tier,
+    generate_as_topology,
+)
+from .generators import (
+    binary_tree_topology,
+    chain_topology,
+    clique_topology,
+    erdos_renyi_topology,
+    grid_topology,
+    preferential_attachment_topology,
+    ring_topology,
+    star_topology,
+)
+from .graph import Graph
+from .intradomain import IntradomainNetwork, random_intradomain_network
+
+__all__ = [
+    "Graph",
+    "chain_topology",
+    "clique_topology",
+    "binary_tree_topology",
+    "star_topology",
+    "ring_topology",
+    "grid_topology",
+    "erdos_renyi_topology",
+    "preferential_attachment_topology",
+    "ASNode",
+    "ASTopology",
+    "ASTopologyConfig",
+    "Relationship",
+    "Tier",
+    "generate_as_topology",
+    "REGIONS",
+    "IntradomainNetwork",
+    "random_intradomain_network",
+]

@@ -1,0 +1,161 @@
+"""Toy and random topology generators.
+
+The §5 analytic model is stated for four toy topologies — chain, clique,
+binary tree, and star — which these generators build with integer node
+ids matching the paper's numbering (routers ``1..n``). Random generators
+(ring, grid, Erdős–Rényi, preferential attachment) support the wider
+test suite and ablation benches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .graph import Graph
+
+__all__ = [
+    "chain_topology",
+    "clique_topology",
+    "binary_tree_topology",
+    "star_topology",
+    "ring_topology",
+    "grid_topology",
+    "erdos_renyi_topology",
+    "preferential_attachment_topology",
+]
+
+
+def _check_size(n: int, minimum: int = 1) -> None:
+    if n < minimum:
+        raise ValueError(f"topology needs at least {minimum} nodes, got {n}")
+
+
+def chain_topology(n: int) -> Graph:
+    """The chain of Fig. 5: routers ``1 -- 2 -- ... -- n``."""
+    _check_size(n)
+    g = Graph()
+    g.add_node(1)
+    for i in range(1, n):
+        g.add_edge(i, i + 1)
+    return g
+
+
+def clique_topology(n: int) -> Graph:
+    """The complete graph on routers ``1..n``."""
+    _check_size(n)
+    g = Graph()
+    g.add_node(1)
+    for i in range(1, n + 1):
+        for j in range(i + 1, n + 1):
+            g.add_edge(i, j)
+    return g
+
+
+def binary_tree_topology(n: int) -> Graph:
+    """A complete-shaped binary tree: node ``i`` has children ``2i, 2i+1``.
+
+    Nodes are ``1..n`` so the tree is "complete" in the heap sense; the
+    root is 1.
+    """
+    _check_size(n)
+    g = Graph()
+    g.add_node(1)
+    for i in range(2, n + 1):
+        g.add_edge(i, i // 2)
+    return g
+
+
+def star_topology(n: int) -> Graph:
+    """A star: hub router 0 connected to leaf routers ``1..n``.
+
+    Matches the §5 star model where endpoints live at the n leaves and
+    the hub carries all transit (hence the ``1/(n+1)`` update cost over
+    the ``n + 1`` routers).
+    """
+    _check_size(n)
+    g = Graph()
+    g.add_node(0)
+    for i in range(1, n + 1):
+        g.add_edge(0, i)
+    return g
+
+
+def ring_topology(n: int) -> Graph:
+    """A cycle on routers ``1..n`` (n >= 3)."""
+    _check_size(n, minimum=3)
+    g = chain_topology(n)
+    g.add_edge(n, 1)
+    return g
+
+
+def grid_topology(rows: int, cols: int) -> Graph:
+    """A rows x cols grid; nodes are ``(r, c)`` tuples."""
+    _check_size(rows)
+    _check_size(cols)
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            g.add_node((r, c))
+            if r > 0:
+                g.add_edge((r - 1, c), (r, c))
+            if c > 0:
+                g.add_edge((r, c - 1), (r, c))
+    return g
+
+
+def erdos_renyi_topology(
+    n: int, p: float, rng: Optional[random.Random] = None, connect: bool = True
+) -> Graph:
+    """G(n, p) on nodes ``1..n``.
+
+    With ``connect=True`` (default) a deterministic spanning chain is
+    added first so the result is always connected — the evaluation
+    assumes reachability.
+    """
+    _check_size(n)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability out of range: {p}")
+    rng = rng or random.Random(0)
+    g = chain_topology(n) if connect else Graph()
+    for i in range(1, n + 1):
+        g.add_node(i)
+    for i in range(1, n + 1):
+        for j in range(i + 1, n + 1):
+            if not g.has_edge(i, j) and rng.random() < p:
+                g.add_edge(i, j)
+    return g
+
+
+def preferential_attachment_topology(
+    n: int, m: int = 2, rng: Optional[random.Random] = None
+) -> Graph:
+    """A Barabási–Albert-style graph on nodes ``1..n``.
+
+    Each new node attaches to ``m`` existing nodes chosen with
+    probability proportional to degree; used as a rough stand-in for
+    Internet-like degree heterogeneity in sensitivity tests.
+    """
+    _check_size(n)
+    if m < 1:
+        raise ValueError(f"attachment count must be >= 1: {m}")
+    rng = rng or random.Random(0)
+    g = Graph()
+    seed_size = min(n, m + 1)
+    for i in range(1, seed_size + 1):
+        for j in range(i + 1, seed_size + 1):
+            g.add_edge(i, j)
+    if seed_size == 1:
+        g.add_node(1)
+    # Repeated-endpoints list implements degree-proportional sampling.
+    endpoints = []
+    for u, v, _ in g.edges():
+        endpoints.extend([u, v])
+    for new in range(seed_size + 1, n + 1):
+        targets = set()
+        while len(targets) < min(m, new - 1):
+            targets.add(rng.choice(endpoints) if endpoints else 1)
+        for t in targets:
+            g.add_edge(new, t)
+            endpoints.extend([new, t])
+    return g

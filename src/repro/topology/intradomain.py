@@ -1,0 +1,141 @@
+"""Intradomain (router-level) networks with attached address space.
+
+This models the §3.1 setting: a shortest-path-routed network of routers,
+each originating some IP prefixes (its attached subnets), possibly with
+hierarchical allocations — a router may own a /16 while a different
+router owns a more-specific /24 inside it, which is exactly the
+structure that makes longest-prefix matching (and therefore
+displacement on mobility) interesting.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+from ..net import IPv4Address, IPv4Prefix, PrefixTrie
+from .graph import Graph
+
+__all__ = ["IntradomainNetwork", "random_intradomain_network"]
+
+Router = Hashable
+
+
+class IntradomainNetwork:
+    """A router graph plus a prefix-to-router ownership map.
+
+    Forwarding tables are derived from deterministic shortest-path
+    routing: the FIB of router R maps each announced prefix to R's
+    next hop toward the owning router (or to R itself when R owns the
+    prefix — the "local port" of §5.1.2).
+    """
+
+    def __init__(self, graph: Graph, ownership: Dict[Router, List[IPv4Prefix]]):
+        for router in ownership:
+            if router not in graph:
+                raise ValueError(f"owner {router!r} is not a router in the graph")
+        self._graph = graph
+        self._ownership = {r: list(ps) for r, ps in ownership.items()}
+        self._origin: PrefixTrie[Router] = PrefixTrie()
+        for router, prefixes in self._ownership.items():
+            for prefix in prefixes:
+                existing = self._origin.get(prefix)
+                if existing is not None and existing != router:
+                    raise ValueError(
+                        f"{prefix} owned by both {existing!r} and {router!r}"
+                    )
+                self._origin.insert(prefix, router)
+        self._fib_cache: Dict[Router, PrefixTrie[Router]] = {}
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying router graph."""
+        return self._graph
+
+    def routers(self) -> Iterator[Router]:
+        """All routers."""
+        return self._graph.nodes()
+
+    def prefixes(self) -> Iterator[Tuple[IPv4Prefix, Router]]:
+        """All announced ``(prefix, owner)`` pairs."""
+        return self._origin.items()
+
+    def owner_of_address(self, address: IPv4Address) -> Optional[Router]:
+        """The router owning the longest prefix covering ``address``."""
+        match = self._origin.longest_match(address)
+        return None if match is None else match[1]
+
+    def covering_prefix(self, address: IPv4Address) -> Optional[IPv4Prefix]:
+        """The longest announced prefix covering ``address``."""
+        match = self._origin.longest_match(address)
+        return None if match is None else match[0]
+
+    def fib(self, router: Router) -> PrefixTrie[Router]:
+        """Router's FIB: announced prefix -> output port.
+
+        The port is the next-hop router on the shortest path to the
+        owner, or ``router`` itself for locally attached prefixes.
+        FIBs are cached; they only depend on the static topology.
+        """
+        cached = self._fib_cache.get(router)
+        if cached is not None:
+            return cached
+        next_hops = self._graph.next_hops_fast(router)
+        trie: PrefixTrie[Router] = PrefixTrie()
+        for prefix, owner in self._origin.items():
+            port = next_hops.get(owner)
+            if port is None:
+                continue  # unreachable owner: no route installed
+            trie.insert(prefix, port)
+        self._fib_cache[router] = trie
+        return trie
+
+    def lookup_port(self, router: Router, address: IPv4Address) -> Optional[Router]:
+        """The output port router uses for ``address`` (LPM over its FIB)."""
+        match = self.fib(router).longest_match(address)
+        return None if match is None else match[1]
+
+
+def random_intradomain_network(
+    num_routers: int = 24,
+    base_block: Optional[IPv4Prefix] = None,
+    specifics_per_router: Tuple[int, int] = (0, 3),
+    rng: Optional[random.Random] = None,
+    edge_prob: float = 0.12,
+) -> IntradomainNetwork:
+    """A random connected router network with hierarchical allocations.
+
+    Every router owns one /16 out of ``base_block`` (default
+    ``20.0.0.0/8``); additionally, a random number of /24 *specifics*
+    inside other routers' /16s are delegated to it. The delegated
+    specifics are what make mobility events displace endpoints with
+    respect to remote routers.
+    """
+    from .generators import erdos_renyi_topology
+
+    rng = rng or random.Random(7)
+    block = base_block or IPv4Prefix.from_string("20.0.0.0/8")
+    if block.length > 16:
+        raise ValueError("base block must be /16 or shorter")
+    graph = erdos_renyi_topology(num_routers, edge_prob, rng=rng)
+    routers = list(range(1, num_routers + 1))
+    sixteens = list(block.subnets(16))
+    if len(sixteens) < num_routers:
+        raise ValueError("base block too small for the router count")
+    ownership: Dict[Router, List[IPv4Prefix]] = {
+        r: [sixteens[i]] for i, r in enumerate(routers)
+    }
+    lo, hi = specifics_per_router
+    for r in routers:
+        for _ in range(rng.randint(lo, hi)):
+            other = rng.choice(routers)
+            if other == r:
+                continue
+            parent = ownership[other][0]
+            sub24 = rng.randrange(256)
+            specific = IPv4Prefix(parent.network | (sub24 << 8), 24)
+            # Skip if this /24 was already delegated to someone.
+            if any(specific in ps for ps in ownership.values()):
+                continue
+            ownership[r].append(specific)
+    return IntradomainNetwork(graph, ownership)

@@ -1,0 +1,85 @@
+"""Tests for the ASCII figure rendering."""
+
+import pytest
+
+from repro.experiments.asciichart import render_bar_chart, render_cdf_chart
+
+
+class TestCdfChart:
+    def test_basic_shape(self):
+        chart = render_cdf_chart({"x": [1, 2, 3, 4, 5]}, width=30, height=8)
+        lines = chart.splitlines()
+        assert len(lines) == 8 + 3  # rows + axis + ticks + legend
+        assert lines[0].startswith("  100% |")
+        assert lines[7].startswith("    0% |")
+        assert "* x" in lines[-1]
+
+    def test_multiple_series_distinct_markers(self):
+        chart = render_cdf_chart(
+            {"a": [1, 2, 3], "b": [10, 20, 30]}, width=40, height=6
+        )
+        assert "* a" in chart
+        assert "o b" in chart
+        body = "\n".join(chart.splitlines()[:6])
+        assert "*" in body and "o" in body
+
+    def test_monotone_markers_move_right_with_quantile(self):
+        values = list(range(1, 101))
+        chart = render_cdf_chart({"s": values}, width=50, height=10)
+        cols = []
+        for line in chart.splitlines()[:10]:
+            row = line.split("|", 1)[1]
+            assert "*" in row
+            cols.append(row.index("*"))
+        # Top row (q=1.0) must be at or right of the bottom row (q=0).
+        assert cols[0] >= cols[-1]
+        assert cols == sorted(cols, reverse=True)
+
+    def test_log_scale_handles_zeros(self):
+        chart = render_cdf_chart(
+            {"s": [0.0, 0.0, 1.0, 10.0, 100.0]}, log_x=True
+        )
+        assert "log x" in chart
+
+    def test_constant_series(self):
+        chart = render_cdf_chart({"s": [5.0, 5.0, 5.0]})
+        assert "100% |" in chart
+
+    def test_x_label_rendered(self):
+        chart = render_cdf_chart({"s": [1, 2]}, x_label="things")
+        assert "things" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_cdf_chart({})
+        with pytest.raises(ValueError):
+            render_cdf_chart({"s": []})
+
+
+class TestBarChart:
+    def test_bars_scale_to_max(self):
+        chart = render_bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_zero_bar(self):
+        chart = render_bar_chart({"a": 1.0, "zero": 0.0}, width=10)
+        assert "|          |" in chart.splitlines()[1]
+
+    def test_unit_suffix(self):
+        chart = render_bar_chart({"a": 3.5}, unit="%")
+        assert "3.5%" in chart
+
+    def test_explicit_scale(self):
+        chart = render_bar_chart({"a": 5.0}, width=10, scale_max=10.0)
+        assert chart.count("#") == 5
+
+    def test_labels_aligned(self):
+        chart = render_bar_chart({"long-name": 1.0, "x": 2.0})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart({})

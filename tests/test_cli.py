@@ -1,0 +1,88 @@
+"""Tests for the command-line interface and CSV export."""
+
+import csv
+import io
+import os
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.experiments import SMALL_SCALE, World
+from repro.experiments.export import export_all
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "table1" in out
+        assert "ablation-hybrid" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "chain" in out
+
+    def test_run_envelope(self, capsys):
+        assert main(["run", "envelope", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Back-of-the-envelope" in out
+
+    def test_run_fig6_small(self, capsys, monkeypatch):
+        assert main(["run", "fig6", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert "scale=small" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_every_registered_experiment_has_description(self):
+        for name, (description, runner) in EXPERIMENTS.items():
+            assert description
+            assert callable(runner)
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("results")
+        world = World(SMALL_SCALE)
+        return out, export_all(world, str(out))
+
+    def test_all_files_written(self, exported):
+        out, written = exported
+        assert len(written) >= 10
+        for path in written:
+            assert os.path.exists(path)
+            assert os.path.getsize(path) > 0
+
+    def test_fig8_csv_contents(self, exported):
+        out, _ = exported
+        with open(os.path.join(str(out), "fig8.csv")) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 12
+        names = {r["router"] for r in rows}
+        assert "Oregon-1" in names and "Mauritius" in names
+        for row in rows:
+            assert 0.0 <= float(row["update_rate"]) <= 1.0
+
+    def test_fig6_csv_row_count(self, exported):
+        out, _ = exported
+        with open(os.path.join(str(out), "fig6.csv")) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == SMALL_SCALE.num_users
+
+    def test_export_cli_command(self, tmp_path, capsys):
+        target = tmp_path / "cli-out"
+        assert main(["export", "--out", str(target), "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12.csv" in out
+        assert (target / "table1.csv").exists()

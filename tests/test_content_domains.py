@@ -1,0 +1,118 @@
+"""Tests for the domain universe generator."""
+
+import pytest
+
+from repro.content import (
+    DomainUniverse,
+    DomainUniverseConfig,
+    generate_domain_universe,
+)
+from repro.net import ContentName
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return generate_domain_universe()
+
+
+class TestUniverseShape:
+    def test_counts(self, universe):
+        assert len(universe.popular) == 500
+        assert len(universe.unpopular) == 500
+
+    def test_popular_total_near_12342(self, universe):
+        # Paper: 12,342 names in the popular set.
+        total = len(universe.popular_names())
+        assert 11000 <= total <= 14000
+
+    def test_subdomain_counts_heavy_tailed(self, universe):
+        counts = [len(d.subdomains) for d in universe.popular]
+        assert max(counts) > 20 * (sorted(counts)[len(counts) // 2])
+
+    def test_every_popular_domain_has_a_subdomain(self, universe):
+        assert all(d.subdomains for d in universe.popular)
+
+    def test_unpopular_have_hardly_any_subdomains(self, universe):
+        # §7.3: "Unpopular content domain names in our dataset have
+        # hardly any subdomains".
+        counts = [len(d.subdomains) for d in universe.unpopular]
+        assert max(counts) <= 2
+        assert sum(counts) / len(counts) < 1.0
+
+    def test_ranks(self, universe):
+        assert [d.rank for d in universe.popular] == list(range(1, 501))
+        assert all(d.rank > 990_000 for d in universe.unpopular)
+        assert all(d.popular for d in universe.popular)
+        assert not any(d.popular for d in universe.unpopular)
+
+    def test_apexes_unique(self, universe):
+        apexes = [d.apex for d in universe.popular + universe.unpopular]
+        assert len(set(apexes)) == len(apexes)
+
+    def test_subdomains_are_children_of_apex(self, universe):
+        for domain in universe.popular[:50]:
+            for sub in domain.subdomains:
+                assert sub.is_strict_descendant_of(domain.apex)
+                assert len(sub) == len(domain.apex) + 1
+
+    def test_subdomain_labels_unique_within_domain(self, universe):
+        for domain in universe.popular[:20]:
+            names = domain.all_names()
+            assert len(set(names)) == len(names)
+
+
+class TestCdnDelegation:
+    def test_popular_cdn_share_near_24_5pct(self, universe):
+        names = universe.popular_names()
+        share = sum(
+            1
+            for d in universe.popular
+            for n in d.all_names()
+            if d.is_cdn(n)
+        ) / len(names)
+        assert 0.20 <= share <= 0.30
+
+    def test_unpopular_cdn_share_near_1_6pct(self, universe):
+        names = universe.unpopular_names()
+        share = sum(
+            1
+            for d in universe.unpopular
+            for n in d.all_names()
+            if d.is_cdn(n)
+        ) / len(names)
+        assert share <= 0.05
+
+    def test_cdn_share_method(self, universe):
+        domain = universe.popular[0]
+        assert 0.0 <= domain.cdn_share() <= 1.0
+
+
+class TestLookup:
+    def test_domain_of_apex_and_subdomain(self, universe):
+        domain = universe.popular[3]
+        assert universe.domain_of(domain.apex) is domain
+        assert universe.domain_of(domain.subdomains[0]) is domain
+
+    def test_domain_of_unknown(self, universe):
+        assert universe.domain_of(ContentName.from_domain("zzz.invalid")) is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_universe(self):
+        a = generate_domain_universe(DomainUniverseConfig(seed=7))
+        b = generate_domain_universe(DomainUniverseConfig(seed=7))
+        assert a.popular_names() == b.popular_names()
+        assert a.unpopular_names() == b.unpopular_names()
+
+    def test_different_seed_differs(self):
+        a = generate_domain_universe(DomainUniverseConfig(seed=7))
+        b = generate_domain_universe(DomainUniverseConfig(seed=8))
+        assert a.popular_names() != b.popular_names()
+
+    def test_scaled_down_config(self):
+        cfg = DomainUniverseConfig(
+            num_popular=50, num_unpopular=20, popular_total_names=500
+        )
+        u = generate_domain_universe(cfg)
+        assert len(u.popular) == 50
+        assert 300 <= len(u.popular_names()) <= 800

@@ -1,0 +1,147 @@
+"""Tests for hosting models and hosting assignment."""
+
+import pytest
+
+from repro.content import (
+    CDNHosting,
+    DomainUniverseConfig,
+    EdgeCluster,
+    HostingConfig,
+    OriginHosting,
+    assign_hosting,
+    generate_domain_universe,
+)
+from repro.net import parse_address
+from repro.topology import generate_as_topology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return generate_as_topology()
+
+
+@pytest.fixture(scope="module")
+def assigned(topo):
+    universe = generate_domain_universe(
+        DomainUniverseConfig(num_popular=60, num_unpopular=30,
+                             popular_total_names=800)
+    )
+    return universe, assign_hosting(universe, topo)
+
+
+class TestModelValidation:
+    def test_edge_cluster_needs_pool(self):
+        with pytest.raises(ValueError):
+            EdgeCluster(region="us-west", asn=1, pool=())
+
+    def test_origin_needs_base(self):
+        with pytest.raises(ValueError):
+            OriginHosting(base=(), lb_pool=(), lb_active=0, lb_rotation_prob=0)
+
+    def test_lb_active_bounded_by_pool(self):
+        addr = parse_address("10.0.0.1")
+        with pytest.raises(ValueError):
+            OriginHosting(
+                base=(addr,), lb_pool=(), lb_active=2, lb_rotation_prob=0.1
+            )
+
+    def test_cdn_needs_core(self):
+        provider_cluster = EdgeCluster(
+            region="us-west", asn=1, pool=(parse_address("10.0.0.1"),)
+        )
+        from repro.content import CDNProvider
+
+        with pytest.raises(ValueError):
+            CDNHosting(
+                provider=CDNProvider(name="c", clusters=[provider_cluster]),
+                core_clusters=(),
+                overflow_clusters=(),
+                addrs_per_cluster=1,
+                rotation_prob=0.1,
+                remap_prob=0.0,
+            )
+
+
+class TestAssignment:
+    def test_every_name_assigned(self, assigned):
+        universe, directory = assigned
+        for name in universe.popular_names() + universe.unpopular_names():
+            assert name in directory
+
+    def test_cdn_flags_respected(self, assigned):
+        universe, directory = assigned
+        for domain in universe.popular:
+            for name in domain.all_names():
+                model = directory.model_for(name)
+                if domain.is_cdn(name):
+                    assert isinstance(model, CDNHosting)
+                else:
+                    assert isinstance(model, OriginHosting)
+
+    def test_cdns_built(self, assigned):
+        _, directory = assigned
+        assert len(directory.cdns) == 2
+        for cdn in directory.cdns:
+            assert len(cdn.clusters) >= 8
+            regions = {c.region for c in cdn.clusters}
+            assert "us-east" in regions and "eu-west" in regions
+
+    def test_cluster_addresses_belong_to_cluster_as(self, assigned, topo):
+        _, directory = assigned
+        for cdn in directory.cdns:
+            for cluster in cdn.clusters:
+                for addr in cluster.pool[:5]:
+                    assert topo.origin_of_address(addr) == cluster.asn
+
+    def test_origin_addresses_have_origins(self, assigned, topo):
+        universe, directory = assigned
+        for domain in universe.popular[:20]:
+            model = directory.model_for(domain.apex)
+            if isinstance(model, OriginHosting):
+                for addr in model.base:
+                    assert topo.origin_of_address(addr) is not None
+
+    def test_non_cdn_subdomains_often_share_apex_infrastructure(
+        self, assigned, topo
+    ):
+        universe, directory = assigned
+        shared = total = 0
+        for domain in universe.popular:
+            apex_model = directory.model_for(domain.apex)
+            if not isinstance(apex_model, OriginHosting):
+                continue
+            apex_asn = topo.origin_of_address(apex_model.base[0])
+            for sub in domain.subdomains:
+                if domain.is_cdn(sub):
+                    continue
+                model = directory.model_for(sub)
+                total += 1
+                sub_asn = topo.origin_of_address(model.base[0])
+                if sub_asn == apex_asn:
+                    shared += 1
+        assert total > 50
+        assert shared / total > 0.8  # same web farm most of the time
+
+    def test_clusters_in_filter(self, assigned):
+        _, directory = assigned
+        cdn = directory.cdns[0]
+        subset = cdn.clusters_in(["us-west", "eu-west"])
+        assert subset
+        assert all(c.region in ("us-west", "eu-west") for c in subset)
+
+    def test_deterministic(self, topo):
+        universe = generate_domain_universe(
+            DomainUniverseConfig(num_popular=10, num_unpopular=5,
+                                 popular_total_names=80)
+        )
+        d1 = assign_hosting(universe, topo, HostingConfig(seed=3))
+        d2 = assign_hosting(universe, topo, HostingConfig(seed=3))
+        for name in universe.popular_names():
+            m1, m2 = d1.model_for(name), d2.model_for(name)
+            assert type(m1) is type(m2)
+            if isinstance(m1, OriginHosting):
+                assert m1.base == m2.base
+            else:
+                assert [c.asn for c in m1.core_clusters] == [
+                    c.asn for c in m2.core_clusters
+                ]

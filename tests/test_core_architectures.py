@@ -1,0 +1,103 @@
+"""Tests for the three purist architecture models."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ArchitectureMetrics,
+    IndirectionRouting,
+    NameBasedRouting,
+    NameResolution,
+)
+from repro.topology import chain_topology, clique_topology, star_topology
+
+
+class TestIndirectionRouting:
+    def test_stretch_is_distance_from_home(self):
+        g = chain_topology(5)
+        arch = IndirectionRouting(g, home_agent=1)
+        m = arch.evaluate_move(old_router=2, new_router=5, correspondent=3)
+        assert m.path_stretch == 4.0  # dist(1, 5)
+
+    def test_update_is_one_agent(self):
+        g = chain_topology(5)
+        arch = IndirectionRouting(g, home_agent=3)
+        m = arch.evaluate_move(1, 2, 4)
+        assert m.update_fraction == pytest.approx(1 / 5)
+        assert m.routers_with_state == 1
+
+    def test_full_detour_stretch_triangle(self):
+        g = chain_topology(5)
+        arch = IndirectionRouting(g, home_agent=5)
+        # C=1, M=2: direct 1 hop; via H: 4 + 3 = 7 -> stretch 6.
+        assert arch.full_detour_stretch(correspondent=1, current=2) == 6.0
+
+    def test_detour_zero_when_home_on_path(self):
+        g = chain_topology(5)
+        arch = IndirectionRouting(g, home_agent=3)
+        assert arch.full_detour_stretch(correspondent=1, current=5) == 0.0
+
+    def test_unknown_home_agent_rejected(self):
+        with pytest.raises(ValueError):
+            IndirectionRouting(chain_topology(3), home_agent=99)
+
+    def test_default_home_agent_random_but_valid(self):
+        g = chain_topology(6)
+        arch = IndirectionRouting(g, rng=random.Random(1))
+        assert arch.home_agent in g
+
+
+class TestNameResolution:
+    def test_zero_stretch_zero_router_updates(self):
+        g = chain_topology(9)
+        arch = NameResolution(g)
+        m = arch.evaluate_move(1, 9, 5)
+        assert m == ArchitectureMetrics(0.0, 0.0, 0)
+
+    def test_resolver_updates_counted(self):
+        arch = NameResolution(chain_topology(4))
+        for _ in range(7):
+            arch.evaluate_move(1, 2, 3)
+        assert arch.resolver_updates == 7
+
+
+class TestNameBasedRouting:
+    def test_chain_middle_move_updates_between(self):
+        g = chain_topology(5)
+        arch = NameBasedRouting(g)
+        # Move 2 -> 4: routers 2, 3, 4 flip direction; 1 and 5 don't.
+        m = arch.evaluate_move(2, 4, 1)
+        assert m.update_fraction == pytest.approx(3 / 5)
+        assert m.path_stretch == 0.0
+
+    def test_no_move_no_updates(self):
+        g = chain_topology(5)
+        arch = NameBasedRouting(g)
+        assert arch.evaluate_move(3, 3, 1).update_fraction == 0.0
+
+    def test_clique_move_updates_everyone(self):
+        g = clique_topology(6)
+        arch = NameBasedRouting(g)
+        assert arch.evaluate_move(1, 2, 3).update_fraction == 1.0
+
+    def test_star_default_routes_only_hub_updates(self):
+        g = star_topology(8)
+        arch = NameBasedRouting(g, default_route_leaves=True)
+        m = arch.evaluate_move(1, 2, 3)
+        assert m.update_fraction == pytest.approx(1 / 9)
+        assert m.routers_with_state == 1  # only the hub
+
+    def test_star_full_tables_three_updates(self):
+        g = star_topology(8)
+        arch = NameBasedRouting(g)
+        m = arch.evaluate_move(1, 2, 3)
+        # Hub + both involved leaves.
+        assert m.update_fraction == pytest.approx(3 / 9)
+
+    def test_expected_metrics_runs(self):
+        g = chain_topology(10)
+        arch = NameBasedRouting(g)
+        m = arch.expected_metrics(steps=500, rng=random.Random(2))
+        assert 0.2 <= m.update_fraction <= 0.45
+        assert m.path_stretch == 0.0

@@ -1,0 +1,115 @@
+"""Tests for the compact routing scheme (§2.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CompactRoutingScheme
+from repro.topology import (
+    chain_topology,
+    clique_topology,
+    erdos_renyi_topology,
+    star_topology,
+)
+
+
+class TestConstruction:
+    def test_requires_connected_graph(self):
+        from repro.topology import Graph
+
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        with pytest.raises(ValueError):
+            CompactRoutingScheme(g, landmarks=[1])
+
+    def test_unknown_landmark_rejected(self):
+        with pytest.raises(ValueError):
+            CompactRoutingScheme(chain_topology(4), landmarks=[99])
+
+    def test_empty_sample_falls_back_to_one_landmark(self):
+        scheme = CompactRoutingScheme(
+            chain_topology(5), sample_prob=0.0, rng=random.Random(1)
+        )
+        assert len(scheme.landmarks) == 1
+
+
+class TestRouting:
+    def test_all_landmarks_means_shortest_paths(self):
+        g = chain_topology(8)
+        scheme = CompactRoutingScheme(g, landmarks=list(range(1, 9)))
+        for s in range(1, 9):
+            for d in range(1, 9):
+                assert scheme.stretch(s, d) == 1.0
+                assert scheme.table_size(s) == 8
+
+    def test_single_landmark_detours_via_it(self):
+        g = chain_topology(7)
+        scheme = CompactRoutingScheme(g, landmarks=[4])
+        # 1 -> 7: no direct entry (7 is closer to its landmark 4 than
+        # to... d(7,1)=6 >= d(7,4)=3, so 1 has no entry for 7).
+        assert not scheme.has_direct_entry(1, 7)
+        assert scheme.route_length(1, 7) == 3 + 3
+
+    def test_cluster_members_routed_directly(self):
+        g = chain_topology(7)
+        scheme = CompactRoutingScheme(g, landmarks=[4])
+        # 2 is closer to 1 than to the landmark: direct entry at 1.
+        assert scheme.has_direct_entry(1, 2)
+        assert scheme.route_length(1, 2) == 1
+
+    def test_self_route(self):
+        scheme = CompactRoutingScheme(chain_topology(4), landmarks=[2])
+        assert scheme.route_length(3, 3) == 0
+        assert scheme.stretch(3, 3) == 1.0
+
+    def test_stretch_bound_three(self):
+        # The Thorup-Zwick guarantee on assorted graphs and landmark
+        # sets.
+        for seed in range(5):
+            g = erdos_renyi_topology(25, 0.12, rng=random.Random(seed))
+            scheme = CompactRoutingScheme(
+                g, sample_prob=0.2, rng=random.Random(seed + 50)
+            )
+            stats = scheme.stats()
+            assert stats.max_multiplicative_stretch <= 3.0 + 1e-9
+
+    def test_star_hub_landmark_is_perfect(self):
+        g = star_topology(6)
+        scheme = CompactRoutingScheme(g, landmarks=[0])
+        assert scheme.stats().max_multiplicative_stretch <= 1.5
+
+    def test_clique_always_stretch_one(self):
+        scheme = CompactRoutingScheme(clique_topology(6), landmarks=[1])
+        stats = scheme.stats()
+        # Clique: every pair at distance 1; via-landmark costs 2 only
+        # for pairs without entries — but every node is at distance 1
+        # from everyone, so clusters are empty and routes go via the
+        # landmark: stretch 2 for non-landmark pairs.
+        assert stats.max_multiplicative_stretch <= 2.0
+
+    def test_more_landmarks_less_stretch(self):
+        g = erdos_renyi_topology(30, 0.1, rng=random.Random(9))
+        sparse = CompactRoutingScheme(
+            g, sample_prob=0.1, rng=random.Random(10)
+        ).stats()
+        dense = CompactRoutingScheme(
+            g, sample_prob=0.9, rng=random.Random(10)
+        ).stats()
+        assert dense.mean_multiplicative_stretch <= (
+            sparse.mean_multiplicative_stretch + 1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=4, max_value=20), st.integers(0, 1000))
+    def test_stretch_bound_property(self, n, seed):
+        g = erdos_renyi_topology(n, 0.2, rng=random.Random(seed))
+        scheme = CompactRoutingScheme(
+            g, sample_prob=0.3, rng=random.Random(seed + 1)
+        )
+        nodes = sorted(g.nodes())
+        for s in nodes[::3]:
+            for d in nodes[::4]:
+                assert scheme.stretch(s, d) <= 3.0 + 1e-9

@@ -1,0 +1,64 @@
+"""Tests for the §6.2/§7.3 back-of-the-envelope calculators."""
+
+import pytest
+
+from repro.core import (
+    CONTENT_SCENARIO,
+    DEVICE_SCENARIO_MEAN,
+    DEVICE_SCENARIO_MEDIAN,
+    extra_fib_fraction,
+    router_updates_per_second,
+)
+
+
+class TestCalculator:
+    def test_device_median_matches_paper(self):
+        # 2B x 3/day x 3% = 2083/sec ~ "2.1K/sec".
+        rate = DEVICE_SCENARIO_MEDIAN.updates_per_second()
+        assert rate == pytest.approx(2083.3, rel=0.01)
+        assert rate == pytest.approx(
+            DEVICE_SCENARIO_MEDIAN.paper_claim_per_sec, rel=0.05
+        )
+
+    def test_device_mean_matches_paper(self):
+        # 2B x 7/day x 3% = 4861/sec ~ "4.8K/sec".
+        rate = DEVICE_SCENARIO_MEAN.updates_per_second()
+        assert rate == pytest.approx(4861.1, rel=0.01)
+        assert rate == pytest.approx(
+            DEVICE_SCENARIO_MEAN.paper_claim_per_sec, rel=0.05
+        )
+
+    def test_content_matches_paper(self):
+        # 1B x 2/day x 0.5% = 115.7/sec ~ "at most 100 updates/sec".
+        rate = CONTENT_SCENARIO.updates_per_second()
+        assert rate == pytest.approx(115.7, rel=0.01)
+        # Same order of magnitude as the paper's round number.
+        assert rate == pytest.approx(
+            CONTENT_SCENARIO.paper_claim_per_sec, rel=0.2
+        )
+
+    def test_content_orders_of_magnitude_below_devices(self):
+        # The paper's headline asymmetry.
+        assert (
+            CONTENT_SCENARIO.updates_per_second() * 10
+            < DEVICE_SCENARIO_MEDIAN.updates_per_second()
+        )
+
+    def test_extra_fib_fraction(self):
+        # §6.2: 3% displaced likelihood x 30% of day away ~ 1%.
+        assert extra_fib_fraction(0.03, 0.30) == pytest.approx(0.009)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            router_updates_per_second(-1, 2, 0.5)
+        with pytest.raises(ValueError):
+            router_updates_per_second(1, 2, 1.5)
+        with pytest.raises(ValueError):
+            extra_fib_fraction(2.0, 0.5)
+        with pytest.raises(ValueError):
+            extra_fib_fraction(0.5, -0.1)
+
+    def test_zero_cases(self):
+        assert router_updates_per_second(0, 5, 0.5) == 0.0
+        assert router_updates_per_second(10, 0, 0.5) == 0.0
+        assert extra_fib_fraction(0.0, 1.0) == 0.0

@@ -1,0 +1,77 @@
+"""Tests for the hybrid architecture evaluation (§8 extension)."""
+
+import pytest
+
+from repro.core import evaluate_hybrid
+from repro.topology import chain_topology, clique_topology
+
+
+class TestEvaluateHybrid:
+    def test_all_architectures_present(self):
+        result = evaluate_hybrid(chain_topology(10), steps=300)
+        names = {m.architecture for m in result.metrics}
+        assert names == {"name-based", "indirection", "name-resolution",
+                         "hybrid"}
+
+    def test_pure_name_based_no_agents_no_stretch(self):
+        result = evaluate_hybrid(chain_topology(10), steps=300)
+        nb = result.by_name("name-based")
+        assert nb.agent_updates_per_event == 0.0
+        assert nb.device_stretch == 0.0
+        assert nb.content_stretch == 0.0
+        assert nb.update_fraction > 0.2  # chain: ~1/3
+
+    def test_pure_indirection_one_agent_per_event(self):
+        result = evaluate_hybrid(chain_topology(10), steps=300)
+        ind = result.by_name("indirection")
+        assert ind.agent_updates_per_event == 1.0
+        assert ind.update_fraction == 0.0
+        assert ind.device_stretch > 1.0  # chain: ~n/3
+
+    def test_resolution_is_free_on_both_axes(self):
+        result = evaluate_hybrid(chain_topology(10), steps=300)
+        res = result.by_name("name-resolution")
+        assert res.update_fraction == 0.0
+        assert res.device_stretch == 0.0
+        assert res.agent_updates_per_event == 1.0
+
+    def test_hybrid_interpolates_update_cost(self):
+        graph = clique_topology(12)
+        low = evaluate_hybrid(graph, device_share=0.1, steps=600, seed=1)
+        high = evaluate_hybrid(graph, device_share=0.9, steps=600, seed=1)
+        assert (
+            high.by_name("hybrid").update_fraction
+            < low.by_name("hybrid").update_fraction
+        )
+        for result in (low, high):
+            assert (
+                result.by_name("hybrid").update_fraction
+                <= result.by_name("name-based").update_fraction
+            )
+
+    def test_device_share_extremes(self):
+        graph = chain_topology(8)
+        all_device = evaluate_hybrid(graph, device_share=1.0, steps=300)
+        hyb = all_device.by_name("hybrid")
+        assert hyb.update_fraction == 0.0
+        assert hyb.agent_updates_per_event == 1.0
+        no_device = evaluate_hybrid(graph, device_share=0.0, steps=300)
+        hyb0 = no_device.by_name("hybrid")
+        assert hyb0.agent_updates_per_event == 0.0
+        assert hyb0.update_fraction == pytest.approx(
+            no_device.by_name("name-based").update_fraction
+        )
+
+    def test_bad_share_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_hybrid(chain_topology(5), device_share=1.5)
+
+    def test_deterministic(self):
+        a = evaluate_hybrid(chain_topology(9), steps=200, seed=4)
+        b = evaluate_hybrid(chain_topology(9), steps=200, seed=4)
+        assert a.metrics == b.metrics
+
+    def test_by_name_unknown(self):
+        result = evaluate_hybrid(chain_topology(5), steps=50)
+        with pytest.raises(KeyError):
+            result.by_name("carrier-pigeon")

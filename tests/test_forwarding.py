@@ -1,0 +1,98 @@
+"""Tests for the convergence/outage simulator."""
+
+import random
+
+import pytest
+
+from repro.forwarding import ConvergenceSimulator
+from repro.topology import (
+    binary_tree_topology,
+    chain_topology,
+    clique_topology,
+    star_topology,
+)
+
+
+class TestUpdatePropagation:
+    def test_arrival_times_are_hop_distances(self):
+        sim = ConvergenceSimulator(chain_topology(5), per_hop_delay=2.0)
+        arrivals = sim.update_arrival_times(3)
+        assert arrivals == {1: 4.0, 2: 2.0, 3: 0.0, 4: 2.0, 5: 4.0}
+
+    def test_positive_delay_required(self):
+        with pytest.raises(ValueError):
+            ConvergenceSimulator(chain_topology(3), per_hop_delay=0.0)
+
+
+class TestDelivery:
+    def test_after_convergence_all_delivered(self):
+        sim = ConvergenceSimulator(chain_topology(6))
+        for source in range(1, 7):
+            assert sim.deliver(source, time=10.0, old_router=2, new_router=5)
+
+    def test_before_any_update_packets_chase_old_location(self):
+        sim = ConvergenceSimulator(chain_topology(6))
+        # At t=0 only the new attachment router knows; a packet from 1
+        # heads to old router 5's... old position 2 and blackholes.
+        assert not sim.deliver(1, time=0.0, old_router=2, new_router=5)
+
+    def test_source_at_new_router_always_succeeds(self):
+        sim = ConvergenceSimulator(chain_topology(6))
+        assert sim.deliver(5, time=0.0, old_router=2, new_router=5)
+
+    def test_partial_convergence_can_still_deliver(self):
+        sim = ConvergenceSimulator(chain_topology(6))
+        # At t=1, router 4 has updated; packets from 4 reach 5.
+        assert sim.deliver(4, time=1.0, old_router=2, new_router=5)
+
+    def test_stale_fresh_boundary_loops_are_detected(self):
+        # A packet bouncing between a stale and a fresh router must be
+        # counted as lost, not hang the simulator.
+        sim = ConvergenceSimulator(chain_topology(6))
+        for t in (0.0, 1.0, 2.0, 3.0):
+            for source in range(1, 7):
+                # Must terminate either way.
+                sim.deliver(source, time=t, old_router=5, new_router=2)
+
+
+class TestOutage:
+    def test_chain_outage_decreases_near_new_router(self):
+        sim = ConvergenceSimulator(chain_topology(6))
+        result = sim.simulate_event(old_router=2, new_router=5)
+        assert result.outage_by_source[5] == 0.0
+        assert result.outage_by_source[4] <= result.outage_by_source[1]
+        assert result.convergence_time == 4.0
+
+    def test_clique_converges_in_one_hop(self):
+        sim = ConvergenceSimulator(clique_topology(8))
+        result = sim.simulate_event(1, 2)
+        assert result.convergence_time == 1.0
+        assert result.max_outage() <= 1.25
+
+    def test_star_outage_small(self):
+        sim = ConvergenceSimulator(star_topology(8))
+        result = sim.simulate_event(1, 2)
+        assert result.convergence_time == 2.0
+        assert result.max_outage() <= 2.25
+
+    def test_outage_scales_with_diameter(self):
+        short = ConvergenceSimulator(chain_topology(8))
+        long = ConvergenceSimulator(chain_topology(32))
+        rng_a, rng_b = random.Random(1), random.Random(1)
+        mean_short, _ = short.expected_outage(30, rng_a)
+        mean_long, _ = long.expected_outage(30, rng_b)
+        assert mean_long > mean_short
+
+    def test_mean_max_consistency(self):
+        sim = ConvergenceSimulator(binary_tree_topology(15))
+        result = sim.simulate_event(8, 15)
+        assert 0.0 <= result.mean_outage() <= result.max_outage()
+        assert result.max_outage() <= result.convergence_time + 0.5
+
+    def test_expected_outage_deterministic(self):
+        sim = ConvergenceSimulator(chain_topology(10))
+        a = sim.expected_outage(20, random.Random(5))
+        b = ConvergenceSimulator(chain_topology(10)).expected_outage(
+            20, random.Random(5)
+        )
+        assert a == b

@@ -1,0 +1,172 @@
+"""Tests for the stateful forwarding plane and strategy layer."""
+
+import random
+
+import pytest
+
+from repro.forwarding import InterestStrategy, StatefulForwardingPlane
+from repro.topology import chain_topology, clique_topology, erdos_renyi_topology
+
+
+class TestRankedPorts:
+    def test_ports_sorted_by_progress(self):
+        plane = StatefulForwardingPlane(chain_topology(6))
+        # From router 3 toward 6: neighbor 4 makes progress, 2 does not.
+        ports = plane.ranked_ports(3, believed=6)
+        assert ports[0] == 4
+        assert ports[1] == 2
+
+    def test_alternatives_truncated(self):
+        plane = StatefulForwardingPlane(clique_topology(8),
+                                        max_alternatives=2)
+        assert len(plane.ranked_ports(1, believed=5)) == 2
+
+    def test_min_alternatives_enforced(self):
+        with pytest.raises(ValueError):
+            StatefulForwardingPlane(chain_topology(3), max_alternatives=0)
+
+
+class TestFreshSet:
+    def test_radius_zero_is_just_the_new_location(self):
+        plane = StatefulForwardingPlane(chain_topology(6))
+        assert plane.fresh_set(3, 0) == {3}
+
+    def test_radius_covers_ball(self):
+        plane = StatefulForwardingPlane(chain_topology(6))
+        assert plane.fresh_set(3, 1) == {2, 3, 4}
+
+    def test_large_radius_covers_everything(self):
+        plane = StatefulForwardingPlane(chain_topology(6))
+        assert plane.fresh_set(3, 10) == set(range(1, 7))
+
+
+class TestRetrieve:
+    def test_fully_converged_always_succeeds(self):
+        plane = StatefulForwardingPlane(chain_topology(8))
+        for strategy in InterestStrategy:
+            result = plane.retrieve(
+                consumer=1, old_location=3, new_location=7,
+                fresh_radius=10, strategy=strategy,
+            )
+            assert result.success, strategy
+
+    def test_best_only_blackholes_on_stale_path(self):
+        # Consumer 1's path to old location 3 never touches the fresh
+        # ball around 7 (radius 0), so best-only dead-ends at 3.
+        plane = StatefulForwardingPlane(chain_topology(8))
+        result = plane.retrieve(1, 3, 7, fresh_radius=0,
+                                strategy=InterestStrategy.BEST_ONLY)
+        assert not result.success
+
+    def test_adaptive_recovers_via_alternatives(self):
+        # On a chain the only alternative at the dead end is backwards
+        # (PIT-suppressed), so use a denser graph where detours exist.
+        graph = erdos_renyi_topology(20, 0.25, rng=random.Random(3))
+        plane = StatefulForwardingPlane(graph)
+        recovered = 0
+        rng = random.Random(4)
+        nodes = sorted(graph.nodes())
+        for _ in range(50):
+            consumer, old, new = (rng.choice(nodes), rng.choice(nodes),
+                                  rng.choice(nodes))
+            if old == new:
+                continue
+            best = plane.retrieve(consumer, old, new, 1,
+                                  InterestStrategy.BEST_ONLY)
+            adaptive = plane.retrieve(consumer, old, new, 1,
+                                      InterestStrategy.ADAPTIVE)
+            if adaptive.success and not best.success:
+                recovered += 1
+        assert recovered > 0
+
+    def test_flood_costs_more_than_adaptive(self):
+        graph = erdos_renyi_topology(25, 0.15, rng=random.Random(5))
+        plane = StatefulForwardingPlane(graph)
+        rng = random.Random(6)
+        f_rate, f_cost = plane.success_rate(
+            InterestStrategy.FLOOD, 1, 150, random.Random(7)
+        )
+        a_rate, a_cost = plane.success_rate(
+            InterestStrategy.ADAPTIVE, 1, 150, random.Random(7)
+        )
+        assert f_cost > a_cost
+        assert abs(f_rate - a_rate) < 0.1
+
+    def test_success_monotone_in_radius(self):
+        graph = erdos_renyi_topology(25, 0.15, rng=random.Random(8))
+        plane = StatefulForwardingPlane(graph)
+        rates = []
+        for radius in (0, 2, 6):
+            rate, _ = plane.success_rate(
+                InterestStrategy.BEST_ONLY, radius, 200, random.Random(9)
+            )
+            rates.append(rate)
+        assert rates[0] <= rates[1] <= rates[2]
+        assert rates[2] == 1.0
+
+    def test_pit_bounds_state(self):
+        plane = StatefulForwardingPlane(clique_topology(10))
+        result = plane.retrieve(1, 2, 3, 0, InterestStrategy.FLOOD)
+        assert result.pit_entries <= 10
+
+    def test_ttl_bounds_depth(self):
+        plane = StatefulForwardingPlane(chain_topology(20))
+        result = plane.retrieve(1, 19, 20, fresh_radius=25,
+                                strategy=InterestStrategy.BEST_ONLY, ttl=5)
+        assert not result.success  # too far for the TTL
+
+    def test_deterministic(self):
+        graph = erdos_renyi_topology(15, 0.2, rng=random.Random(10))
+        plane = StatefulForwardingPlane(graph)
+        a = plane.success_rate(InterestStrategy.ADAPTIVE, 1, 100,
+                               random.Random(11))
+        b = plane.success_rate(InterestStrategy.ADAPTIVE, 1, 100,
+                               random.Random(11))
+        assert a == b
+
+
+class TestOnPathCaching:
+    def test_cached_router_satisfies_interest(self):
+        plane = StatefulForwardingPlane(chain_topology(8))
+        # Best-only from 1 toward stale location 3 normally fails, but
+        # a cached copy at router 2 sits on the path.
+        result = plane.retrieve(
+            1, old_location=3, new_location=7, fresh_radius=0,
+            strategy=InterestStrategy.BEST_ONLY, cached_routers={2},
+        )
+        assert result.success
+
+    def test_off_path_cache_does_not_help_best_only(self):
+        plane = StatefulForwardingPlane(chain_topology(8))
+        # Cached copy at 6 is beyond the stale dead end at 3.
+        result = plane.retrieve(
+            1, old_location=3, new_location=7, fresh_radius=0,
+            strategy=InterestStrategy.BEST_ONLY, cached_routers={6},
+        )
+        assert not result.success
+
+    def test_consumer_side_cache_is_free(self):
+        plane = StatefulForwardingPlane(chain_topology(8))
+        result = plane.retrieve(
+            4, old_location=3, new_location=7, fresh_radius=0,
+            strategy=InterestStrategy.BEST_ONLY, cached_routers={4},
+        )
+        assert result.success
+        assert result.traversals == 0
+
+    def test_cache_fraction_validated(self):
+        plane = StatefulForwardingPlane(chain_topology(5))
+        with pytest.raises(ValueError):
+            plane.success_rate(
+                InterestStrategy.FLOOD, 1, 10, random.Random(1),
+                cache_fraction=1.5,
+            )
+
+    def test_full_caching_always_succeeds(self):
+        graph = erdos_renyi_topology(15, 0.2, rng=random.Random(12))
+        plane = StatefulForwardingPlane(graph)
+        rate, _ = plane.success_rate(
+            InterestStrategy.BEST_ONLY, 0, 100, random.Random(13),
+            cache_fraction=1.0,
+        )
+        assert rate == 1.0

@@ -1,0 +1,102 @@
+"""End-to-end integration tests: cross-module consistency at tiny scale.
+
+These pin the glue between packages: the experiment harness must
+compute exactly what the underlying evaluators compute, CSV/trace
+round trips must feed back into identical statistics, and the CLI must
+agree with the library.
+"""
+
+import io
+
+import pytest
+
+from repro.core import (
+    ContentUpdateCostEvaluator,
+    DeviceUpdateCostEvaluator,
+    ForwardingStrategy,
+)
+from repro.experiments import SMALL_SCALE, World, exp_fig8, exp_fig11
+from repro.mobility import read_trace, user_averages, write_trace
+from repro.routing import RoutingOracle
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(SMALL_SCALE)
+
+
+class TestHarnessMatchesEvaluators:
+    def test_fig8_equals_direct_evaluation(self, world):
+        via_harness = exp_fig8.run(world).report
+        direct = DeviceUpdateCostEvaluator(
+            world.routeviews, world.oracle
+        ).evaluate(world.device_events)
+        assert via_harness.rates == direct.rates
+        assert via_harness.num_events == direct.num_events
+
+    def test_fig11_equals_direct_evaluation(self, world):
+        via_harness = exp_fig11.run(world)
+        direct = ContentUpdateCostEvaluator(
+            world.routeviews, world.oracle
+        ).evaluate(
+            world.popular_measurement, ForwardingStrategy.BEST_PORT
+        )
+        assert via_harness.popular_best_port.rates == direct.rates
+
+    def test_fresh_oracle_reproduces_rates(self, world):
+        # A brand-new oracle over the same topology must agree: no
+        # hidden state in the cached one.
+        fresh = RoutingOracle(world.topology)
+        direct = DeviceUpdateCostEvaluator(
+            world.routeviews, fresh
+        ).evaluate(world.device_events)
+        assert direct.rates == exp_fig8.run(world).report.rates
+
+
+class TestTraceRoundtripFeedsPipeline:
+    def test_fig6_statistics_identical_after_roundtrip(self, world):
+        buffer = io.StringIO()
+        write_trace(world.workload.user_days, buffer)
+        buffer.seek(0)
+        reloaded = read_trace(buffer)
+        original = user_averages(world.workload.user_days)
+        recovered = user_averages(reloaded)
+        assert len(original) == len(recovered)
+        for a, b in zip(original, recovered):
+            assert a.user_id == b.user_id
+            assert a.avg_distinct_ips == pytest.approx(b.avg_distinct_ips)
+            assert a.avg_as_transitions == pytest.approx(
+                b.avg_as_transitions
+            )
+
+    def test_transitions_identical_after_roundtrip(self, world):
+        buffer = io.StringIO()
+        write_trace(world.workload.user_days[:40], buffer)
+        buffer.seek(0)
+        reloaded = read_trace(buffer)
+        original_events = [
+            (e.user_id, e.day, e.old.ip, e.new.ip)
+            for d in sorted(
+                world.workload.user_days[:40],
+                key=lambda d: (d.user_id, d.day),
+            )
+            for e in d.transitions()
+        ]
+        recovered_events = [
+            (e.user_id, e.day, e.old.ip, e.new.ip)
+            for d in reloaded
+            for e in d.transitions()
+        ]
+        assert original_events == recovered_events
+
+
+class TestCliAgreesWithLibrary:
+    def test_cli_fig8_output_contains_library_numbers(self, world, capsys):
+        from repro.cli import main
+
+        report = exp_fig8.run(world).report
+        assert main(["run", "fig8", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        # The CLI builds its own World at the same scale/seed, so the
+        # exact same max rate must appear in its output.
+        assert f"{report.max_rate() * 100:.2f}%" in out

@@ -1,0 +1,123 @@
+"""Tests for RIB dump serialization and parsing."""
+
+import io
+
+import pytest
+
+from repro.measurement import (
+    ParsedRib,
+    build_routeviews_routers,
+    parse_rib_dump,
+    write_rib_dump,
+)
+from repro.net import parse_address, parse_prefix
+from repro.routing import RoutingOracle, best_route
+from repro.topology import Relationship, generate_as_topology
+
+
+@pytest.fixture(scope="module")
+def dumped():
+    topo = generate_as_topology()
+    oracle = RoutingOracle(topo)
+    router = build_routeviews_routers(topo)[0]
+    prefixes = [p for p, _ in list(topo.all_prefixes())[:40]]
+    buffer = io.StringIO()
+    rows = write_rib_dump(router, oracle, prefixes, buffer)
+    return topo, oracle, router, prefixes, buffer.getvalue(), rows
+
+
+class TestWrite:
+    def test_row_count_matches_candidates(self, dumped):
+        topo, oracle, router, prefixes, text, rows = dumped
+        expected = sum(
+            len(router.candidate_routes(oracle, p)) for p in prefixes
+        )
+        assert rows == expected
+        data_lines = [
+            l for l in text.splitlines() if l and not l.startswith("#")
+        ]
+        assert len(data_lines) == rows
+
+    def test_header_present(self, dumped):
+        *_, text, _ = dumped
+        assert text.splitlines()[1] == (
+            "# ip_prefix|next_hop|local_pref|metric|as_path"
+        )
+
+    def test_local_pref_uniformly_zero(self, dumped):
+        # As the paper observed in the real dumps (§6.2.1).
+        *_, text, _ = dumped
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert line.split("|")[2] == "0"
+
+
+class TestRoundtrip:
+    def test_parse_recovers_routes(self, dumped):
+        topo, oracle, router, prefixes, text, rows = dumped
+        rib = parse_rib_dump(io.StringIO(text), router_name="rt")
+        assert rib.num_routes() == rows
+        assert set(rib.prefixes()) <= set(prefixes)
+        for prefix in rib.prefixes():
+            original = router.candidate_routes(oracle, prefix)
+            parsed = rib.routes_for(prefix)
+            assert {r.as_path for r in parsed} == {
+                r.as_path for r in original
+            }
+            assert {r.med for r in parsed} == {r.med for r in original}
+
+    def test_best_for_address_with_inferred_relationships(self, dumped):
+        topo, oracle, router, prefixes, text, _ = dumped
+        rib = parse_rib_dump(io.StringIO(text)).infer_relationships()
+        agreements = total = 0
+        for prefix in rib.prefixes():
+            address = prefix.first_address()
+            parsed_best = rib.best_for_address(address)
+            true_best = router.fib_best(oracle, prefix)
+            if parsed_best is None or true_best is None:
+                continue
+            total += 1
+            if parsed_best.next_hop == true_best.next_hop:
+                agreements += 1
+        assert total > 20
+        # Inference cannot see the vantage's private relationship
+        # config, so perfect agreement is not expected — but the
+        # decision process should mostly coincide.
+        assert agreements / total > 0.6
+
+    def test_longest_prefix_match_semantics(self):
+        text = "\n".join(
+            [
+                "10.0.0.0/8|5|0|0|5 9",
+                "10.1.0.0/16|6|0|0|6 9",
+            ]
+        )
+        rib = parse_rib_dump(io.StringIO(text))
+        assert rib.best_for_address(parse_address("10.1.2.3")).next_hop == 6
+        assert rib.best_for_address(parse_address("10.2.2.3")).next_hop == 5
+        assert rib.best_for_address(parse_address("11.0.0.1")) is None
+
+
+class TestParseErrors:
+    def test_wrong_field_count(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_rib_dump(io.StringIO("10.0.0.0/8|5|0|0"))
+
+    def test_bad_prefix(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_rib_dump(io.StringIO("# header\nnot-a-prefix|5|0|0|5"))
+
+    def test_bad_as_path(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_rib_dump(io.StringIO("10.0.0.0/8|5|0|0|5 abc"))
+
+    def test_blank_and_comment_lines_skipped(self):
+        text = "# c\n\n10.0.0.0/8|5|0|0|5 9\n\n"
+        rib = parse_rib_dump(io.StringIO(text))
+        assert rib.num_routes() == 1
+
+    def test_default_relationship_is_provider(self):
+        rib = parse_rib_dump(io.StringIO("10.0.0.0/8|5|0|0|5 9"))
+        route = rib.routes_for(parse_prefix("10.0.0.0/8"))[0]
+        assert route.relationship is Relationship.PROVIDER

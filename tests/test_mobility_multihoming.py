@@ -1,0 +1,128 @@
+"""Tests for multihomed device timelines."""
+
+import pytest
+
+from repro.mobility import DaySegment, NetworkLocation, UserDay
+from repro.mobility.multihoming import build_multihomed_timeline
+from repro.net import parse_address, parse_prefix
+
+
+def loc(ip, prefix, asn):
+    return NetworkLocation(parse_address(ip), parse_prefix(prefix), asn)
+
+
+HOME = loc("10.0.0.5", "10.0.0.0/16", 100)
+CELL = loc("10.1.0.9", "10.1.0.0/16", 200)
+CELL2 = loc("10.1.4.2", "10.1.0.0/16", 200)
+WORK = loc("10.2.0.7", "10.2.0.0/16", 300)
+
+
+def make_day(specs, user="u1", day=0):
+    segments = []
+    cursor = 0.0
+    for location, duration, net_type in specs:
+        segments.append(
+            DaySegment(
+                location=location,
+                start_hour=cursor,
+                duration_hours=duration,
+                net_type=net_type,
+            )
+        )
+        cursor += duration
+    return UserDay(user_id=user, day=day, segments=segments)
+
+
+class TestSingleRadio:
+    def test_sets_are_singletons(self):
+        day = make_day(
+            [(HOME, 8.0, "wifi"), (CELL, 8.0, "cellular"), (HOME, 8.0, "wifi")]
+        )
+        timeline = build_multihomed_timeline([day], dual_radio=False)
+        for _, addrs in timeline.changes:
+            assert len(addrs) == 1
+
+    def test_events_match_ip_transitions(self):
+        day = make_day(
+            [(HOME, 8.0, "wifi"), (CELL, 8.0, "cellular"), (HOME, 8.0, "wifi")]
+        )
+        timeline = build_multihomed_timeline([day], dual_radio=False)
+        assert len(timeline.events()) == 2
+
+
+class TestDualRadio:
+    def test_cellular_anchor_joins_wifi_set(self):
+        day = make_day(
+            [(CELL, 8.0, "cellular"), (HOME, 1.0, "wifi"),
+             (CELL2, 15.0, "cellular")]
+        )
+        timeline = build_multihomed_timeline(
+            [day], dual_radio=True, cellular_hold_hours=2.0
+        )
+        # During the WiFi hour the set holds both addresses.
+        assert timeline.set_at(8.5) == frozenset({HOME.ip, CELL.ip})
+
+    def test_hold_expires_mid_segment(self):
+        day = make_day(
+            [(CELL, 4.0, "cellular"), (HOME, 20.0, "wifi")]
+        )
+        timeline = build_multihomed_timeline(
+            [day], dual_radio=True, cellular_hold_hours=2.0
+        )
+        assert CELL.ip in timeline.set_at(5.0)
+        assert CELL.ip not in timeline.set_at(7.0)
+        # The expiry is its own change point.
+        hours = [h for h, _ in timeline.changes]
+        assert any(abs(h - 6.0) < 1e-9 for h in hours)
+
+    def test_no_anchor_before_first_cellular(self):
+        day = make_day(
+            [(HOME, 8.0, "wifi"), (CELL, 16.0, "cellular")]
+        )
+        timeline = build_multihomed_timeline([day], dual_radio=True)
+        assert timeline.set_at(1.0) == frozenset({HOME.ip})
+
+    def test_wifi_flap_keeps_best_anchor_constant(self):
+        # home -> cell -> work -> cell: during work, the set still
+        # holds the latest cellular address.
+        day = make_day(
+            [(HOME, 6.0, "wifi"), (CELL, 2.0, "cellular"),
+             (WORK, 1.0, "wifi"), (CELL2, 15.0, "cellular")]
+        )
+        timeline = build_multihomed_timeline(
+            [day], dual_radio=True, cellular_hold_hours=3.0
+        )
+        assert timeline.set_at(8.5) == frozenset({WORK.ip, CELL.ip})
+
+    def test_multiday_span(self):
+        days = [
+            make_day([(HOME, 24.0, "wifi")], day=0),
+            make_day([(CELL, 24.0, "cellular")], day=1),
+        ]
+        timeline = build_multihomed_timeline(days, dual_radio=True)
+        assert timeline.set_at(3.0) == frozenset({HOME.ip})
+        assert timeline.set_at(30.0) == frozenset({CELL.ip})
+
+    def test_events_have_changes(self):
+        day = make_day(
+            [(CELL, 8.0, "cellular"), (HOME, 8.0, "wifi"),
+             (CELL2, 8.0, "cellular")]
+        )
+        timeline = build_multihomed_timeline([day], dual_radio=True)
+        for event in timeline.events():
+            assert event.old_addrs != event.new_addrs
+            assert event.added() or event.removed()
+
+
+class TestValidation:
+    def test_requires_days(self):
+        with pytest.raises(ValueError):
+            build_multihomed_timeline([], dual_radio=True)
+
+    def test_requires_single_user(self):
+        days = [
+            make_day([(HOME, 24.0, "wifi")], user="a"),
+            make_day([(HOME, 24.0, "wifi")], user="b"),
+        ]
+        with pytest.raises(ValueError):
+            build_multihomed_timeline(days, dual_radio=True)

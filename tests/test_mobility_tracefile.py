@@ -1,0 +1,96 @@
+"""Tests for the mobility trace CSV format."""
+
+import io
+
+import pytest
+
+from repro.mobility import (
+    MobilityWorkloadConfig,
+    day_stats,
+    generate_workload,
+    read_trace,
+    write_trace,
+)
+from repro.topology import generate_as_topology
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    topo = generate_as_topology()
+    return generate_workload(
+        topo, MobilityWorkloadConfig(num_users=12, num_days=2, seed=21)
+    )
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_everything(self, small_workload):
+        buffer = io.StringIO()
+        rows = write_trace(small_workload.user_days, buffer)
+        assert rows == sum(
+            len(d.segments) for d in small_workload.user_days
+        )
+        buffer.seek(0)
+        loaded = read_trace(buffer)
+        original = sorted(
+            small_workload.user_days, key=lambda d: (d.user_id, d.day)
+        )
+        assert len(loaded) == len(original)
+        for a, b in zip(loaded, original):
+            assert a.user_id == b.user_id
+            assert a.day == b.day
+            assert len(a.segments) == len(b.segments)
+            for sa, sb in zip(a.segments, b.segments):
+                assert sa.location == sb.location
+                assert sa.net_type == sb.net_type
+                assert sa.start_hour == pytest.approx(sb.start_hour, abs=1e-5)
+
+    def test_statistics_survive_roundtrip(self, small_workload):
+        buffer = io.StringIO()
+        write_trace(small_workload.user_days, buffer)
+        buffer.seek(0)
+        loaded = read_trace(buffer)
+        for a, b in zip(
+            loaded,
+            sorted(small_workload.user_days, key=lambda d: (d.user_id, d.day)),
+        ):
+            sa, sb = day_stats(a), day_stats(b)
+            assert sa.distinct_ips == sb.distinct_ips
+            assert sa.ip_transitions == sb.ip_transitions
+            assert sa.dominant_ip_fraction == pytest.approx(
+                sb.dominant_ip_fraction
+            )
+
+    def test_rows_unordered_still_parse(self):
+        header = ("user_id,day,start_hour,duration_hours,ip,prefix,asn,"
+                  "net_type\n")
+        rows = [
+            "u,0,12.0,12.0,10.0.1.2,10.0.0.0/16,100,cellular",
+            "u,0,0.0,12.0,10.0.0.1,10.0.0.0/16,100,wifi",
+        ]
+        loaded = read_trace(io.StringIO(header + "\n".join(rows)))
+        assert len(loaded) == 1
+        assert loaded[0].segments[0].start_hour == 0.0
+
+
+class TestErrors:
+    HEADER = ("user_id,day,start_hour,duration_hours,ip,prefix,asn,"
+              "net_type\n")
+
+    def test_missing_header_fields(self):
+        with pytest.raises(ValueError, match="missing fields"):
+            read_trace(io.StringIO("user_id,day\nu,0"))
+
+    def test_malformed_row_number_reported(self):
+        text = self.HEADER + "u,0,0.0,24.0,not-an-ip,10.0.0.0/16,100,wifi"
+        with pytest.raises(ValueError, match="row 2"):
+            read_trace(io.StringIO(text))
+
+    def test_incomplete_day_rejected_with_context(self):
+        text = self.HEADER + "u,0,0.0,10.0,10.0.0.1,10.0.0.0/16,100,wifi"
+        with pytest.raises(ValueError, match="user 'u' day 0"):
+            read_trace(io.StringIO(text))
+
+    def test_ip_outside_prefix_rejected(self):
+        text = self.HEADER + "u,0,0.0,24.0,99.0.0.1,10.0.0.0/16,100,wifi"
+        with pytest.raises(ValueError, match="row 2"):
+            read_trace(io.StringIO(text))

@@ -1,0 +1,179 @@
+"""Unit tests for IPv4 address and prefix primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import IPv4Address, IPv4Prefix, parse_address, parse_prefix
+
+
+class TestIPv4Address:
+    def test_from_string_roundtrip(self):
+        addr = IPv4Address.from_string("22.33.44.55")
+        assert str(addr) == "22.33.44.55"
+
+    def test_value_composition(self):
+        addr = IPv4Address.from_string("1.2.3.4")
+        assert addr.value == (1 << 24) | (2 << 16) | (3 << 8) | 4
+
+    def test_octets(self):
+        assert IPv4Address.from_string("10.0.255.1").octets() == (10, 0, 255, 1)
+
+    def test_zero_and_max(self):
+        assert str(IPv4Address(0)) == "0.0.0.0"
+        assert str(IPv4Address(0xFFFFFFFF)) == "255.255.255.255"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            IPv4Address(-1)
+        with pytest.raises(ValueError):
+            IPv4Address(1 << 32)
+
+    def test_malformed_strings_rejected(self):
+        for bad in ["1.2.3", "1.2.3.4.5", "a.b.c.d", "256.1.1.1", "", "1..2.3"]:
+            with pytest.raises(ValueError):
+                IPv4Address.from_string(bad)
+
+    def test_bit_indexing_msb_first(self):
+        addr = IPv4Address(0x80000001)
+        assert addr.bit(0) == 1
+        assert addr.bit(1) == 0
+        assert addr.bit(31) == 1
+
+    def test_bit_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            IPv4Address(0).bit(32)
+        with pytest.raises(IndexError):
+            IPv4Address(0).bit(-1)
+
+    def test_ordering_and_equality(self):
+        a = IPv4Address.from_string("1.0.0.1")
+        b = IPv4Address.from_string("1.0.0.2")
+        assert a < b
+        assert a <= b
+        assert a != b
+        assert a == IPv4Address(a.value)
+
+    def test_hashable_as_dict_key(self):
+        d = {IPv4Address.from_string("9.9.9.9"): "x"}
+        assert d[IPv4Address.from_string("9.9.9.9")] == "x"
+
+    def test_int_conversion(self):
+        assert int(IPv4Address(12345)) == 12345
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_string_roundtrip_property(self, value):
+        addr = IPv4Address(value)
+        assert IPv4Address.from_string(str(addr)).value == value
+
+
+class TestIPv4Prefix:
+    def test_canonicalizes_host_bits(self):
+        p = IPv4Prefix(IPv4Address.from_string("22.33.44.55").value, 24)
+        assert str(p) == "22.33.44.0/24"
+
+    def test_from_string(self):
+        p = IPv4Prefix.from_string("22.33.0.0/16")
+        assert p.length == 16
+        assert str(p) == "22.33.0.0/16"
+
+    def test_from_string_bare_address_is_host(self):
+        p = IPv4Prefix.from_string("1.2.3.4")
+        assert p.length == 32
+
+    def test_host_prefix(self):
+        addr = parse_address("8.8.8.8")
+        p = IPv4Prefix.host(addr)
+        assert p.length == 32
+        assert p.contains(addr)
+
+    def test_malformed_rejected(self):
+        for bad in ["1.2.3.4/33", "1.2.3.4/-1", "1.2.3.4/x", "1.2/8"]:
+            with pytest.raises(ValueError):
+                IPv4Prefix.from_string(bad)
+
+    def test_contains_address(self):
+        p = parse_prefix("22.33.44.0/24")
+        assert p.contains(parse_address("22.33.44.55"))
+        assert not p.contains(parse_address("22.33.88.55"))
+
+    def test_default_route_contains_everything(self):
+        p = parse_prefix("0.0.0.0/0")
+        assert p.contains(parse_address("1.2.3.4"))
+        assert p.contains(parse_address("255.255.255.255"))
+        assert p.netmask() == 0
+
+    def test_contains_prefix_relations(self):
+        p16 = parse_prefix("22.33.0.0/16")
+        p24 = parse_prefix("22.33.44.0/24")
+        assert p16.contains_prefix(p24)
+        assert not p24.contains_prefix(p16)
+        assert p16.contains_prefix(p16)
+        assert p24.is_subnet_of(p16)
+
+    def test_disjoint_prefixes(self):
+        a = parse_prefix("10.0.0.0/8")
+        b = parse_prefix("11.0.0.0/8")
+        assert not a.contains_prefix(b)
+        assert not b.contains_prefix(a)
+
+    def test_first_last_addresses(self):
+        p = parse_prefix("192.168.1.0/24")
+        assert str(p.first_address()) == "192.168.1.0"
+        assert str(p.last_address()) == "192.168.1.255"
+
+    def test_num_addresses(self):
+        assert parse_prefix("0.0.0.0/0").num_addresses() == 1 << 32
+        assert parse_prefix("1.2.3.4/32").num_addresses() == 1
+
+    def test_address_at(self):
+        p = parse_prefix("10.0.0.0/30")
+        assert str(p.address_at(3)) == "10.0.0.3"
+        with pytest.raises(ValueError):
+            p.address_at(4)
+
+    def test_subnets(self):
+        p = parse_prefix("10.0.0.0/24")
+        subs = list(p.subnets(26))
+        assert len(subs) == 4
+        assert all(s.is_subnet_of(p) for s in subs)
+        assert len(set(subs)) == 4
+
+    def test_subnets_bad_length(self):
+        with pytest.raises(ValueError):
+            list(parse_prefix("10.0.0.0/24").subnets(16))
+
+    def test_supernet(self):
+        p = parse_prefix("22.33.44.0/24")
+        assert str(p.supernet(16)) == "22.33.0.0/16"
+        with pytest.raises(ValueError):
+            p.supernet(25)
+
+    def test_equality_is_canonical(self):
+        a = IPv4Prefix(parse_address("22.33.44.1").value, 24)
+        b = IPv4Prefix(parse_address("22.33.44.200").value, 24)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_bits_length(self):
+        p = parse_prefix("255.0.0.0/8")
+        assert list(p.bits()) == [1] * 8
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_canonical_roundtrip_property(self, network, length):
+        p = IPv4Prefix(network, length)
+        assert IPv4Prefix.from_string(str(p)) == p
+        assert p.contains(p.first_address())
+        assert p.contains(p.last_address())
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_supernet_contains_property(self, network, length):
+        p = IPv4Prefix(network, length)
+        sup = p.supernet(length - 1)
+        assert sup.contains_prefix(p)

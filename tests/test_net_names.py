@@ -1,0 +1,201 @@
+"""Unit and property tests for content names and the name trie."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import ContentName, NameTrie
+
+
+def dom(text):
+    return ContentName.from_domain(text)
+
+
+class TestContentName:
+    def test_from_domain_reverses_labels(self):
+        name = dom("travel.yahoo.com")
+        assert name.labels == ("com", "yahoo", "travel")
+
+    def test_from_path_keeps_order(self):
+        name = ContentName.from_path("/Disney/StarWarsIV")
+        assert name.labels == ("Disney", "StarWarsIV")
+
+    def test_domain_roundtrip(self):
+        assert dom("graphics.nytimes.com").to_domain() == "graphics.nytimes.com"
+
+    def test_path_roundtrip(self):
+        name = ContentName.from_path("/20thCenturyFox/StarWars-EpisodeIV")
+        assert name.to_path() == "/20thCenturyFox/StarWars-EpisodeIV"
+
+    def test_domain_lowercased(self):
+        assert dom("Yahoo.COM") == dom("yahoo.com")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ContentName(())
+        with pytest.raises(ValueError):
+            ContentName.from_domain("")
+        with pytest.raises(ValueError):
+            ContentName.from_path("/")
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(ValueError):
+            ContentName(("a.b",))
+        with pytest.raises(ValueError):
+            ContentName(("a/b",))
+        with pytest.raises(ValueError):
+            ContentName(("",))
+
+    def test_strict_subdomain_relation(self):
+        # §3.3.2: travel.yahoo.com ≺ yahoo.com
+        assert dom("travel.yahoo.com").is_strict_descendant_of(dom("yahoo.com"))
+        assert not dom("yahoo.com").is_strict_descendant_of(dom("yahoo.com"))
+        assert not dom("yahoo.com").is_strict_descendant_of(dom("travel.yahoo.com"))
+
+    def test_descendant_of_self(self):
+        assert dom("yahoo.com").is_descendant_of(dom("yahoo.com"))
+
+    def test_unrelated_domains(self):
+        assert not dom("cnn.com").is_descendant_of(dom("yahoo.com"))
+        assert not dom("notyahoo.com").is_descendant_of(dom("yahoo.com"))
+
+    def test_parent_and_child(self):
+        name = dom("travel.yahoo.com")
+        assert name.parent() == dom("yahoo.com")
+        assert dom("yahoo.com").child("travel") == name
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            ContentName(("com",)).parent()
+
+    def test_ancestors_shortest_first(self):
+        ancestors = list(dom("a.b.c.com").ancestors())
+        assert ancestors == [dom("com"), dom("c.com"), dom("b.c.com")]
+
+    def test_common_ancestor_length(self):
+        assert dom("travel.yahoo.com").common_ancestor_length(
+            dom("sports.yahoo.com")
+        ) == 2
+        assert dom("yahoo.com").common_ancestor_length(dom("mit.edu")) == 0
+
+    def test_ordering_and_hash(self):
+        names = {dom("yahoo.com"), dom("cnn.com"), dom("yahoo.com")}
+        assert len(names) == 2
+        assert sorted([dom("b.com"), dom("a.com")]) == [dom("a.com"), dom("b.com")]
+
+
+class TestNameTrie:
+    def test_empty(self):
+        trie = NameTrie()
+        assert len(trie) == 0
+        assert trie.longest_match(dom("yahoo.com")) is None
+
+    def test_fig3_subsumption_lookup(self):
+        # Fig. 3 forwarding table.
+        trie = NameTrie()
+        trie.insert(dom("yahoo.com"), 2)
+        trie.insert(dom("sports.yahoo.com"), 5)
+        trie.insert(dom("cnn.com"), 2)
+        trie.insert(dom("mit.edu"), 4)
+        # travel.yahoo.com has no explicit entry: matches yahoo.com.
+        assert trie.longest_match(dom("travel.yahoo.com")) == (dom("yahoo.com"), 2)
+        assert trie.longest_match(dom("sports.yahoo.com")) == (
+            dom("sports.yahoo.com"),
+            5,
+        )
+        assert trie.longest_match(dom("mit.edu")) == (dom("mit.edu"), 4)
+
+    def test_fig2_content_mobility(self):
+        # Fig. 2 router Q: /20thCenturyFox/* -> 5, /Disney/* -> 3.
+        trie = NameTrie()
+        fox = ContentName.from_path("/20thCenturyFox")
+        disney = ContentName.from_path("/Disney")
+        trie.insert(fox, 5)
+        trie.insert(disney, 3)
+        movie_at_fox = fox.child("StarWarsIV")
+        movie_at_disney = disney.child("StarWarsIV")
+        assert trie.longest_match(movie_at_fox)[1] == 5
+        assert trie.longest_match(movie_at_disney)[1] == 3
+        # Installing the specific entry pins the old name to the new port.
+        trie.insert(movie_at_fox, 3)
+        assert trie.longest_match(movie_at_fox)[1] == 3
+
+    def test_insert_replace_and_get(self):
+        trie = NameTrie()
+        trie.insert(dom("yahoo.com"), 1)
+        trie.insert(dom("yahoo.com"), 9)
+        assert len(trie) == 1
+        assert trie.get(dom("yahoo.com")) == 9
+        assert trie.get(dom("cnn.com"), "dflt") == "dflt"
+
+    def test_contains_is_exact(self):
+        trie = NameTrie()
+        trie.insert(dom("yahoo.com"), 1)
+        assert dom("yahoo.com") in trie
+        assert dom("travel.yahoo.com") not in trie
+        assert dom("com") not in trie
+
+    def test_delete(self):
+        trie = NameTrie()
+        trie.insert(dom("yahoo.com"), 1)
+        trie.insert(dom("travel.yahoo.com"), 2)
+        assert trie.delete(dom("travel.yahoo.com"))
+        assert not trie.delete(dom("travel.yahoo.com"))
+        assert len(trie) == 1
+        assert trie.longest_match(dom("travel.yahoo.com")) == (dom("yahoo.com"), 1)
+
+    def test_delete_preserves_descendants(self):
+        trie = NameTrie()
+        trie.insert(dom("yahoo.com"), 1)
+        trie.insert(dom("travel.yahoo.com"), 2)
+        assert trie.delete(dom("yahoo.com"))
+        assert trie.get(dom("travel.yahoo.com")) == 2
+        assert trie.longest_match(dom("sports.yahoo.com")) is None
+
+    def test_all_matches_shortest_first(self):
+        trie = NameTrie()
+        trie.insert(dom("com"), 1)
+        trie.insert(dom("yahoo.com"), 2)
+        trie.insert(dom("travel.yahoo.com"), 3)
+        matches = trie.all_matches(dom("uk.travel.yahoo.com"))
+        assert [v for _, v in matches] == [1, 2, 3]
+
+    def test_items_roundtrip(self):
+        trie = NameTrie()
+        table = {dom("yahoo.com"): 1, dom("cnn.com"): 2, dom("a.cnn.com"): 3}
+        for name, value in table.items():
+            trie.insert(name, value)
+        assert trie.to_dict() == table
+        assert set(trie.names()) == set(table)
+
+
+label = st.text(alphabet="abcd", min_size=1, max_size=3)
+name_strategy = st.lists(label, min_size=1, max_size=4).map(
+    lambda labels: ContentName(tuple(labels))
+)
+
+
+class TestNameTrieProperties:
+    @settings(max_examples=150)
+    @given(st.dictionaries(name_strategy, st.integers(), max_size=30), name_strategy)
+    def test_longest_match_agrees_with_linear_scan(self, table, query):
+        trie = NameTrie()
+        for name, value in table.items():
+            trie.insert(name, value)
+        covering = [n for n in table if query.is_descendant_of(n)]
+        result = trie.longest_match(query)
+        if not covering:
+            assert result is None
+        else:
+            expected = max(covering, key=len)
+            assert result == (expected, table[expected])
+
+    @settings(max_examples=100)
+    @given(st.dictionaries(name_strategy, st.integers(), min_size=1, max_size=25))
+    def test_delete_all_leaves_empty(self, table):
+        trie = NameTrie()
+        for name, value in table.items():
+            trie.insert(name, value)
+        for name in table:
+            assert trie.delete(name)
+        assert len(trie) == 0

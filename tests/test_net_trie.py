@@ -1,0 +1,179 @@
+"""Unit and property tests for the binary prefix trie (IP FIB)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import IPv4Address, IPv4Prefix, PrefixTrie, parse_address, parse_prefix
+
+
+def build(entries):
+    trie = PrefixTrie()
+    for text, value in entries:
+        trie.insert(parse_prefix(text), value)
+    return trie
+
+
+class TestPrefixTrieBasics:
+    def test_empty_trie(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0
+        assert trie.longest_match(parse_address("1.2.3.4")) is None
+        assert trie.all_matches(parse_address("1.2.3.4")) == []
+
+    def test_insert_and_get(self):
+        trie = build([("10.0.0.0/8", "a")])
+        assert len(trie) == 1
+        assert trie.get(parse_prefix("10.0.0.0/8")) == "a"
+        assert parse_prefix("10.0.0.0/8") in trie
+
+    def test_get_missing_returns_default(self):
+        trie = PrefixTrie()
+        assert trie.get(parse_prefix("10.0.0.0/8")) is None
+        assert trie.get(parse_prefix("10.0.0.0/8"), "dflt") == "dflt"
+
+    def test_insert_replaces(self):
+        trie = build([("10.0.0.0/8", "a")])
+        trie.insert(parse_prefix("10.0.0.0/8"), "b")
+        assert len(trie) == 1
+        assert trie.get(parse_prefix("10.0.0.0/8")) == "b"
+
+    def test_paper_example_longest_match(self):
+        # Fig. 2: router R with 22.33.44.0/24 -> 5 and 22.33.0.0/16 -> 3.
+        trie = build([("22.33.44.0/24", 5), ("22.33.0.0/16", 3)])
+        before = trie.longest_match(parse_address("22.33.44.55"))
+        after = trie.longest_match(parse_address("22.33.88.55"))
+        assert before == (parse_prefix("22.33.44.0/24"), 5)
+        assert after == (parse_prefix("22.33.0.0/16"), 3)
+
+    def test_host_route_injection_restores_port(self):
+        # Fig. 2 continued: installing 22.33.44.55/32 -> 3 overrides the /24.
+        trie = build([("22.33.44.0/24", 5), ("22.33.0.0/16", 3)])
+        trie.insert(parse_prefix("22.33.44.55/32"), 3)
+        match = trie.longest_match(parse_address("22.33.44.55"))
+        assert match == (parse_prefix("22.33.44.55/32"), 3)
+
+    def test_all_matches_shortest_first(self):
+        trie = build(
+            [("0.0.0.0/0", 1), ("22.0.0.0/8", 2), ("22.33.0.0/16", 3),
+             ("22.33.44.0/24", 4)]
+        )
+        matches = trie.all_matches(parse_address("22.33.44.55"))
+        lengths = [p.length for p, _ in matches]
+        assert lengths == [0, 8, 16, 24]
+
+    def test_default_route_matches_everything(self):
+        trie = build([("0.0.0.0/0", "default")])
+        assert trie.longest_match(parse_address("200.1.2.3")) == (
+            parse_prefix("0.0.0.0/0"),
+            "default",
+        )
+
+    def test_no_match_outside_coverage(self):
+        trie = build([("10.0.0.0/8", "a")])
+        assert trie.longest_match(parse_address("11.0.0.1")) is None
+
+    def test_delete(self):
+        trie = build([("10.0.0.0/8", "a"), ("10.1.0.0/16", "b")])
+        assert trie.delete(parse_prefix("10.1.0.0/16"))
+        assert len(trie) == 1
+        assert trie.longest_match(parse_address("10.1.2.3")) == (
+            parse_prefix("10.0.0.0/8"),
+            "a",
+        )
+
+    def test_delete_missing_returns_false(self):
+        trie = build([("10.0.0.0/8", "a")])
+        assert not trie.delete(parse_prefix("10.1.0.0/16"))
+        assert not trie.delete(parse_prefix("11.0.0.0/8"))
+        assert len(trie) == 1
+
+    def test_delete_preserves_descendants(self):
+        trie = build([("10.0.0.0/8", "a"), ("10.1.0.0/16", "b")])
+        assert trie.delete(parse_prefix("10.0.0.0/8"))
+        assert trie.get(parse_prefix("10.1.0.0/16")) == "b"
+        assert trie.longest_match(parse_address("10.1.2.3"))[1] == "b"
+        assert trie.longest_match(parse_address("10.2.2.3")) is None
+
+    def test_items_sorted(self):
+        entries = [("10.0.0.0/8", 1), ("9.0.0.0/8", 2), ("10.128.0.0/9", 3)]
+        trie = build(entries)
+        items = list(trie.items())
+        assert len(items) == 3
+        assert items == sorted(items)
+
+    def test_to_dict(self):
+        trie = build([("10.0.0.0/8", 1), ("11.0.0.0/8", 2)])
+        d = trie.to_dict()
+        assert d == {parse_prefix("10.0.0.0/8"): 1, parse_prefix("11.0.0.0/8"): 2}
+
+    def test_sibling_prefixes_do_not_interfere(self):
+        trie = build([("10.0.0.0/9", "lo"), ("10.128.0.0/9", "hi")])
+        assert trie.longest_match(parse_address("10.0.0.1"))[1] == "lo"
+        assert trie.longest_match(parse_address("10.200.0.1"))[1] == "hi"
+
+
+prefix_strategy = st.tuples(
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=32),
+).map(lambda t: IPv4Prefix(t[0], t[1]))
+
+
+class TestPrefixTrieProperties:
+    @settings(max_examples=200)
+    @given(
+        st.dictionaries(prefix_strategy, st.integers(), max_size=40),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_longest_match_agrees_with_linear_scan(self, table, addr_value):
+        trie = PrefixTrie()
+        for prefix, value in table.items():
+            trie.insert(prefix, value)
+        addr = IPv4Address(addr_value)
+        covering = [p for p in table if p.contains(addr)]
+        result = trie.longest_match(addr)
+        if not covering:
+            assert result is None
+        else:
+            expected = max(covering, key=lambda p: p.length)
+            assert result == (expected, table[expected])
+
+    @settings(max_examples=100)
+    @given(st.dictionaries(prefix_strategy, st.integers(), max_size=40))
+    def test_items_roundtrip(self, table):
+        trie = PrefixTrie()
+        for prefix, value in table.items():
+            trie.insert(prefix, value)
+        assert trie.to_dict() == table
+        assert len(trie) == len(table)
+
+    @settings(max_examples=100)
+    @given(
+        st.dictionaries(prefix_strategy, st.integers(), min_size=1, max_size=30),
+    )
+    def test_delete_all_leaves_empty(self, table):
+        trie = PrefixTrie()
+        for prefix, value in table.items():
+            trie.insert(prefix, value)
+        for prefix in table:
+            assert trie.delete(prefix)
+        assert len(trie) == 0
+        assert list(trie.items()) == []
+
+    @settings(max_examples=100)
+    @given(
+        st.dictionaries(prefix_strategy, st.integers(), max_size=30),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_all_matches_are_nested_and_cover(self, table, addr_value):
+        trie = PrefixTrie()
+        for prefix, value in table.items():
+            trie.insert(prefix, value)
+        addr = IPv4Address(addr_value)
+        matches = trie.all_matches(addr)
+        assert len(matches) == sum(1 for p in table if p.contains(addr))
+        for (shorter, _), (longer, _) in zip(matches, matches[1:]):
+            assert shorter.length < longer.length
+            assert shorter.contains_prefix(longer)
+        for prefix, _ in matches:
+            assert prefix.contains(addr)

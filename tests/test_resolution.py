@@ -1,0 +1,195 @@
+"""Tests for the name-resolution service and TTL staleness analysis."""
+
+import pytest
+
+from repro.mobility import MobilityEvent, NetworkLocation
+from repro.net import parse_address, parse_prefix
+from repro.resolution import (
+    ClientResolverCache,
+    NameResolutionService,
+    default_service,
+    simulate_ttl,
+)
+
+
+def loc(ip):
+    return NetworkLocation(
+        ip=parse_address(ip),
+        prefix=parse_prefix(ip + "/24"),
+        asn=100,
+    )
+
+
+def make_service(propagation_ms=0.0):
+    return NameResolutionService(
+        replica_latency_ms={
+            "us": {"us": 10.0, "eu": 50.0},
+            "eu": {"us": 50.0, "eu": 8.0},
+        },
+        propagation_ms=propagation_ms,
+    )
+
+
+class TestService:
+    def test_update_and_resolve(self):
+        service = make_service()
+        service.update("phone", [loc("1.2.3.4")], now=0.0)
+        result = service.resolve("phone", "us", now=1.0)
+        assert result is not None
+        assert result.locations == (loc("1.2.3.4"),)
+        assert result.version == 1
+        assert not result.from_cache
+
+    def test_versions_increment(self):
+        service = make_service()
+        service.update("phone", [loc("1.2.3.4")], now=0.0)
+        record = service.update("phone", [loc("5.6.7.8")], now=1.0)
+        assert record.version == 2
+        assert service.authoritative("phone").locations == (loc("5.6.7.8"),)
+
+    def test_unknown_name(self):
+        service = make_service()
+        assert service.resolve("ghost", "us", now=0.0) is None
+        assert service.authoritative("ghost") is None
+
+    def test_empty_binding_rejected(self):
+        with pytest.raises(ValueError):
+            make_service().update("phone", [], now=0.0)
+
+    def test_nearest_replica_latency(self):
+        service = make_service()
+        assert service.nearest_replica_latency("us") == 10.0
+        assert service.nearest_replica_latency("eu") == 8.0
+        with pytest.raises(KeyError):
+            service.nearest_replica_latency("mars")
+
+    def test_lookup_is_round_trip(self):
+        service = make_service()
+        service.update("phone", [loc("1.2.3.4")], now=0.0)
+        result = service.resolve("phone", "eu", now=1.0)
+        assert result.latency_ms == pytest.approx(16.0)
+
+    def test_propagation_window_serves_old_version(self):
+        service = make_service(propagation_ms=1000.0)  # 1 second
+        service.update("phone", [loc("1.2.3.4")], now=0.0)
+        service.update("phone", [loc("5.6.7.8")], now=10.0)
+        # At 10.5s the second update has not propagated.
+        mid = service.resolve("phone", "us", now=10.5)
+        assert mid.version == 1
+        late = service.resolve("phone", "us", now=11.5)
+        assert late.version == 2
+
+    def test_counters(self):
+        service = make_service()
+        service.update("a", [loc("1.2.3.4")], now=0.0)
+        service.resolve("a", "us", now=1.0)
+        service.resolve("a", "us", now=2.0)
+        assert service.update_count == 1
+        assert service.lookup_count == 2
+
+    def test_needs_replicas(self):
+        with pytest.raises(ValueError):
+            NameResolutionService(replica_latency_ms={})
+
+
+class TestClientCache:
+    def test_hit_within_ttl(self):
+        service = make_service()
+        service.update("phone", [loc("1.2.3.4")], now=0.0)
+        cache = ClientResolverCache(service, ttl_s=60.0, client_region="us")
+        first = cache.resolve("phone", now=1.0)
+        second = cache.resolve("phone", now=30.0)
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.latency_ms == 0.0
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_miss_after_ttl(self):
+        service = make_service()
+        service.update("phone", [loc("1.2.3.4")], now=0.0)
+        cache = ClientResolverCache(service, ttl_s=10.0, client_region="us")
+        cache.resolve("phone", now=1.0)
+        result = cache.resolve("phone", now=12.0)
+        assert not result.from_cache
+
+    def test_zero_ttl_never_caches(self):
+        service = make_service()
+        service.update("phone", [loc("1.2.3.4")], now=0.0)
+        cache = ClientResolverCache(service, ttl_s=0.0, client_region="us")
+        cache.resolve("phone", now=1.0)
+        cache.resolve("phone", now=1.1)
+        assert cache.hits == 0
+
+    def test_staleness_detection(self):
+        service = make_service()
+        service.update("phone", [loc("1.2.3.4")], now=0.0)
+        cache = ClientResolverCache(service, ttl_s=100.0, client_region="us")
+        cache.resolve("phone", now=1.0)
+        assert not cache.is_stale("phone", now=2.0)
+        service.update("phone", [loc("5.6.7.8")], now=5.0)
+        assert cache.is_stale("phone", now=6.0)
+        # After expiry, no stale answer can be handed out.
+        assert not cache.is_stale("phone", now=200.0)
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ClientResolverCache(make_service(), ttl_s=-1.0, client_region="us")
+
+
+def make_events(user="u1", hops=6):
+    locations = [loc(f"1.2.{i}.4") for i in range(hops + 1)]
+    events = []
+    for i in range(hops):
+        events.append(
+            MobilityEvent(
+                user_id=user,
+                day=0,
+                hour=2.0 * (i + 1),
+                old=locations[i],
+                new=locations[i + 1],
+            )
+        )
+    return events
+
+
+class TestSimulateTtl:
+    def test_zero_ttl_never_stale(self):
+        points = simulate_ttl(make_events(), ttls_s=[0.0], seed=1)
+        assert points[0].stale_failures == 0
+        assert points[0].cache_hit_rate == 0.0
+
+    def test_staleness_grows_with_ttl(self):
+        points = simulate_ttl(
+            make_events(hops=10),
+            ttls_s=[0.0, 600.0, 7200.0],
+            connections_per_hour=6.0,
+            seed=3,
+        )
+        failure_rates = [p.failure_rate for p in points]
+        assert failure_rates[0] == 0.0
+        assert failure_rates[2] >= failure_rates[1] >= failure_rates[0]
+        assert failure_rates[2] > 0.0
+
+    def test_hit_rate_grows_with_ttl(self):
+        points = simulate_ttl(
+            make_events(hops=10),
+            ttls_s=[10.0, 3600.0],
+            connections_per_hour=6.0,
+            seed=3,
+        )
+        assert points[1].cache_hit_rate > points[0].cache_hit_rate
+        assert points[1].mean_lookup_ms < points[0].mean_lookup_ms
+
+    def test_requires_single_user(self):
+        mixed = make_events("a") + make_events("b")
+        with pytest.raises(ValueError):
+            simulate_ttl(mixed, ttls_s=[0.0])
+
+    def test_requires_events(self):
+        with pytest.raises(ValueError):
+            simulate_ttl([], ttls_s=[0.0])
+
+    def test_default_service_regions(self):
+        service = default_service()
+        for region in ("us", "eu", "asia"):
+            assert service.nearest_replica_latency(region) < 20.0

@@ -1,0 +1,279 @@
+"""Tests for policy-driven route propagation and vantage-point RIBs."""
+
+import pytest
+
+from repro.net import IPv4Prefix, parse_address, parse_prefix
+from repro.routing import BestPath, PathType, RoutingOracle, VantagePoint
+from repro.topology import (
+    ASNode,
+    ASTopology,
+    ASTopologyConfig,
+    Relationship,
+    Tier,
+    generate_as_topology,
+)
+
+
+def small_internet():
+    """A hand-built 7-AS internet.
+
+            1 ===== 2          (tier-1 peering)
+           / \\       \\
+          3   4       5        (tier-2; 3-4 peer)
+          |   |       |
+          6   +---7---+        (stubs; 7 multihomed to 4 and 5)
+    """
+    topo = ASTopology()
+    topo.add_as(ASNode(1, Tier.T1, "us-west"))
+    topo.add_as(ASNode(2, Tier.T1, "eu-west"))
+    topo.add_as(ASNode(3, Tier.T2, "us-west"))
+    topo.add_as(ASNode(4, Tier.T2, "us-east"))
+    topo.add_as(ASNode(5, Tier.T2, "eu-west"))
+    topo.add_as(ASNode(6, Tier.STUB, "us-west"))
+    topo.add_as(ASNode(7, Tier.STUB, "us-east"))
+    topo.add_peering(1, 2)
+    topo.add_customer_provider(3, 1)
+    topo.add_customer_provider(4, 1)
+    topo.add_customer_provider(5, 2)
+    topo.add_peering(3, 4)
+    topo.add_customer_provider(6, 3)
+    topo.add_customer_provider(7, 4)
+    topo.add_customer_provider(7, 5)
+    topo.assign_prefix(6, parse_prefix("10.6.0.0/16"))
+    topo.assign_prefix(7, parse_prefix("10.7.0.0/16"))
+    return topo
+
+
+@pytest.fixture()
+def oracle():
+    return RoutingOracle(small_internet())
+
+
+def is_valley_free(topo, path):
+    """Check Gao-Rexford validity: uphill*, optional peer, downhill*."""
+    # Encode each link as +1 (customer->provider), 0 (peer), -1 (down).
+    steps = []
+    for u, v in zip(path, path[1:]):
+        rel = topo.relationship(u, v)  # what v is to u
+        if rel is Relationship.PROVIDER:
+            steps.append(1)
+        elif rel is Relationship.PEER:
+            steps.append(0)
+        else:
+            steps.append(-1)
+    seen_peer_or_down = False
+    peers = 0
+    for s in steps:
+        if s == 1:
+            if seen_peer_or_down:
+                return False
+        else:
+            seen_peer_or_down = True
+            if s == 0:
+                peers += 1
+    return peers <= 1
+
+
+class TestRoutingOracle:
+    def test_origin_route(self, oracle):
+        table = oracle.routes_to(6)
+        assert table[6] == BestPath((6,), PathType.ORIGIN)
+
+    def test_customer_routes_up_provider_chain(self, oracle):
+        table = oracle.routes_to(6)
+        assert table[3].path == (3, 6)
+        assert table[3].path_type is PathType.CUSTOMER
+        assert table[1].path == (1, 3, 6)
+        assert table[1].path_type is PathType.CUSTOMER
+
+    def test_peer_route_preferred_over_provider(self, oracle):
+        # AS4 can reach 6 via peer 3 (4,3,6) or via provider 1 (4,1,3,6).
+        table = oracle.routes_to(6)
+        assert table[4].path == (4, 3, 6)
+        assert table[4].path_type is PathType.PEER
+
+    def test_provider_routes_propagate_down(self, oracle):
+        table = oracle.routes_to(6)
+        # AS5 has no customer/peer route to 6; it goes up to 2 then down.
+        assert table[5].path == (5, 2, 1, 3, 6)
+        assert table[5].path_type is PathType.PROVIDER
+        # Stub 7 hears from provider 4 (peer route of 4).
+        assert table[7].path == (7, 4, 3, 6)
+        assert table[7].path_type is PathType.PROVIDER
+
+    def test_multihomed_destination_shortest_wins(self, oracle):
+        table = oracle.routes_to(7)
+        # AS1: customer route via 4 (1,4,7); AS2: customer route via 5.
+        assert table[1].path == (1, 4, 7)
+        assert table[2].path == (2, 5, 7)
+
+    def test_all_paths_valley_free(self, oracle):
+        topo = oracle.topology
+        for dest in topo.ases:
+            for asn, bp in oracle.routes_to(dest).items():
+                assert is_valley_free(topo, bp.path), (dest, asn, bp.path)
+
+    def test_all_paths_loop_free_and_terminate_at_dest(self, oracle):
+        for dest in oracle.topology.ases:
+            for asn, bp in oracle.routes_to(dest).items():
+                assert bp.path[0] == asn
+                assert bp.path[-1] == dest
+                assert len(set(bp.path)) == len(bp.path)
+
+    def test_full_reachability(self, oracle):
+        for dest in oracle.topology.ases:
+            assert len(oracle.routes_to(dest)) == len(oracle.topology.ases)
+
+    def test_unknown_destination_raises(self, oracle):
+        with pytest.raises(KeyError):
+            oracle.routes_to(99)
+
+    def test_cache_returns_same_object(self, oracle):
+        assert oracle.routes_to(6) is oracle.routes_to(6)
+
+    def test_customer_preferred_even_if_longer(self):
+        # AS1 has customer chain 1<-3<-6 and also peers with 2 who could
+        # offer nothing shorter; build a case where peer path would be
+        # shorter: make 6 also a customer of 5 so 2's path is (2,5,6).
+        topo = small_internet()
+        topo.add_customer_provider(6, 5)
+        oracle = RoutingOracle(topo)
+        table = oracle.routes_to(6)
+        # AS2 now has customer route (2,5,6); AS1 customer route (1,3,6):
+        # both customer — but check AS4 prefers peer 3 (4,3,6) over
+        # provider 1 even though both length 3.
+        assert table[4].path_type is PathType.PEER
+
+
+class TestGeneratedTopologyRouting:
+    @pytest.fixture(scope="class")
+    def gen_oracle(self):
+        return RoutingOracle(generate_as_topology(ASTopologyConfig(seed=3)))
+
+    def test_sample_destinations_fully_reachable(self, gen_oracle):
+        topo = gen_oracle.topology
+        sample = sorted(topo.ases)[::37]
+        for dest in sample:
+            table = gen_oracle.routes_to(dest)
+            assert len(table) == len(topo.ases)
+
+    def test_sample_paths_valley_free(self, gen_oracle):
+        topo = gen_oracle.topology
+        sample = sorted(topo.ases)[::53]
+        for dest in sample:
+            for asn, bp in gen_oracle.routes_to(dest).items():
+                assert is_valley_free(topo, bp.path), (dest, asn, bp.path)
+
+    def test_paths_follow_real_adjacencies(self, gen_oracle):
+        topo = gen_oracle.topology
+        dest = sorted(topo.ases)[0]
+        for bp in gen_oracle.routes_to(dest).values():
+            for u, v in zip(bp.path, bp.path[1:]):
+                assert topo.are_adjacent(u, v)
+
+
+class TestVantagePoint:
+    def make_vantage(self, **kwargs):
+        defaults = dict(
+            name="test-vp",
+            host_region="us-west",
+            neighbors={
+                1: Relationship.PROVIDER,
+                3: Relationship.PEER,
+                4: Relationship.PEER,
+            },
+        )
+        defaults.update(kwargs)
+        return VantagePoint(**defaults)
+
+    def test_requires_neighbors(self):
+        with pytest.raises(ValueError):
+            VantagePoint(name="x", host_region="us-west", neighbors={})
+
+    def test_candidates_respect_export_policy(self, oracle):
+        vp = self.make_vantage()
+        p6 = parse_prefix("10.6.0.0/16")
+        routes = vp.candidate_routes(oracle, p6)
+        by_nh = {r.next_hop: r for r in routes}
+        # Neighbor 3 (peer of vp) has a customer route to 6: exported.
+        assert 3 in by_nh and by_nh[3].as_path == (3, 6)
+        # Neighbor 4's best route to 6 is peer-learned (4,3,6): a peer
+        # does NOT export peer-learned routes.
+        assert 4 not in by_nh
+        # Neighbor 1 is vp's provider: exports everything.
+        assert 1 in by_nh and by_nh[1].as_path == (1, 3, 6)
+
+    def test_provider_neighbor_exports_peer_routes(self, oracle):
+        vp = VantagePoint(
+            name="x", host_region="us-east", neighbors={4: Relationship.PROVIDER}
+        )
+        routes = vp.candidate_routes(oracle, parse_prefix("10.6.0.0/16"))
+        assert len(routes) == 1
+        assert routes[0].as_path == (4, 3, 6)
+
+    def test_customer_neighbor_exports_only_customer_routes(self, oracle):
+        vp = VantagePoint(
+            name="x", host_region="us-east", neighbors={4: Relationship.CUSTOMER}
+        )
+        # 4's route to 6 is peer-learned -> not exported to vp's... note:
+        # relationship CUSTOMER means 4 is vp's customer, so 4 sees vp as
+        # provider and exports only customer routes.
+        assert vp.candidate_routes(oracle, parse_prefix("10.6.0.0/16")) == []
+        # 4's route to 7 is customer-learned -> exported.
+        routes = vp.candidate_routes(oracle, parse_prefix("10.7.0.0/16"))
+        assert len(routes) == 1
+        assert routes[0].as_path == (4, 7)
+
+    def test_fib_best_prefers_customer_neighbor(self, oracle):
+        vp = VantagePoint(
+            name="x",
+            host_region="us-east",
+            neighbors={
+                1: Relationship.PROVIDER,
+                4: Relationship.CUSTOMER,
+                3: Relationship.PEER,
+            },
+        )
+        best = vp.fib_best(oracle, parse_prefix("10.7.0.0/16"))
+        assert best is not None
+        assert best.next_hop == 4
+        assert best.relationship is Relationship.CUSTOMER
+
+    def test_best_next_hop_for_address(self, oracle):
+        vp = self.make_vantage()
+        nh = vp.best_next_hop_for_address(oracle, parse_address("10.6.1.2"))
+        assert nh == 3  # peer route, shortest path, beats provider 1
+
+    def test_unknown_address_has_no_route(self, oracle):
+        vp = self.make_vantage()
+        assert vp.best_next_hop_for_address(oracle, parse_address("99.0.0.1")) is None
+
+    def test_ranked_routes_sorted(self, oracle):
+        vp = self.make_vantage()
+        routes = vp.ranked_routes_for_address(oracle, parse_address("10.6.1.2"))
+        assert [r.next_hop for r in routes] == [3, 1]
+
+    def test_next_hop_degree(self):
+        assert self.make_vantage().next_hop_degree() == 3
+
+    def test_selective_announcement_filters_providers(self, oracle):
+        # Prefix owned by multihomed stub 7 (providers 4 and 5).
+        vp = VantagePoint(
+            name="x",
+            host_region="us-west",
+            neighbors={1: Relationship.PROVIDER, 2: Relationship.PROVIDER},
+            selective_fraction=1.0,
+        )
+        p7 = parse_prefix("10.7.0.0/16")
+        unfiltered = VantagePoint(
+            name="y",
+            host_region="us-west",
+            neighbors={1: Relationship.PROVIDER, 2: Relationship.PROVIDER},
+        ).candidate_routes(oracle, p7)
+        filtered = vp.candidate_routes(oracle, p7)
+        assert len(unfiltered) == 2
+        # With selective announcement all surviving paths enter the
+        # origin via the single chosen provider.
+        entries = {r.as_path[-2] for r in filtered}
+        assert len(entries) == 1
+        assert len(filtered) <= len(unfiltered)

@@ -1,0 +1,108 @@
+"""Tests for route objects and the §6.2.1 ranking rules."""
+
+import pytest
+
+from repro.net import IPv4Prefix, parse_prefix
+from repro.routing import Route, best_route, rank_key, rank_routes, synthetic_med
+from repro.topology import Relationship
+
+P = parse_prefix("10.0.0.0/16")
+
+
+def mk(next_hop, path, rel, med=0, local_pref=0, prefix=P):
+    return Route(
+        prefix=prefix,
+        next_hop=next_hop,
+        as_path=tuple(path),
+        relationship=rel,
+        med=med,
+        local_pref=local_pref,
+    )
+
+
+class TestRoute:
+    def test_origin_asn_is_last_hop(self):
+        r = mk(1, [1, 2, 3], Relationship.PEER)
+        assert r.origin_asn == 3
+        assert r.path_length() == 3
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            mk(1, [], Relationship.PEER)
+
+    def test_path_must_start_at_next_hop(self):
+        with pytest.raises(ValueError):
+            mk(1, [2, 3], Relationship.PEER)
+
+    def test_frozen(self):
+        r = mk(1, [1], Relationship.PEER)
+        with pytest.raises(Exception):
+            r.med = 5  # type: ignore[misc]
+
+
+class TestRanking:
+    def test_customer_beats_peer_beats_provider(self):
+        customer = mk(3, [3, 9], Relationship.CUSTOMER)
+        peer = mk(1, [1, 9], Relationship.PEER)
+        provider = mk(2, [2, 9], Relationship.PROVIDER)
+        assert best_route([provider, peer, customer]) == customer
+        assert rank_routes([provider, peer, customer]) == [
+            customer,
+            peer,
+            provider,
+        ]
+
+    def test_relationship_dominates_path_length(self):
+        long_customer = mk(3, [3, 4, 5, 6, 9], Relationship.CUSTOMER)
+        short_peer = mk(1, [1, 9], Relationship.PEER)
+        assert best_route([short_peer, long_customer]) == long_customer
+
+    def test_shorter_path_wins_within_relationship(self):
+        short = mk(5, [5, 9], Relationship.PEER)
+        long = mk(2, [2, 7, 9], Relationship.PEER)
+        assert best_route([long, short]) == short
+
+    def test_med_breaks_length_ties(self):
+        low_med = mk(5, [5, 9], Relationship.PEER, med=1)
+        high_med = mk(2, [2, 9], Relationship.PEER, med=7)
+        assert best_route([high_med, low_med]) == low_med
+
+    def test_next_hop_breaks_full_ties(self):
+        a = mk(2, [2, 9], Relationship.PEER, med=3)
+        b = mk(5, [5, 9], Relationship.PEER, med=3)
+        assert best_route([b, a]) == a
+
+    def test_local_pref_dominates_everything(self):
+        preferred = mk(9, [9, 8, 7, 6], Relationship.PROVIDER, med=9, local_pref=100)
+        other = mk(1, [1, 6], Relationship.CUSTOMER, med=0)
+        assert best_route([other, preferred]) == preferred
+
+    def test_best_of_empty_is_none(self):
+        assert best_route([]) is None
+
+    def test_rank_is_total_and_stable(self):
+        routes = [
+            mk(4, [4, 9], Relationship.PROVIDER),
+            mk(3, [3, 9], Relationship.PEER),
+            mk(2, [2, 9], Relationship.CUSTOMER),
+            mk(1, [1, 5, 9], Relationship.CUSTOMER),
+        ]
+        ranked = rank_routes(routes)
+        assert ranked[0].next_hop == 2
+        assert [rank_key(r) for r in ranked] == sorted(rank_key(r) for r in routes)
+
+
+class TestSyntheticMed:
+    def test_deterministic(self):
+        assert synthetic_med(42, P) == synthetic_med(42, P)
+
+    def test_in_range(self):
+        for nh in range(100, 140):
+            assert 0 <= synthetic_med(nh, P, modulus=8) < 8
+
+    def test_varies_with_prefix_and_neighbor(self):
+        prefixes = [IPv4Prefix(i << 16, 16) for i in range(64)]
+        meds_by_prefix = {synthetic_med(100, p) for p in prefixes}
+        meds_by_nh = {synthetic_med(nh, P) for nh in range(100, 164)}
+        assert len(meds_by_prefix) > 1
+        assert len(meds_by_nh) > 1

@@ -1,0 +1,114 @@
+"""Tests for Gao-style AS relationship inference."""
+
+import pytest
+
+from repro.routing import (
+    RoutingOracle,
+    as_degrees,
+    infer_relationships,
+    relationship_for,
+)
+from repro.topology import (
+    ASTopologyConfig,
+    Relationship,
+    Tier,
+    generate_as_topology,
+)
+
+
+class TestDegrees:
+    def test_degrees_from_paths(self):
+        paths = [(1, 2, 3), (1, 2, 4)]
+        deg = as_degrees(paths)
+        assert deg == {1: 1, 2: 3, 3: 1, 4: 1}
+
+    def test_repeated_adjacency_counted_once(self):
+        deg = as_degrees([(1, 2), (2, 1), (1, 2, 3)])
+        assert deg[1] == 1
+        assert deg[2] == 2
+
+    def test_empty(self):
+        assert as_degrees([]) == {}
+
+
+class TestInference:
+    def test_simple_chain_provider_inferred(self):
+        # 2 is the high-degree core; 1 and 3 hang off it.
+        paths = [(1, 2, 3), (3, 2, 1), (1, 2, 4), (4, 2, 3)]
+        labels = infer_relationships(paths, peer_degree_ratio=1.5)
+        assert relationship_for(labels, 1, 2) is Relationship.PROVIDER
+        assert relationship_for(labels, 2, 1) is Relationship.CUSTOMER
+
+    def test_top_edge_between_equals_is_peering(self):
+        # Two equally-big cores 2 and 5.
+        paths = [
+            (1, 2, 5, 6),
+            (3, 2, 5, 7),
+            (6, 5, 2, 1),
+            (7, 5, 2, 3),
+        ]
+        labels = infer_relationships(paths, peer_degree_ratio=2.0)
+        assert relationship_for(labels, 2, 5) is Relationship.PEER
+
+    def test_unknown_edge_raises(self):
+        labels = infer_relationships([(1, 2)])
+        with pytest.raises(KeyError):
+            relationship_for(labels, 1, 99)
+
+    def test_single_hop_paths_ignored(self):
+        assert infer_relationships([(5,)]) == {}
+
+
+class TestInferenceOnSyntheticInternet:
+    """End-to-end: inference over oracle paths should largely recover
+    the ground-truth relationships of the generated topology."""
+
+    @pytest.fixture(scope="class")
+    def recovered(self):
+        topo = generate_as_topology(ASTopologyConfig(seed=8))
+        oracle = RoutingOracle(topo)
+        stubs = [a for a, n in topo.ases.items() if n.tier is Tier.STUB]
+        paths = []
+        for dest in stubs[::4]:
+            for bp in oracle.routes_to(dest).values():
+                if len(bp.path) >= 2:
+                    paths.append(bp.path)
+        labels = infer_relationships(paths, peer_degree_ratio=1.6)
+        return topo, labels
+
+    def test_transit_edges_mostly_recovered(self, recovered):
+        topo, labels = recovered
+        checked = correct = 0
+        for asn, node in topo.ases.items():
+            for provider in node.providers:
+                edge = frozenset((asn, provider))
+                if edge not in labels:
+                    continue
+                checked += 1
+                if relationship_for(labels, asn, provider) is Relationship.PROVIDER:
+                    correct += 1
+        assert checked > 50
+        assert correct / checked > 0.85
+
+    def test_customer_direction_consistent(self, recovered):
+        topo, labels = recovered
+        for edge, (provider, customer) in labels.items():
+            if (provider, customer) == (0, 0):
+                continue
+            a, b = provider, customer
+            assert relationship_for(labels, a, b) is Relationship.CUSTOMER
+            assert relationship_for(labels, b, a) is Relationship.PROVIDER
+
+    def test_tier1_mesh_mostly_peers(self, recovered):
+        topo, labels = recovered
+        t1s = [a for a, n in topo.ases.items() if n.tier is Tier.T1]
+        seen = peer = 0
+        for i, a in enumerate(t1s):
+            for b in t1s[i + 1:]:
+                edge = frozenset((a, b))
+                if edge in labels:
+                    seen += 1
+                    if relationship_for(labels, a, b) is Relationship.PEER:
+                        peer += 1
+        if seen:
+            assert peer / seen > 0.6

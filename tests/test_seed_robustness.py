@@ -1,0 +1,63 @@
+"""Seed robustness: the calibrated shapes are not one lucky seed.
+
+The calibration tests pin the default seed; these re-check the coarse
+Fig. 6/7/9 shapes across several seeds with loose bands, so a change
+that silently over-fits the generator to seed 2014 fails here.
+"""
+
+import pytest
+
+from repro.mobility import (
+    MobilityWorkloadConfig,
+    dominant_residence_samples,
+    generate_workload,
+    percentile,
+    user_averages,
+)
+from repro.topology import generate_as_topology
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return generate_as_topology()
+
+
+@pytest.fixture(scope="module", params=[7, 99, 31337])
+def workload(request, topology):
+    return generate_workload(
+        topology,
+        MobilityWorkloadConfig(num_users=200, num_days=7, seed=request.param),
+    )
+
+
+class TestShapesAcrossSeeds:
+    def test_fig6_medians(self, workload):
+        averages = user_averages(workload.user_days)
+        med_ips = percentile([u.avg_distinct_ips for u in averages], 0.5)
+        med_ases = percentile([u.avg_distinct_ases for u in averages], 0.5)
+        assert 2.0 <= med_ips <= 6.0
+        assert 1.2 <= med_ases <= 3.0
+
+    def test_fig6_heavy_tail(self, workload):
+        averages = user_averages(workload.user_days)
+        frac = sum(
+            1 for u in averages if u.avg_distinct_ips > 10
+        ) / len(averages)
+        assert 0.08 <= frac <= 0.45
+
+    def test_fig7_transitions(self, workload):
+        averages = user_averages(workload.user_days)
+        med_ip_t = percentile([u.avg_ip_transitions for u in averages], 0.5)
+        assert 2.0 <= med_ip_t <= 7.0
+
+    def test_fig9_dominance(self, workload):
+        ip, _, asn = dominant_residence_samples(workload.user_days)
+        frac_ip = sum(1 for v in ip if v > 0.70) / len(ip)
+        frac_as = sum(1 for v in asn if v > 0.85) / len(asn)
+        assert 0.2 <= frac_ip <= 0.7
+        assert 0.25 <= frac_as <= 0.75
+
+    def test_event_volume_reasonable(self, workload):
+        events = workload.all_transitions()
+        per_user_day = len(events) / (200 * 7)
+        assert 2.0 <= per_user_day <= 15.0

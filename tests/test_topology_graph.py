@@ -1,0 +1,260 @@
+"""Tests for the Graph type and toy topology generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    Graph,
+    binary_tree_topology,
+    chain_topology,
+    clique_topology,
+    erdos_renyi_topology,
+    grid_topology,
+    preferential_attachment_topology,
+    ring_topology,
+    star_topology,
+)
+
+
+class TestGraphBasics:
+    def test_empty(self):
+        g = Graph()
+        assert len(g) == 0
+        assert g.num_edges() == 0
+        assert not g.is_connected()
+
+    def test_add_nodes_and_edges(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c", weight=2.5)
+        assert len(g) == 3
+        assert g.num_edges() == 2
+        assert g.has_edge("a", "b")
+        assert g.has_edge("b", "a")
+        assert g.edge_weight("b", "c") == 2.5
+        assert g.degree("b") == 2
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(1)
+        assert len(g) == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_nonpositive_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 2, weight=0)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 2, weight=-1)
+
+    def test_remove_edge(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 2)
+
+    def test_edges_listed_once(self):
+        g = clique_topology(5)
+        assert len(list(g.edges())) == 10
+
+    def test_reweight_edge(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=1.0)
+        g.add_edge(1, 2, weight=3.0)
+        assert g.edge_weight(1, 2) == 3.0
+        assert g.num_edges() == 1
+
+
+class TestShortestPaths:
+    def test_bfs_distances_chain(self):
+        g = chain_topology(5)
+        dist = g.bfs_distances(1)
+        assert dist == {1: 0, 2: 1, 3: 2, 4: 3, 5: 4}
+
+    def test_bfs_unknown_source(self):
+        with pytest.raises(KeyError):
+            chain_topology(3).bfs_distances(99)
+
+    def test_hop_distance_disconnected(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        assert g.hop_distance(1, 3) is None
+
+    def test_dijkstra_prefers_light_path(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=10.0)
+        g.add_edge("a", "c", weight=1.0)
+        g.add_edge("c", "b", weight=1.0)
+        dist, _ = g.dijkstra("a")
+        assert dist["b"] == 2.0
+        assert g.shortest_path("a", "b") == ["a", "c", "b"]
+
+    def test_shortest_path_to_self(self):
+        g = chain_topology(3)
+        assert g.shortest_path(2, 2) == [2]
+
+    def test_shortest_path_disconnected(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        assert g.shortest_path(1, 3) is None
+
+    def test_next_hops_chain(self):
+        g = chain_topology(5)
+        nh = g.next_hops_fast(3)
+        assert nh[1] == 2
+        assert nh[2] == 2
+        assert nh[3] == 3
+        assert nh[4] == 4
+        assert nh[5] == 4
+
+    def test_next_hops_fast_matches_reference(self):
+        rng = random.Random(11)
+        for seed in range(5):
+            g = erdos_renyi_topology(15, 0.2, rng=random.Random(seed))
+            for router in [1, 7, 15]:
+                assert g.next_hops_fast(router) == g.next_hops(router)
+
+    def test_next_hop_lies_on_shortest_path(self):
+        g = erdos_renyi_topology(20, 0.15, rng=random.Random(3))
+        dist_all = {n: g.bfs_distances(n) for n in g.nodes()}
+        nh = g.next_hops_fast(1)
+        for dest, hop in nh.items():
+            if dest == 1:
+                continue
+            assert g.has_edge(1, hop)
+            assert dist_all[hop][dest] == dist_all[1][dest] - 1
+
+    def test_shortest_path_tree_parents(self):
+        g = star_topology(4)
+        tree = g.shortest_path_tree(0)
+        assert tree == {1: 0, 2: 0, 3: 0, 4: 0}
+
+
+class TestGlobalProperties:
+    def test_connected(self):
+        assert chain_topology(10).is_connected()
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        assert not g.is_connected()
+
+    def test_diameter(self):
+        assert chain_topology(6).diameter() == 5
+        assert clique_topology(6).diameter() == 1
+        assert star_topology(6).diameter() == 2
+
+    def test_diameter_disconnected_raises(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(ValueError):
+            g.diameter()
+
+    def test_subgraph(self):
+        g = clique_topology(5)
+        sub = g.subgraph([1, 2, 3])
+        assert len(sub) == 3
+        assert sub.num_edges() == 3
+
+
+class TestGenerators:
+    def test_chain_shape(self):
+        g = chain_topology(7)
+        assert len(g) == 7
+        assert g.num_edges() == 6
+        assert g.degree(1) == 1
+        assert g.degree(4) == 2
+
+    def test_chain_single_node(self):
+        g = chain_topology(1)
+        assert len(g) == 1
+        assert g.num_edges() == 0
+
+    def test_clique_shape(self):
+        g = clique_topology(6)
+        assert g.num_edges() == 15
+        assert all(g.degree(i) == 5 for i in range(1, 7))
+
+    def test_binary_tree_shape(self):
+        g = binary_tree_topology(7)
+        assert g.num_edges() == 6
+        assert sorted(g.neighbors(1)) == [2, 3]
+        assert sorted(g.neighbors(2)) == [1, 4, 5]
+        assert g.degree(7) == 1
+
+    def test_binary_tree_incomplete_last_level(self):
+        g = binary_tree_topology(6)
+        assert g.num_edges() == 5
+        assert g.degree(3) == 2  # children: 6 only, plus parent 1
+
+    def test_star_shape(self):
+        g = star_topology(5)
+        assert len(g) == 6
+        assert g.degree(0) == 5
+        assert all(g.degree(i) == 1 for i in range(1, 6))
+
+    def test_ring_shape(self):
+        g = ring_topology(5)
+        assert g.num_edges() == 5
+        assert all(g.degree(i) == 2 for i in range(1, 6))
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring_topology(2)
+
+    def test_grid_shape(self):
+        g = grid_topology(3, 4)
+        assert len(g) == 12
+        assert g.num_edges() == 3 * 3 + 2 * 4
+        assert g.degree((0, 0)) == 2
+        assert g.degree((1, 1)) == 4
+
+    def test_erdos_renyi_connected_by_default(self):
+        for seed in range(5):
+            g = erdos_renyi_topology(30, 0.05, rng=random.Random(seed))
+            assert g.is_connected()
+
+    def test_erdos_renyi_p_one_is_clique(self):
+        g = erdos_renyi_topology(8, 1.0)
+        assert g.num_edges() == 28
+
+    def test_erdos_renyi_bad_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_topology(5, 1.5)
+
+    def test_preferential_attachment(self):
+        g = preferential_attachment_topology(50, m=2, rng=random.Random(1))
+        assert len(g) == 50
+        assert g.is_connected()
+        # Hubs should exist: max degree well above m.
+        assert max(g.degree(n) for n in g.nodes()) >= 6
+
+    def test_generators_reject_zero(self):
+        for gen in [chain_topology, clique_topology, binary_tree_topology,
+                    star_topology]:
+            with pytest.raises(ValueError):
+                gen(0)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=2, max_value=40))
+    def test_chain_diameter_property(self, n):
+        assert chain_topology(n).diameter() == n - 1
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=2, max_value=31))
+    def test_tree_is_acyclic_property(self, n):
+        g = binary_tree_topology(n)
+        assert g.num_edges() == len(g) - 1
+        assert g.is_connected()

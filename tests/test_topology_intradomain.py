@@ -1,0 +1,136 @@
+"""Tests for intradomain networks and their derived FIBs."""
+
+import random
+
+import pytest
+
+from repro.net import IPv4Prefix, parse_address, parse_prefix
+from repro.topology import (
+    Graph,
+    IntradomainNetwork,
+    chain_topology,
+    random_intradomain_network,
+)
+
+
+def paper_example_network():
+    """The §3.1 setting: R reaches the /24's owner and the /16's owner
+    through different neighbors, so the two prefixes use different ports."""
+    g = Graph()
+    # R = 1; port-5 neighbor = 2 (towards /24 owner 4); port-3 neighbor = 3
+    # (towards /16 owner 5).
+    g.add_edge(1, 2)
+    g.add_edge(2, 4)
+    g.add_edge(1, 3)
+    g.add_edge(3, 5)
+    ownership = {
+        4: [parse_prefix("22.33.44.0/24")],
+        5: [parse_prefix("22.33.0.0/16")],
+    }
+    return IntradomainNetwork(g, ownership)
+
+
+class TestIntradomainNetwork:
+    def test_paper_example_ports_differ(self):
+        net = paper_example_network()
+        before = net.lookup_port(1, parse_address("22.33.44.55"))
+        after = net.lookup_port(1, parse_address("22.33.88.55"))
+        assert before == 2
+        assert after == 3
+        assert before != after
+
+    def test_local_prefix_uses_local_port(self):
+        net = paper_example_network()
+        assert net.lookup_port(4, parse_address("22.33.44.1")) == 4
+
+    def test_owner_lookup(self):
+        net = paper_example_network()
+        assert net.owner_of_address(parse_address("22.33.44.55")) == 4
+        assert net.owner_of_address(parse_address("22.33.88.55")) == 5
+        assert net.owner_of_address(parse_address("99.0.0.1")) is None
+
+    def test_covering_prefix_is_longest(self):
+        net = paper_example_network()
+        assert net.covering_prefix(parse_address("22.33.44.55")) == parse_prefix(
+            "22.33.44.0/24"
+        )
+
+    def test_unknown_owner_rejected(self):
+        g = chain_topology(3)
+        with pytest.raises(ValueError):
+            IntradomainNetwork(g, {99: [parse_prefix("10.0.0.0/16")]})
+
+    def test_conflicting_ownership_rejected(self):
+        g = chain_topology(3)
+        with pytest.raises(ValueError):
+            IntradomainNetwork(
+                g,
+                {1: [parse_prefix("10.0.0.0/16")], 2: [parse_prefix("10.0.0.0/16")]},
+            )
+
+    def test_fib_covers_all_announced_prefixes(self):
+        net = paper_example_network()
+        fib = net.fib(1)
+        assert len(fib) == 2
+
+    def test_fib_cached(self):
+        net = paper_example_network()
+        assert net.fib(1) is net.fib(1)
+
+    def test_fib_ports_are_neighbors_or_self(self):
+        net = random_intradomain_network(num_routers=12, rng=random.Random(3))
+        for router in net.routers():
+            for prefix, port in net.fib(router).items():
+                assert port == router or net.graph.has_edge(router, port)
+
+    def test_unreachable_owner_has_no_route(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        net = IntradomainNetwork(
+            g, {2: [parse_prefix("10.0.0.0/16")], 3: [parse_prefix("11.0.0.0/16")]}
+        )
+        assert net.lookup_port(1, parse_address("10.0.0.1")) == 2
+        assert net.lookup_port(1, parse_address("11.0.0.1")) is None
+
+
+class TestRandomIntradomainNetwork:
+    def test_default_shape(self):
+        net = random_intradomain_network(rng=random.Random(1))
+        routers = list(net.routers())
+        assert len(routers) == 24
+        assert net.graph.is_connected()
+        # Every router owns at least its own /16.
+        prefixes = list(net.prefixes())
+        assert len(prefixes) >= 24
+
+    def test_specifics_are_inside_foreign_sixteens(self):
+        net = random_intradomain_network(
+            num_routers=10, specifics_per_router=(2, 4), rng=random.Random(5)
+        )
+        sixteens = {p: owner for p, owner in net.prefixes() if p.length == 16}
+        specifics = [(p, owner) for p, owner in net.prefixes() if p.length == 24]
+        assert specifics, "expected some delegated /24 specifics"
+        for p24, owner in specifics:
+            parents = [p for p in sixteens if p.contains_prefix(p24)]
+            assert len(parents) == 1
+            assert sixteens[parents[0]] != owner
+
+    def test_deterministic_with_seed(self):
+        a = random_intradomain_network(rng=random.Random(9))
+        b = random_intradomain_network(rng=random.Random(9))
+        assert sorted(map(str, (p for p, _ in a.prefixes()))) == sorted(
+            map(str, (p for p, _ in b.prefixes()))
+        )
+
+    def test_base_block_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            random_intradomain_network(
+                base_block=IPv4Prefix.from_string("10.0.0.0/24")
+            )
+
+    def test_block_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            random_intradomain_network(
+                num_routers=300, base_block=IPv4Prefix.from_string("10.0.0.0/9")
+            )
