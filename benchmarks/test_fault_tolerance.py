@@ -1,0 +1,65 @@
+"""Bench: graceful degradation under the shared fault schedule (§8 gap).
+
+Pins the three headline shapes the fault-injection subsystem exists to
+produce, all under one shared schedule and one seed:
+
+* resolution availability is monotone nondecreasing in replica count
+  (strictly better somewhere along the sweep);
+* indirection availability collapses on home-agent failure and is
+  restored — bounded by the failover delay — when a backup exists;
+* name-based outage grows with the control-plane message-loss rate
+  (common random numbers make the sweep monotone, not just a trend).
+"""
+
+from conftest import run_once
+
+from repro.experiments import exp_fault_tolerance
+
+
+def test_fault_tolerance(benchmark):
+    result = run_once(benchmark, exp_fault_tolerance.run)
+    print(exp_fault_tolerance.format_result(result))
+
+    # Resolution: each added replica can only shrink the all-down
+    # windows, so availability never drops — and the sweep actually
+    # exercises that (strict improvement overall).
+    sweep = result.replica_sweep
+    assert [count for count, _ in sweep] == sorted(c for c, _ in sweep)
+    availabilities = [r.availability for _, r in sweep]
+    assert all(b >= a for a, b in zip(availabilities, availabilities[1:]))
+    assert availabilities[-1] > availabilities[0]
+    # Deeper deployments also fail over to nearer live replicas, so
+    # worst-case outage shrinks and the thin deployment leans hardest
+    # on degraded-mode cache serves.
+    assert sweep[-1][1].max_outage() < sweep[0][1].max_outage()
+    assert sweep[0][1].stale_fraction > sweep[-1][1].stale_fraction
+
+    # Indirection: the home-agent crash takes the endpoint out for the
+    # whole outage without a backup, for only ~failover_delay with one.
+    with_backup = result.indirection_failover
+    without = result.indirection_no_backup
+    assert with_backup.availability > without.availability
+    assert without.max_outage() >= result.home_agent_outage[1]
+    assert with_backup.max_outage() <= result.failover_delay + 1.0
+    assert with_backup.availability < 1.0  # failover is not free
+
+    # Name-based: outage duration grows with message-loss rate under
+    # common random numbers — monotone per-rate, not just on average.
+    loss_sweep = result.loss_sweep
+    assert [rate for rate, _ in loss_sweep] == sorted(
+        r for r, _ in loss_sweep
+    )
+    max_outages = [r.max_outage() for _, r in loss_sweep]
+    totals = [sum(r.outage_durations) for _, r in loss_sweep]
+    avails = [r.availability for _, r in loss_sweep]
+    assert all(b >= a for a, b in zip(max_outages, max_outages[1:]))
+    assert all(b >= a for a, b in zip(totals, totals[1:]))
+    assert all(b <= a for a, b in zip(avails, avails[1:]))
+    assert max_outages[-1] > max_outages[0]
+
+    # The shared-schedule table compares all three architectures.
+    assert set(result.shared) == {
+        "indirection", "name-resolution", "name-based"
+    }
+    for report in result.shared.values():
+        assert 0.0 <= report.availability <= 1.0

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Fault-tolerance study: the three architectures under failure.
+
+The paper compares the purist architectures in a fault-free world; §8
+notes that failure behaviour (convergence delay, outage windows) is
+exactly what its empirical methodology could not measure. This
+walkthrough drives the `repro.faults` subsystem by hand:
+
+1. build a fault schedule (scripted crash + Poisson link failures);
+2. watch a retrying resolution client fail over between replicas and
+   drop to degraded cache serves when every replica is down;
+3. watch indirection routing lose its home agent, then fail over;
+4. watch a lossy name-based update flood converge under retransmits;
+5. run all three under one shared schedule and compare degradation.
+
+Run:  python examples/fault_tolerance_study.py
+"""
+
+import random
+
+from repro.core import FaultToleranceEvaluator, MobilityTimeline
+from repro.faults import (
+    HOME_AGENT,
+    LINK,
+    REPLICA,
+    FaultEvent,
+    FaultSchedule,
+    MessageLossModel,
+    RetryPolicy,
+)
+from repro.forwarding import ConvergenceSimulator
+from repro.resolution import NameResolutionService, RetryingResolver
+from repro.topology import chain_topology
+
+
+def main() -> None:
+    print("1. A fault schedule is data: scripted events + generators")
+    rng = random.Random(42)
+    schedule = FaultSchedule(
+        [
+            FaultEvent(start=10.0, kind=REPLICA, target="us-east",
+                       duration=25.0),
+            FaultEvent(start=20.0, kind=HOME_AGENT, target=8, duration=30.0),
+        ]
+    ).merge(
+        FaultSchedule.poisson(
+            LINK, [(3, 4), (7, 8)], rate=1.0 / 50.0, horizon=120.0,
+            duration=6.0, rng=rng,
+        )
+    )
+    for event in schedule.events:
+        print(f"   t={event.start:6.1f}s  {event.kind:<10s} "
+              f"{event.target!r} down for {event.duration:.1f}s")
+    print(f"   us-east downtime over [0, 60): "
+          f"{schedule.downtime(REPLICA, 'us-east', 0.0, 60.0):.0f}s\n")
+
+    print("2. Resolution: retry, failover, degraded cache serves")
+    service = NameResolutionService(
+        {"us-east": {"us": 12.0}, "eu": {"us": 55.0}},
+        fault_schedule=schedule,
+    )
+    retry = RetryPolicy(initial_timeout=0.1, backoff_factor=2.0,
+                        max_timeout=1.0, max_attempts=4)
+    resolver = RetryingResolver(service, "us", retry,
+                                rng=random.Random(1), ttl_s=0.0)
+    service.update("endpoint", [5], now=0.0)
+    for t in (5.0, 15.0, 30.0, 40.0):
+        outcome = resolver.resolve("endpoint", t)
+        state = "resolved" if outcome.resolved else "FAILED"
+        extra = " (degraded cache serve)" if outcome.degraded else ""
+        print(f"   t={t:4.0f}s: {state}{extra}, "
+              f"{outcome.attempts} attempt(s), "
+              f"{outcome.failovers} failover(s), "
+              f"{outcome.total_latency_ms:.0f}ms")
+    print()
+
+    print("3. Indirection: home-agent crash at t=20 for 30s, backup at 12")
+    graph = chain_topology(15)
+    evaluator = FaultToleranceEvaluator(graph, schedule, horizon=60.0,
+                                        probe_step=1.0)
+    timeline = MobilityTimeline(initial=5, moves=((25.0, 11),))
+    for label, backup in (("no backup", None), ("backup + 5s failover", 12)):
+        report = evaluator.evaluate_indirection(
+            timeline, correspondent=1, primary_agent=8,
+            backup_agent=backup, failover_delay=5.0,
+        )
+        print(f"   {label:<22s} availability "
+              f"{report.availability * 100:5.1f}%, worst outage "
+              f"{report.max_outage():.0f}s")
+    print()
+
+    print("4. Name-based: lossy update flood with retransmit + backoff")
+    simulator = ConvergenceSimulator(graph, per_hop_delay=1.0)
+    for loss_rate in (0.0, 0.3):
+        result = simulator.simulate_event_under_faults(
+            5, 11, random.Random(7), loss=MessageLossModel(loss_rate)
+        )
+        print(f"   loss {loss_rate * 100:3.0f}%: converged after "
+              f"{result.convergence_time:5.1f} hop-delays, "
+              f"{result.retransmissions} retransmissions")
+    print()
+
+    print("5. All three under the one shared schedule")
+    reports = evaluator.evaluate_all(
+        timeline, correspondent=1, primary_agent=8,
+        replica_latency_ms={"us-east": {"us": 12.0}, "eu": {"us": 55.0}},
+        retry=retry, backup_agent=12, failover_delay=5.0,
+        loss=MessageLossModel(0.2), ttl_s=0.0,
+    )
+    for name, report in reports.items():
+        print(f"   {name:<16s} availability "
+              f"{report.availability * 100:5.1f}%, worst outage "
+              f"{report.max_outage():5.1f}, stale "
+              f"{report.stale_fraction * 100:4.1f}%")
+    print(
+        "\n   Resolution degrades gracefully (retry + failover + degraded "
+        "serves); indirection fails hard until its backup takes over; "
+        "name-based pays convergence time that stretches with loss — "
+        "the §8 discussion, measured."
+    )
+
+
+if __name__ == "__main__":
+    main()

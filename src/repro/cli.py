@@ -15,6 +15,7 @@ they can be re-plotted.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import Callable, Dict, Optional, Sequence
@@ -32,6 +33,7 @@ from .experiments import (
     exp_ablation_union,
     exp_compact_routing,
     exp_envelope,
+    exp_fault_tolerance,
     exp_fig6,
     exp_fig7,
     exp_fib_size,
@@ -109,7 +111,25 @@ EXPERIMENTS: Dict[str, tuple] = {
                            _needs_world(exp_policy_sensitivity)),
     "compact-routing": ("§2.1 compact-routing stretch/table frontier",
                         _standalone(exp_compact_routing)),
+    "fault-tolerance": ("§8 fault injection: graceful degradation "
+                        "across architectures",
+                        _standalone(exp_fault_tolerance)),
 }
+
+
+def _seed_type(text: str) -> int:
+    """argparse type for ``--seed``: a non-negative integer."""
+    try:
+        value = int(text, 10)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seed must be an integer, got {text!r}"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"seed must be non-negative, got {value}"
+        )
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -125,14 +145,19 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
     run_parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which artifact to reproduce",
+        help="which artifact to reproduce ('repro list' shows them all)",
     )
     run_parser.add_argument(
         "--scale",
         choices=["paper", "small"],
         default="paper",
         help="workload scale (default: the paper's parameters)",
+    )
+    run_parser.add_argument(
+        "--seed",
+        type=_seed_type,
+        default=None,
+        help="override the workload seed (non-negative integer)",
     )
 
     export_parser = sub.add_parser(
@@ -142,16 +167,28 @@ def _build_parser() -> argparse.ArgumentParser:
     export_parser.add_argument(
         "--scale", choices=["paper", "small"], default="paper"
     )
+    export_parser.add_argument(
+        "--seed",
+        type=_seed_type,
+        default=None,
+        help="override the workload seed (non-negative integer)",
+    )
     return parser
 
 
-def _scale_for(label: str):
-    return SMALL_SCALE if label == "small" else DEFAULT_SCALE
+def _scale_for(label: str, seed: Optional[int] = None):
+    scale = SMALL_SCALE if label == "small" else DEFAULT_SCALE
+    if seed is not None:
+        scale = dataclasses.replace(scale, seed=seed)
+    return scale
 
 
-def _run(names: Sequence[str], scale_label: str, out=None) -> None:
+def _run(
+    names: Sequence[str], scale_label: str, out=None,
+    seed: Optional[int] = None,
+) -> None:
     out = out if out is not None else sys.stdout
-    scale = _scale_for(scale_label)
+    scale = _scale_for(scale_label, seed)
     world = World(scale)
     started = time.time()
     for name in names:
@@ -171,15 +208,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name.ljust(width)}  {description}")
         return 0
     if args.command == "run":
+        if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+            print(
+                f"repro: unknown experiment {args.experiment!r} — "
+                f"'repro list' shows the {len(EXPERIMENTS)} available",
+                file=sys.stderr,
+            )
+            return 2
         names = sorted(EXPERIMENTS) if args.experiment == "all" else [
             args.experiment
         ]
-        _run(names, args.scale)
+        _run(names, args.scale, seed=args.seed)
         return 0
     if args.command == "export":
         from .experiments.export import export_all
 
-        scale = _scale_for(args.scale)
+        scale = _scale_for(args.scale, args.seed)
         written = export_all(World(scale), args.out)
         for path in written:
             print(path)

@@ -42,6 +42,8 @@ from .envelope import (
 from .evaluator import (
     ContentUpdateCostEvaluator,
     DeviceUpdateCostEvaluator,
+    FaultToleranceEvaluator,
+    MobilityTimeline,
     UpdateRateReport,
     pearson_correlation,
     per_day_update_rates,
@@ -70,6 +72,8 @@ __all__ = [
     "UpdateRateReport",
     "DeviceUpdateCostEvaluator",
     "ContentUpdateCostEvaluator",
+    "FaultToleranceEvaluator",
+    "MobilityTimeline",
     "per_day_update_rates",
     "pearson_correlation",
     "complete_forwarding_table",

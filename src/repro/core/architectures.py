@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional
 
+from ..faults import HOME_AGENT, FaultSchedule
 from ..topology import Graph
 
 __all__ = [
@@ -129,6 +130,67 @@ class IndirectionRouting(Architecture):
             update_fraction=1.0 / self._n,
             path_stretch=stretch,
             routers_with_state=1,  # only the home agent tracks u
+        )
+
+    # -- fault tolerance (repro.faults) --------------------------------
+
+    def active_agent_at(
+        self,
+        now: float,
+        faults: Optional[FaultSchedule],
+        backup_agent: Optional[Node] = None,
+        failover_delay: float = 0.0,
+    ) -> Optional[Node]:
+        """The agent serving the endpoint at ``now`` (None = outage).
+
+        While the primary home agent is down, registrations and detours
+        fail; ``failover_delay`` after the failure began, the backup
+        agent (if configured and itself up) takes over — the Mobile-IP
+        home-agent redundancy model. With no faults the primary always
+        serves, which keeps the fault-free path untouched.
+        """
+        if faults is None or faults.empty:
+            return self.home_agent
+        if not faults.is_down(HOME_AGENT, self.home_agent, now):
+            return self.home_agent
+        if backup_agent is None:
+            return None
+        if backup_agent not in self._graph:
+            raise ValueError(f"backup agent {backup_agent!r} not in topology")
+        failed_at = faults.interval_containing(
+            HOME_AGENT, self.home_agent, now
+        )[0]
+        if now < failed_at + failover_delay:
+            return None  # still re-registering endpoints at the backup
+        if faults.is_down(HOME_AGENT, backup_agent, now):
+            return None
+        return backup_agent
+
+    def evaluate_move_under_faults(
+        self,
+        old_router: Node,
+        new_router: Node,
+        correspondent: Node,
+        now: float,
+        faults: Optional[FaultSchedule],
+        backup_agent: Optional[Node] = None,
+        failover_delay: float = 0.0,
+    ) -> Optional[ArchitectureMetrics]:
+        """:meth:`evaluate_move` against whichever agent is live at
+        ``now`` — None while no agent serves (the endpoint is
+        unreachable). Empty-schedule calls delegate to the pristine
+        fault-free path bit-for-bit.
+        """
+        if faults is None or faults.empty:
+            return self.evaluate_move(old_router, new_router, correspondent)
+        agent = self.active_agent_at(now, faults, backup_agent, failover_delay)
+        if agent is None:
+            return None
+        dist_a = self._distances(agent)
+        return ArchitectureMetrics(
+            update_fraction=1.0 / self._n,
+            path_stretch=float(dist_a[new_router]),
+            routers_with_state=1,
         )
 
     def full_detour_stretch(

@@ -1,4 +1,4 @@
-"""Update-cost evaluation harness (§6.2, §7.2).
+"""Update-cost evaluation harness (§6.2, §7.2) and fault tolerance.
 
 Combines a mobility workload (device transitions or content address
 timelines) with a set of vantage routers and reports, per router, the
@@ -6,17 +6,38 @@ fraction of mobility events that induce a forwarding update — the
 paper's *update rate* (Figs. 8 and 11b/c) — plus the sensitivity
 statistics of §6.2.2 (per-day standard deviation, cross-workload
 correlation).
+
+:class:`FaultToleranceEvaluator` extends the harness to the failure
+regimes of :mod:`repro.faults`: it probes all three architectures'
+data paths on a fixed cadence while one shared fault schedule plays
+out, producing the graceful-degradation metrics (availability,
+outage-duration CDFs, stale-delivery fraction, recovery time) that the
+paper's §8 names but could not measure.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from ..faults import (
+    HOME_AGENT,
+    AvailabilityTrace,
+    DegradationReport,
+    FaultSchedule,
+    MessageLossModel,
+    RetryPolicy,
+)
+from ..forwarding.convergence import DEFAULT_RETRANSMIT, ConvergenceSimulator
 from ..measurement.vantage import ContentMeasurement
 from ..mobility import MobilityEvent
+from ..resolution import NameResolutionService, RetryingResolver
 from ..routing import RoutingOracle, VantagePoint
+from ..stats import median
+from ..topology import Graph
+from .architectures import IndirectionRouting
 from .displacement import InterdomainPortMap, interdomain_displaced
 from .strategies import (
     ContentPortMapper,
@@ -30,7 +51,11 @@ __all__ = [
     "ContentUpdateCostEvaluator",
     "pearson_correlation",
     "per_day_update_rates",
+    "MobilityTimeline",
+    "FaultToleranceEvaluator",
 ]
+
+Node = Hashable
 
 
 @dataclass
@@ -49,11 +74,7 @@ class UpdateRateReport:
         """The median router's rate."""
         if not self.rates:
             return 0.0
-        ordered = sorted(self.rates.values())
-        mid = len(ordered) // 2
-        if len(ordered) % 2:
-            return ordered[mid]
-        return (ordered[mid - 1] + ordered[mid]) / 2.0
+        return median(list(self.rates.values()))
 
     def rate_of(self, router_name: str) -> float:
         """One router's update rate."""
@@ -230,6 +251,330 @@ def per_day_update_rates(
         for router, rate in report.rates.items():
             series.setdefault(router, []).append(rate)
     return series
+
+
+@dataclass(frozen=True)
+class MobilityTimeline:
+    """One endpoint's attachment history over the probe horizon."""
+
+    initial: Node
+    #: Time-sorted ``(time, new_router)`` moves.
+    moves: Tuple[Tuple[float, Node], ...] = ()
+
+    def __post_init__(self):
+        times = [t for t, _ in self.moves]
+        if times != sorted(times):
+            raise ValueError("moves must be time-sorted")
+
+    def position_at(self, time: float) -> Node:
+        """Where the endpoint is attached at ``time``."""
+        position = self.initial
+        for move_time, router in self.moves:
+            if move_time <= time:
+                position = router
+            else:
+                break
+        return position
+
+    def transitions(self) -> List[Tuple[float, Node, Node]]:
+        """``(time, old_router, new_router)`` per move."""
+        result = []
+        position = self.initial
+        for move_time, router in self.moves:
+            result.append((move_time, position, router))
+            position = router
+        return result
+
+
+class FaultToleranceEvaluator:
+    """Probe the three architectures under one shared fault schedule.
+
+    Every architecture faces the same topology, the same endpoint
+    :class:`MobilityTimeline`, the same correspondent, and the same
+    :class:`~repro.faults.FaultSchedule`; each is probed every
+    ``probe_step`` over ``[0, horizon)`` and summarized as a
+    :class:`~repro.faults.DegradationReport`. Latency units differ by
+    architecture (hops for indirection/name-based, milliseconds for
+    resolution) — availability, outages, and staleness are the
+    comparable columns.
+
+    With an empty schedule and lossless control plane, every
+    architecture reports availability 1.0 and no stale deliveries
+    once registrations settle — the no-fault identity the property
+    tests pin down.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        faults: Optional[FaultSchedule] = None,
+        horizon: float = 120.0,
+        probe_step: float = 0.5,
+        seed: int = 2014,
+    ):
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if probe_step <= 0:
+            raise ValueError("probe_step must be positive")
+        self._graph = graph
+        self._faults = faults or FaultSchedule.EMPTY
+        self._horizon = horizon
+        self._probe_step = probe_step
+        self._seed = seed
+
+    def _probe_times(self) -> List[float]:
+        times = []
+        t = 0.0
+        while t < self._horizon:
+            times.append(t)
+            t += self._probe_step
+        return times
+
+    # -- indirection ---------------------------------------------------
+
+    def evaluate_indirection(
+        self,
+        timeline: MobilityTimeline,
+        correspondent: Node,
+        primary_agent: Node,
+        backup_agent: Optional[Node] = None,
+        failover_delay: float = 0.0,
+        registration_delay: float = 2.0,
+    ) -> DegradationReport:
+        """Home-agent indirection under home-agent failures.
+
+        A probe is delivered when a live agent holds the endpoint's
+        current binding; while the primary is down and failover has
+        not completed, every probe fails — the sharp degradation the
+        architecture is known for.
+        """
+        arch = IndirectionRouting(self._graph, home_agent=primary_agent)
+        dist_corr = self._graph.bfs_distances(correspondent)
+
+        # Registration pipeline: a move's new binding reaches the agent
+        # system registration_delay after an agent is next reachable.
+        registrations: List[Tuple[float, Node]] = []
+        for move_time, _, new_router in timeline.transitions():
+            reachable_at = self._next_agent_active(
+                arch, move_time, backup_agent, failover_delay
+            )
+            registrations.append(
+                (reachable_at + registration_delay, new_router)
+            )
+
+        trace = AvailabilityTrace(self._probe_step)
+        for t in self._probe_times():
+            agent = arch.active_agent_at(
+                t, self._faults, backup_agent, failover_delay
+            )
+            if agent is None:
+                trace.record(t, delivered=False)
+                continue
+            belief = timeline.initial
+            for done_at, router in registrations:
+                if done_at <= t:
+                    belief = router
+                else:
+                    break
+            actual = timeline.position_at(t)
+            dist_agent = self._graph.bfs_distances(agent)
+            latency = float(dist_corr[agent] + dist_agent[belief])
+            delivered = belief == actual
+            trace.record(
+                t, delivered=delivered, stale=not delivered, latency=latency
+            )
+        return DegradationReport.from_trace("indirection", trace)
+
+    def _next_agent_active(
+        self,
+        arch: IndirectionRouting,
+        start: float,
+        backup_agent: Optional[Node],
+        failover_delay: float,
+    ) -> float:
+        """Earliest time >= ``start`` with a live agent (inf if never)."""
+        t = start
+        for _ in range(2 * len(self._faults.events) + 2):
+            if arch.active_agent_at(
+                t, self._faults, backup_agent, failover_delay
+            ) is not None:
+                return t
+            candidates = []
+            primary = self._faults.interval_containing(
+                HOME_AGENT, arch.home_agent, t
+            )
+            if primary is not None:
+                if backup_agent is not None:
+                    candidates.append(primary[0] + failover_delay)
+                candidates.append(primary[1])
+            if backup_agent is not None:
+                backup = self._faults.interval_containing(
+                    HOME_AGENT, backup_agent, t
+                )
+                if backup is not None:
+                    candidates.append(backup[1])
+            upcoming = [c for c in candidates if c > t]
+            if not upcoming:
+                return math.inf
+            t = min(upcoming)
+        return t
+
+    # -- name resolution -----------------------------------------------
+
+    def evaluate_resolution(
+        self,
+        timeline: MobilityTimeline,
+        replica_latency_ms: Dict[str, Dict[str, float]],
+        retry: RetryPolicy,
+        client_region: str = "us",
+        ttl_s: float = 5.0,
+        propagation_ms: float = 50.0,
+        name: str = "endpoint",
+    ) -> DegradationReport:
+        """Resolution under replica outages, via a retrying client.
+
+        The device updates the service at each move (the §2 O(1)
+        update); the correspondent resolves through a TTL cache with
+        retry/failover. Stale deliveries come from the TTL window and
+        from degraded-mode answers while every replica is down.
+        """
+        service = NameResolutionService(
+            replica_latency_ms,
+            propagation_ms=propagation_ms,
+            fault_schedule=self._faults,
+        )
+        resolver = RetryingResolver(
+            service,
+            client_region,
+            retry,
+            rng=random.Random(self._seed),
+            ttl_s=ttl_s,
+        )
+        service.update(name, [timeline.initial], now=-1.0)
+        pending = timeline.transitions()
+        trace = AvailabilityTrace(self._probe_step)
+        for t in self._probe_times():
+            while pending and pending[0][0] <= t:
+                move_time, _, new_router = pending.pop(0)
+                service.update(name, [new_router], now=move_time)
+            outcome = resolver.resolve(name, t)
+            if not outcome.resolved:
+                trace.record(
+                    t, delivered=False, latency=outcome.total_latency_ms
+                )
+                continue
+            actual = timeline.position_at(t)
+            delivered = actual in outcome.result.locations
+            trace.record(
+                t,
+                delivered=delivered,
+                stale=(not delivered) or outcome.degraded,
+                latency=outcome.total_latency_ms,
+            )
+        return DegradationReport.from_trace("name-resolution", trace)
+
+    # -- name-based routing --------------------------------------------
+
+    def evaluate_name_based(
+        self,
+        timeline: MobilityTimeline,
+        correspondent: Node,
+        loss: Optional[MessageLossModel] = None,
+        retransmit: RetryPolicy = DEFAULT_RETRANSMIT,
+        per_hop_delay: float = 1.0,
+    ) -> DegradationReport:
+        """Name-based routing under control-plane loss and faults.
+
+        Each move triggers a lossy hop-by-hop update flood; probes fail
+        while the correspondent's path still chases the old attachment
+        (the per-source convergence outage) and while a router or link
+        on the converged path is down.
+        """
+        loss = loss or MessageLossModel()
+        simulator = ConvergenceSimulator(self._graph, per_hop_delay)
+        dist_corr = self._graph.bfs_distances(correspondent)
+
+        # Per-move convergence outage as seen from the correspondent,
+        # sampled with a per-move rng fork so sweeps over the loss rate
+        # reuse identical draws (common random numbers).
+        outages: List[Tuple[float, float]] = []  # (move time, outage)
+        for index, (move_time, old, new) in enumerate(
+            timeline.transitions()
+        ):
+            event_rng = random.Random(f"{self._seed}:{index}")
+            result = simulator.simulate_event_under_faults(
+                old,
+                new,
+                event_rng,
+                loss=loss,
+                retransmit=retransmit,
+                probe_step=min(self._probe_step, 0.25),
+            )
+            outages.append(
+                (move_time, result.outage_by_source.get(correspondent, 0.0))
+            )
+
+        trace = AvailabilityTrace(self._probe_step)
+        for t in self._probe_times():
+            converging = False
+            for move_time, outage in outages:
+                if move_time <= t < move_time + outage:
+                    converging = True
+            actual = timeline.position_at(t)
+            path_ok = self._data_path_up(correspondent, actual, t)
+            delivered = (not converging) and path_ok
+            trace.record(
+                t,
+                delivered=delivered,
+                stale=converging,
+                latency=float(dist_corr[actual]),
+            )
+        return DegradationReport.from_trace("name-based", trace)
+
+    def _data_path_up(self, source: Node, target: Node, time: float) -> bool:
+        from ..faults import LINK, ROUTER
+
+        path = self._graph.shortest_path(source, target)
+        if path is None:
+            return False
+        for node in path:
+            if self._faults.is_down(ROUTER, node, time):
+                return False
+        for u, v in zip(path, path[1:]):
+            if self._faults.is_down(LINK, (u, v), time):
+                return False
+        return True
+
+    # -- all three, one schedule ---------------------------------------
+
+    def evaluate_all(
+        self,
+        timeline: MobilityTimeline,
+        correspondent: Node,
+        primary_agent: Node,
+        replica_latency_ms: Dict[str, Dict[str, float]],
+        retry: RetryPolicy,
+        backup_agent: Optional[Node] = None,
+        failover_delay: float = 0.0,
+        loss: Optional[MessageLossModel] = None,
+        ttl_s: float = 5.0,
+    ) -> Dict[str, DegradationReport]:
+        """All three architectures under the one shared schedule."""
+        return {
+            "indirection": self.evaluate_indirection(
+                timeline,
+                correspondent,
+                primary_agent,
+                backup_agent,
+                failover_delay,
+            ),
+            "name-resolution": self.evaluate_resolution(
+                timeline, replica_latency_ms, retry, ttl_s=ttl_s
+            ),
+            "name-based": self.evaluate_name_based(
+                timeline, correspondent, loss
+            ),
+        }
 
 
 def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:

@@ -16,6 +16,7 @@ from . import (
     exp_ablation_union,
     exp_compact_routing,
     exp_envelope,
+    exp_fault_tolerance,
     exp_intradomain,
     exp_perturbation,
     exp_policy_sensitivity,
@@ -54,6 +55,7 @@ __all__ = [
     "exp_fig12",
     "exp_compact_routing",
     "exp_envelope",
+    "exp_fault_tolerance",
     "exp_ablation_union",
     "exp_ablation_tradeoff",
     "exp_ablation_caching",

@@ -21,6 +21,7 @@ from typing import Dict
 
 from ..core import InterdomainPortMap
 from ..mobility import HOURS_PER_DAY
+from ..stats import median
 from .context import World
 from .report import banner, render_table
 
@@ -39,11 +40,7 @@ class FibSizeResult:
         return max(self.displaced_fraction.values())
 
     def median_fraction(self) -> float:
-        ordered = sorted(self.displaced_fraction.values())
-        mid = len(ordered) // 2
-        if len(ordered) % 2:
-            return ordered[mid]
-        return (ordered[mid - 1] + ordered[mid]) / 2
+        return median(list(self.displaced_fraction.values()))
 
 
 def run(world: World) -> FibSizeResult:

@@ -1,0 +1,51 @@
+"""Fault injection: failure schedules, retry policies, degradation metrics.
+
+The paper's §8 lists routing convergence delay and mobility-induced
+outages among the metrics its methodology could not evaluate; the rest
+of this reproduction measures them in a failure-free world. This
+package supplies the failure regimes — deterministic, seed-driven, and
+shared across all three architectures so the comparison stays fair:
+
+* :mod:`.schedule` — :class:`FaultSchedule`: scripted, Poisson, or
+  Weibull outages of links, routers, resolver replicas, home agents;
+* :mod:`.models` — :class:`MessageLossModel`: Bernoulli control-plane
+  loss with common-random-number sweeps;
+* :mod:`.retry` — :class:`RetryPolicy`: capped exponential backoff
+  with deterministic jitter;
+* :mod:`.metrics` — :class:`AvailabilityTrace` /
+  :class:`DegradationReport`: availability, outage-duration CDFs,
+  stale-delivery fraction, recovery time.
+
+The consuming simulators (:mod:`repro.forwarding.convergence`,
+:mod:`repro.resolution.service`, :mod:`repro.core.architectures`,
+:mod:`repro.core.evaluator`) each guarantee the **empty-schedule
+identity**: an empty :class:`FaultSchedule` plus a lossless
+:class:`MessageLossModel` reproduces the pre-fault code path
+bit-for-bit.
+"""
+
+from .metrics import AvailabilityTrace, DegradationReport, ProbeSample
+from .models import MessageLossModel
+from .retry import RetryPolicy
+from .schedule import (
+    HOME_AGENT,
+    LINK,
+    REPLICA,
+    ROUTER,
+    FaultEvent,
+    FaultSchedule,
+)
+
+__all__ = [
+    "LINK",
+    "ROUTER",
+    "REPLICA",
+    "HOME_AGENT",
+    "FaultEvent",
+    "FaultSchedule",
+    "MessageLossModel",
+    "RetryPolicy",
+    "ProbeSample",
+    "AvailabilityTrace",
+    "DegradationReport",
+]

@@ -1,0 +1,61 @@
+"""Control-plane impairment models.
+
+:class:`MessageLossModel` is the Bernoulli loss + fixed extra delay
+applied to control-plane messages (routing updates, resolver queries).
+Losses are decided from pre-drawn uniforms rather than ad-hoc rng calls
+so that sweeps over the loss rate can use **common random numbers**:
+the same seed draws the same uniforms at every rate, which makes
+"outage grows with loss rate" a deterministic property of one run
+rather than a statistical tendency across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["MessageLossModel"]
+
+
+@dataclass(frozen=True)
+class MessageLossModel:
+    """Bernoulli control-plane loss with optional added delay.
+
+    ``loss_rate`` is the probability each transmission is lost;
+    ``extra_delay`` is added to every (successful) transmission,
+    modelling control-plane queueing/processing under stress.
+    """
+
+    loss_rate: float = 0.0
+    extra_delay: float = 0.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1): {self.loss_rate}")
+        if self.extra_delay < 0:
+            raise ValueError("extra_delay must be >= 0")
+
+    @property
+    def lossless(self) -> bool:
+        """True when this model cannot perturb the failure-free path."""
+        return self.loss_rate == 0.0 and self.extra_delay == 0.0
+
+    def draw_uniforms(self, count: int, rng: random.Random) -> List[float]:
+        """Pre-draw ``count`` uniforms (one per potential attempt)."""
+        return [rng.random() for _ in range(count)]
+
+    def attempts_needed(self, draws: Sequence[float]) -> int:
+        """How many transmissions until the first success.
+
+        ``draws[k] >= loss_rate`` means attempt ``k`` got through. If
+        every pre-drawn attempt is lost, the sender is assumed to
+        succeed on the next (undrawn) attempt — real routing protocols
+        retransmit indefinitely — so the return value is at most
+        ``len(draws) + 1``. Monotone in ``loss_rate`` for fixed draws,
+        which is what makes common-random-number sweeps work.
+        """
+        for k, u in enumerate(draws):
+            if u >= self.loss_rate:
+                return k + 1
+        return len(draws) + 1

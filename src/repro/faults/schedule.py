@@ -1,0 +1,271 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultSchedule` is an immutable, time-sorted set of
+:class:`FaultEvent` outages — link failures, router crashes, resolver
+replica outages, home-agent failures — that the simulators consult
+instead of forking their own failure logic. Schedules are built three
+ways:
+
+* :meth:`FaultSchedule.fixed` — explicit scripted events;
+* :meth:`FaultSchedule.poisson` — memoryless failure arrivals per
+  target (exponential inter-arrival times);
+* :meth:`FaultSchedule.weibull` — Weibull inter-arrival times
+  (``shape < 1`` models the bursty failure clustering real links
+  exhibit).
+
+Both generators draw from an **explicit** :class:`random.Random`, so a
+schedule is a pure function of its seed — the property the empty-
+schedule identity test and every bench depend on. An empty schedule is
+the failure-free world: simulators MUST take their pristine code path
+when :attr:`FaultSchedule.empty` is true.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "LINK",
+    "ROUTER",
+    "REPLICA",
+    "HOME_AGENT",
+    "FaultEvent",
+    "FaultSchedule",
+]
+
+#: Fault kinds understood by the simulators. A link target is a
+#: ``(u, v)`` pair (order-insensitive); the others name a single
+#: element.
+LINK = "link"
+ROUTER = "router"
+REPLICA = "replica"
+HOME_AGENT = "home-agent"
+
+Target = Hashable
+DurationSpec = Union[float, Callable[[random.Random], float]]
+
+
+def _canonical_target(kind: str, target: Target) -> Target:
+    if kind == LINK and isinstance(target, tuple) and len(target) == 2:
+        return tuple(sorted(target, key=repr))
+    return target
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One outage: ``target`` of ``kind`` is down on [start, start+duration)."""
+
+    start: float
+    kind: str
+    target: Target
+    duration: float
+
+    def __post_init__(self):
+        if self.start < 0:
+            raise ValueError(f"fault start must be >= 0: {self.start}")
+        if self.duration <= 0:
+            raise ValueError(f"fault duration must be positive: {self.duration}")
+
+    @property
+    def end(self) -> float:
+        """First instant the target is up again."""
+        return self.start + self.duration
+
+    def covers(self, time: float) -> bool:
+        """Is the target down at ``time``?"""
+        return self.start <= time < self.end
+
+
+class FaultSchedule:
+    """An immutable set of outages with interval queries.
+
+    Overlapping outages of the same element are merged for queries, so
+    a flap landing inside a crash window behaves like one long outage.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        canonical = [
+            FaultEvent(
+                start=e.start,
+                kind=e.kind,
+                target=_canonical_target(e.kind, e.target),
+                duration=e.duration,
+            )
+            for e in events
+        ]
+        self._events: Tuple[FaultEvent, ...] = tuple(
+            sorted(canonical, key=lambda e: (e.start, e.kind, repr(e.target)))
+        )
+        self._intervals: Dict[Tuple[str, Target], List[Tuple[float, float]]] = {}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def fixed(cls, events: Iterable[FaultEvent]) -> "FaultSchedule":
+        """A scripted schedule (alias of the constructor, for symmetry)."""
+        return cls(events)
+
+    @classmethod
+    def poisson(
+        cls,
+        kind: str,
+        targets: Sequence[Target],
+        rate: float,
+        horizon: float,
+        duration: DurationSpec,
+        rng: random.Random,
+    ) -> "FaultSchedule":
+        """Independent Poisson failure arrivals for each target.
+
+        ``rate`` is failures per time unit per target; ``duration`` is
+        either a constant or a callable drawing one outage length from
+        the given rng. Targets are processed in the order given, so the
+        schedule is a pure function of ``(targets, rate, horizon, seed)``.
+        """
+        if rate < 0:
+            raise ValueError(f"failure rate must be >= 0: {rate}")
+        return cls._from_interarrivals(
+            kind, targets, lambda r: r.expovariate(rate) if rate > 0 else math.inf,
+            horizon, duration, rng,
+        )
+
+    @classmethod
+    def weibull(
+        cls,
+        kind: str,
+        targets: Sequence[Target],
+        shape: float,
+        scale: float,
+        horizon: float,
+        duration: DurationSpec,
+        rng: random.Random,
+    ) -> "FaultSchedule":
+        """Weibull inter-arrival failures (``shape < 1`` = bursty)."""
+        if shape <= 0 or scale <= 0:
+            raise ValueError("Weibull shape and scale must be positive")
+        return cls._from_interarrivals(
+            kind, targets, lambda r: r.weibullvariate(scale, shape),
+            horizon, duration, rng,
+        )
+
+    @classmethod
+    def flap(
+        cls,
+        kind: str,
+        target: Target,
+        period: float,
+        down_fraction: float,
+        horizon: float,
+        first_down: float = 0.0,
+    ) -> "FaultSchedule":
+        """A deterministic periodic flap: down for ``down_fraction`` of
+        every ``period``, starting at ``first_down``."""
+        if period <= 0:
+            raise ValueError("flap period must be positive")
+        if not 0.0 < down_fraction < 1.0:
+            raise ValueError("down_fraction must be in (0, 1)")
+        events = []
+        start = first_down
+        while start < horizon:
+            events.append(
+                FaultEvent(start, kind, target, down_fraction * period)
+            )
+            start += period
+        return cls(events)
+
+    @classmethod
+    def _from_interarrivals(
+        cls,
+        kind: str,
+        targets: Sequence[Target],
+        draw_gap: Callable[[random.Random], float],
+        horizon: float,
+        duration: DurationSpec,
+        rng: random.Random,
+    ) -> "FaultSchedule":
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive: {horizon}")
+        events = []
+        for target in targets:
+            t = draw_gap(rng)
+            while t < horizon:
+                length = duration(rng) if callable(duration) else float(duration)
+                events.append(FaultEvent(t, kind, target, length))
+                t = t + length + draw_gap(rng)
+        return cls(events)
+
+    def merge(self, other: "FaultSchedule") -> "FaultSchedule":
+        """The union of two schedules."""
+        return FaultSchedule(self._events + other._events)
+
+    __or__ = merge
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        """True when this is the failure-free schedule."""
+        return not self._events
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def down_intervals(
+        self, kind: str, target: Target
+    ) -> List[Tuple[float, float]]:
+        """Merged, sorted ``[start, end)`` outages of one element."""
+        key = (kind, _canonical_target(kind, target))
+        if key not in self._intervals:
+            raw = sorted(
+                (e.start, e.end)
+                for e in self._events
+                if e.kind == kind and e.target == key[1]
+            )
+            merged: List[Tuple[float, float]] = []
+            for start, end in raw:
+                if merged and start <= merged[-1][1]:
+                    merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+                else:
+                    merged.append((start, end))
+            self._intervals[key] = merged
+        return self._intervals[key]
+
+    def is_down(self, kind: str, target: Target, time: float) -> bool:
+        """Is ``target`` failed at ``time``?"""
+        return self.interval_containing(kind, target, time) is not None
+
+    def interval_containing(
+        self, kind: str, target: Target, time: float
+    ) -> Optional[Tuple[float, float]]:
+        """The merged outage interval covering ``time`` (None if up)."""
+        for start, end in self.down_intervals(kind, target):
+            if start <= time < end:
+                return (start, end)
+            if start > time:
+                break
+        return None
+
+    def next_up_time(self, kind: str, target: Target, time: float) -> float:
+        """Earliest instant >= ``time`` at which ``target`` is up."""
+        covering = self.interval_containing(kind, target, time)
+        return time if covering is None else covering[1]
+
+    def downtime(
+        self, kind: str, target: Target, start: float, end: float
+    ) -> float:
+        """Total time ``target`` is down within ``[start, end)``."""
+        total = 0.0
+        for lo, hi in self.down_intervals(kind, target):
+            total += max(0.0, min(hi, end) - max(lo, start))
+        return total
+
+
+#: The failure-free schedule, shared since schedules are immutable.
+FaultSchedule.EMPTY = FaultSchedule()

@@ -1,7 +1,11 @@
 """Forwarding-plane dynamics: routing convergence / mobility outage,
 and an NDN-style stateful forwarding plane with a strategy layer."""
 
-from .convergence import ConvergenceSimulator, MobilityOutage
+from .convergence import (
+    ConvergenceSimulator,
+    FaultyMobilityOutage,
+    MobilityOutage,
+)
 from .stateful import (
     InterestStrategy,
     RetrievalResult,
@@ -11,6 +15,7 @@ from .stateful import (
 __all__ = [
     "ConvergenceSimulator",
     "MobilityOutage",
+    "FaultyMobilityOutage",
     "InterestStrategy",
     "RetrievalResult",
     "StatefulForwardingPlane",

@@ -26,15 +26,23 @@ qualitative argument made quantitative.
 
 from __future__ import annotations
 
+import heapq
 import random
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
+from ..faults import LINK, ROUTER, FaultSchedule, MessageLossModel, RetryPolicy
 from ..topology import Graph
 
-__all__ = ["MobilityOutage", "ConvergenceSimulator"]
+__all__ = ["MobilityOutage", "FaultyMobilityOutage", "ConvergenceSimulator"]
 
 Node = Hashable
+
+#: Default retransmit timers for lossy update propagation: first retry
+#: after one hop-delay, doubling, capped at 8 hop-delays.
+DEFAULT_RETRANSMIT = RetryPolicy(
+    initial_timeout=1.0, backoff_factor=2.0, max_timeout=8.0, max_attempts=12
+)
 
 
 @dataclass(frozen=True)
@@ -57,6 +65,17 @@ class MobilityOutage:
         if not self.outage_by_source:
             return 0.0
         return sum(self.outage_by_source.values()) / len(self.outage_by_source)
+
+
+@dataclass(frozen=True)
+class FaultyMobilityOutage(MobilityOutage):
+    """Outage metrics of one mobility event under faults.
+
+    Extends the fault-free record with the control-plane cost of the
+    loss regime: how many update retransmissions the flood needed.
+    """
+
+    retransmissions: int = 0
 
 
 class ConvergenceSimulator:
@@ -168,6 +187,193 @@ class ConvergenceSimulator:
             if old == new:
                 continue
             result = self.simulate_event(old, new)
+            total += result.mean_outage()
+            worst = max(worst, result.max_outage())
+            count += 1
+        return (total / count if count else 0.0, worst)
+
+    # -- fault-aware propagation (repro.faults) ------------------------
+
+    def lossy_update_arrival_times(
+        self,
+        new_router: Node,
+        loss: MessageLossModel,
+        retransmit: RetryPolicy,
+        rng: random.Random,
+        faults: Optional[FaultSchedule] = None,
+    ) -> Tuple[Dict[Node, float], int]:
+        """Arrival times of the update flood under message loss/faults.
+
+        Returns ``(arrival_times, retransmissions)``. Each directed
+        edge's transmission count is pre-sampled in a deterministic
+        node order with a fixed number of uniforms per edge, so sweeps
+        over ``loss.loss_rate`` under the same seed use common random
+        numbers — arrival times are then monotone in the loss rate.
+        A failed attempt costs its retransmit timeout; the successful
+        one costs the per-hop delay (plus ``loss.extra_delay``).
+        Crashed routers and downed links defer the crossing until the
+        fault schedule brings them back.
+        """
+        if (faults is None or faults.empty) and loss.lossless:
+            return self.update_arrival_times(new_router), 0
+        faults = faults or FaultSchedule.EMPTY
+        edge_delay: Dict[Tuple[Node, Node], float] = {}
+        retransmissions = 0
+        for u in self._nodes:
+            for v in sorted(self._graph.neighbors(u), key=repr):
+                draws = loss.draw_uniforms(retransmit.max_attempts, rng)
+                attempts = loss.attempts_needed(draws)
+                retransmissions += attempts - 1
+                edge_delay[(u, v)] = (
+                    retransmit.backoff_penalty(attempts - 1)
+                    + self._delay
+                    + loss.extra_delay
+                )
+
+        arrivals: Dict[Node, float] = {}
+        heap: list = [(0.0, repr(new_router), new_router)]
+        while heap:
+            t, _, node = heapq.heappop(heap)
+            if node in arrivals:
+                continue
+            arrivals[node] = t
+            for neighbor in self._graph.neighbors(node):
+                if neighbor in arrivals:
+                    continue
+                start = t
+                # A crashed sender, downed link, or crashed receiver
+                # defers the crossing; iterate because coming back up
+                # on one can land inside an outage of another.
+                while True:
+                    adjusted = faults.next_up_time(ROUTER, node, start)
+                    adjusted = faults.next_up_time(
+                        LINK, (node, neighbor), adjusted
+                    )
+                    adjusted = faults.next_up_time(ROUTER, neighbor, adjusted)
+                    if adjusted == start:
+                        break
+                    start = adjusted
+                candidate = start + edge_delay[(node, neighbor)]
+                heapq.heappush(heap, (candidate, repr(neighbor), neighbor))
+        return arrivals, retransmissions
+
+    def deliver_under_faults(
+        self,
+        source: Node,
+        time: float,
+        old_router: Node,
+        new_router: Node,
+        arrivals: Dict[Node, float],
+        faults: FaultSchedule,
+    ) -> bool:
+        """Fault-aware probe: stale entries AND down elements drop it."""
+        current = source
+        visited = set()
+        while True:
+            if faults.is_down(ROUTER, current, time):
+                return False
+            if current == new_router:
+                return True
+            if current in visited:
+                return False
+            visited.add(current)
+            target = new_router if arrivals.get(
+                current, float("inf")
+            ) <= time else old_router
+            hop = self._nh(current)[target]
+            if hop == current:
+                return False
+            if faults.is_down(LINK, (current, hop), time):
+                return False
+            current = hop
+
+    def simulate_event_under_faults(
+        self,
+        old_router: Node,
+        new_router: Node,
+        rng: random.Random,
+        loss: Optional[MessageLossModel] = None,
+        retransmit: RetryPolicy = DEFAULT_RETRANSMIT,
+        faults: Optional[FaultSchedule] = None,
+        probe_step: float = 0.25,
+    ) -> FaultyMobilityOutage:
+        """:meth:`simulate_event` under a loss model and fault schedule.
+
+        With an empty schedule and a lossless model this delegates to
+        the pristine fault-free path, so the results are bit-identical
+        — the invariant ``tests/test_faults_identity.py`` locks in.
+        """
+        loss = loss or MessageLossModel()
+        if (faults is None or faults.empty) and loss.lossless:
+            base = self.simulate_event(old_router, new_router, probe_step)
+            return FaultyMobilityOutage(
+                old_router=base.old_router,
+                new_router=base.new_router,
+                convergence_time=base.convergence_time,
+                outage_by_source=base.outage_by_source,
+                retransmissions=0,
+            )
+        faults = faults or FaultSchedule.EMPTY
+        arrivals, retransmissions = self.lossy_update_arrival_times(
+            new_router, loss, retransmit, rng, faults
+        )
+        convergence = max(arrivals.values())
+        outage: Dict[Node, float] = {}
+        for source in self._nodes:
+            if source == new_router:
+                outage[source] = 0.0
+                continue
+            last_failure: Optional[float] = None
+            t = 0.0
+            while t <= convergence + probe_step:
+                if not self.deliver_under_faults(
+                    source, t, old_router, new_router, arrivals, faults
+                ):
+                    last_failure = t
+                t += probe_step
+            outage[source] = (
+                0.0 if last_failure is None else last_failure + probe_step
+            )
+        return FaultyMobilityOutage(
+            old_router=old_router,
+            new_router=new_router,
+            convergence_time=convergence,
+            outage_by_source=outage,
+            retransmissions=retransmissions,
+        )
+
+    def expected_outage_under_faults(
+        self,
+        events: int,
+        rng: random.Random,
+        loss: Optional[MessageLossModel] = None,
+        retransmit: RetryPolicy = DEFAULT_RETRANSMIT,
+        faults: Optional[FaultSchedule] = None,
+    ) -> Tuple[float, float]:
+        """(mean, max) outage over random mobility events under faults.
+
+        Event endpoints are drawn from ``rng`` exactly as the pristine
+        :meth:`expected_outage` draws them; per-event loss sampling uses
+        an rng forked deterministically per event, so the mobility
+        sequence is identical across loss rates (common random numbers).
+        """
+        loss = loss or MessageLossModel()
+        if (faults is None or faults.empty) and loss.lossless:
+            # Same rng stream as the pristine path — no per-event fork
+            # draws — so the mobility sequence and results are identical.
+            return self.expected_outage(events, rng)
+        total = 0.0
+        worst = 0.0
+        count = 0
+        for index in range(events):
+            old = rng.choice(self._nodes)
+            new = rng.choice(self._nodes)
+            if old == new:
+                continue
+            event_rng = random.Random(f"{rng.randint(0, 2**31)}:{index}")
+            result = self.simulate_event_under_faults(
+                old, new, event_rng, loss, retransmit, faults
+            )
             total += result.mean_outage()
             worst = max(worst, result.max_outage())
             count += 1

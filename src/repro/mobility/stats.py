@@ -9,7 +9,7 @@ and per-user-day fractions of time at the dominant location (Fig. 9).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from .events import HOURS_PER_DAY, UserDay
 
@@ -142,24 +142,6 @@ def dominant_residence_samples(
     return ip_samples, prefix_samples, as_samples
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-quantile (0..1) by linear interpolation."""
-    if not values:
-        raise ValueError("percentile of empty sequence")
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"quantile out of range: {q}")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return float(ordered[0])
-    pos = q * (len(ordered) - 1)
-    lo = int(pos)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = pos - lo
-    return ordered[lo] * (1 - frac) + ordered[hi] * frac
-
-
-def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
-    """Empirical CDF as ``(value, fraction <= value)`` step points."""
-    ordered = sorted(values)
-    n = len(ordered)
-    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+# Canonical implementations live in :mod:`repro.stats`; re-exported
+# here because the Fig. 6/7/9 reductions predate that module.
+from ..stats import cdf_points, percentile  # noqa: E402,F401

@@ -7,6 +7,8 @@ from .service import (
     NameRecord,
     NameResolutionService,
     ResolutionResult,
+    ResolveOutcome,
+    RetryingResolver,
 )
 from .staleness import TtlPoint, default_service, simulate_ttl
 
@@ -15,6 +17,8 @@ __all__ = [
     "ResolutionResult",
     "NameResolutionService",
     "ClientResolverCache",
+    "ResolveOutcome",
+    "RetryingResolver",
     "TtlPoint",
     "simulate_ttl",
     "default_service",

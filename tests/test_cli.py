@@ -36,13 +36,44 @@ class TestCli:
         assert "Fig. 6" in out
         assert "scale=small" in out
 
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["run", "fig99"])
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+        assert "repro list" in err
+
+    def test_unknown_experiment_suggests_list(self, capsys):
+        assert main(["run", ""]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_non_integer_seed_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "table1", "--seed", "abc"])
+        assert excinfo.value.code == 2
+        assert "seed must be an integer" in capsys.readouterr().err
+
+    def test_negative_seed_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "table1", "--seed", "-3"])
+        assert excinfo.value.code == 2
+        assert "seed must be non-negative" in capsys.readouterr().err
+
+    def test_seed_override_accepted(self, capsys):
+        assert main(["run", "envelope", "--scale", "small",
+                     "--seed", "7"]) == 0
+        assert "Back-of-the-envelope" in capsys.readouterr().out
+
+    def test_fault_tolerance_listed_and_runs(self, capsys):
+        assert main(["list"]) == 0
+        assert "fault-tolerance" in capsys.readouterr().out
+        assert main(["run", "fault-tolerance", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault tolerance" in out
+        assert "availability" in out
 
     def test_every_registered_experiment_has_description(self):
         for name, (description, runner) in EXPERIMENTS.items():

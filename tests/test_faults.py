@@ -1,0 +1,338 @@
+"""Tests for the fault-injection substrate (repro.faults)."""
+
+import random
+
+import pytest
+
+from repro.core import IndirectionRouting
+from repro.forwarding import ConvergenceSimulator
+from repro.resolution import NameResolutionService, RetryingResolver
+from repro.topology import chain_topology
+from repro.faults import (
+    HOME_AGENT,
+    LINK,
+    REPLICA,
+    ROUTER,
+    AvailabilityTrace,
+    DegradationReport,
+    FaultEvent,
+    FaultSchedule,
+    MessageLossModel,
+    RetryPolicy,
+)
+
+
+class TestFaultEvent:
+    def test_interval_semantics(self):
+        event = FaultEvent(10.0, ROUTER, 3, 5.0)
+        assert event.end == 15.0
+        assert event.covers(10.0)
+        assert event.covers(14.999)
+        assert not event.covers(15.0)
+        assert not event.covers(9.999)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, ROUTER, 3, 5.0)
+        with pytest.raises(ValueError):
+            FaultEvent(0.0, ROUTER, 3, 0.0)
+
+
+class TestFaultSchedule:
+    def test_empty_schedule(self):
+        assert FaultSchedule.EMPTY.empty
+        assert not FaultSchedule.EMPTY.is_down(ROUTER, 1, 0.0)
+        assert FaultSchedule.EMPTY.next_up_time(LINK, (1, 2), 7.0) == 7.0
+        assert FaultSchedule.EMPTY.downtime(REPLICA, "us", 0.0, 100.0) == 0.0
+
+    def test_link_targets_are_order_insensitive(self):
+        schedule = FaultSchedule([FaultEvent(0.0, LINK, (2, 1), 5.0)])
+        assert schedule.is_down(LINK, (1, 2), 1.0)
+        assert schedule.is_down(LINK, (2, 1), 1.0)
+
+    def test_overlapping_outages_merge(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(0.0, ROUTER, 1, 10.0),
+                FaultEvent(5.0, ROUTER, 1, 10.0),
+                FaultEvent(30.0, ROUTER, 1, 5.0),
+            ]
+        )
+        assert schedule.down_intervals(ROUTER, 1) == [(0.0, 15.0), (30.0, 35.0)]
+        assert schedule.interval_containing(ROUTER, 1, 7.0) == (0.0, 15.0)
+        assert schedule.next_up_time(ROUTER, 1, 7.0) == 15.0
+        assert schedule.next_up_time(ROUTER, 1, 20.0) == 20.0
+        assert schedule.downtime(ROUTER, 1, 0.0, 32.0) == 17.0
+
+    def test_merge_is_union(self):
+        a = FaultSchedule([FaultEvent(0.0, ROUTER, 1, 1.0)])
+        b = FaultSchedule([FaultEvent(5.0, LINK, (1, 2), 1.0)])
+        merged = a | b
+        assert len(merged) == 2
+        assert merged.is_down(ROUTER, 1, 0.5)
+        assert merged.is_down(LINK, (2, 1), 5.5)
+        assert a.empty is False and len(a) == 1  # inputs untouched
+
+    def test_poisson_is_deterministic_in_seed(self):
+        kwargs = dict(rate=0.1, horizon=200.0, duration=5.0)
+        one = FaultSchedule.poisson(
+            ROUTER, [1, 2], rng=random.Random(7), **kwargs
+        )
+        two = FaultSchedule.poisson(
+            ROUTER, [1, 2], rng=random.Random(7), **kwargs
+        )
+        assert one.events == two.events
+        assert not one.empty
+        assert all(e.start < 200.0 for e in one.events)
+
+    def test_poisson_zero_rate_is_failure_free(self):
+        schedule = FaultSchedule.poisson(
+            ROUTER, [1], rate=0.0, horizon=100.0, duration=5.0,
+            rng=random.Random(0),
+        )
+        assert schedule.empty
+
+    def test_poisson_callable_duration(self):
+        schedule = FaultSchedule.poisson(
+            REPLICA, ["us"], rate=0.5, horizon=50.0,
+            duration=lambda r: 1.0 + r.random(), rng=random.Random(3),
+        )
+        assert all(1.0 <= e.duration <= 2.0 for e in schedule.events)
+
+    def test_weibull_generates_and_validates(self):
+        schedule = FaultSchedule.weibull(
+            LINK, [(1, 2)], shape=0.8, scale=20.0, horizon=100.0,
+            duration=2.0, rng=random.Random(5),
+        )
+        assert all(e.kind == LINK for e in schedule.events)
+        with pytest.raises(ValueError):
+            FaultSchedule.weibull(
+                LINK, [(1, 2)], shape=0.0, scale=20.0, horizon=100.0,
+                duration=2.0, rng=random.Random(5),
+            )
+
+    def test_flap_covers_requested_fraction(self):
+        schedule = FaultSchedule.flap(
+            LINK, (1, 2), period=10.0, down_fraction=0.2, horizon=100.0
+        )
+        assert schedule.downtime(LINK, (1, 2), 0.0, 100.0) == pytest.approx(20.0)
+        assert schedule.is_down(LINK, (1, 2), 0.5)
+        assert not schedule.is_down(LINK, (1, 2), 2.5)
+
+
+class TestRetryPolicy:
+    def test_exponential_ladder_caps(self):
+        policy = RetryPolicy(initial_timeout=1.0, backoff_factor=2.0,
+                             max_timeout=5.0, max_attempts=5)
+        assert policy.timeouts() == [1.0, 2.0, 4.0, 5.0, 5.0]
+        assert policy.backoff_penalty(3) == 7.0
+        assert policy.backoff_penalty(0) == 0.0
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(initial_timeout=1.0, jitter_fraction=0.25)
+        ladder_a = policy.timeouts(random.Random(9))
+        ladder_b = policy.timeouts(random.Random(9))
+        assert ladder_a == ladder_b
+        for attempt, value in enumerate(ladder_a):
+            base = policy.timeout(attempt)
+            assert abs(value - base) <= 0.25 * base + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(initial_timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(initial_timeout=2.0, max_timeout=1.0)
+
+
+class TestMessageLossModel:
+    def test_lossless_flag(self):
+        assert MessageLossModel().lossless
+        assert not MessageLossModel(0.1).lossless
+        assert not MessageLossModel(0.0, extra_delay=1.0).lossless
+
+    def test_attempts_needed_monotone_in_loss_rate(self):
+        draws = MessageLossModel().draw_uniforms(16, random.Random(4))
+        previous = 0
+        for rate in (0.0, 0.2, 0.4, 0.6, 0.8):
+            needed = MessageLossModel(rate).attempts_needed(draws)
+            assert needed >= max(previous, 1)
+            previous = needed
+        assert MessageLossModel(0.0).attempts_needed(draws) == 1
+
+    def test_all_lost_draws_succeed_on_extra_attempt(self):
+        model = MessageLossModel(0.9)
+        assert model.attempts_needed([0.1, 0.2, 0.3]) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MessageLossModel(1.0)
+        with pytest.raises(ValueError):
+            MessageLossModel(-0.1)
+        with pytest.raises(ValueError):
+            MessageLossModel(0.0, extra_delay=-1.0)
+
+
+class TestAvailabilityTrace:
+    def _trace(self, pattern, step=1.0):
+        trace = AvailabilityTrace(step)
+        for index, delivered in enumerate(pattern):
+            trace.record(index * step, delivered=delivered)
+        return trace
+
+    def test_availability_and_outages(self):
+        trace = self._trace([True, False, False, True, False, True])
+        assert trace.availability() == pytest.approx(0.5)
+        assert trace.outage_intervals() == [(1.0, 3.0), (4.0, 5.0)]
+        assert trace.outage_durations() == [2.0, 1.0]
+
+    def test_trailing_outage_is_closed(self):
+        trace = self._trace([True, False, False])
+        assert trace.outage_intervals() == [(1.0, 3.0)]
+
+    def test_empty_trace_defaults(self):
+        trace = AvailabilityTrace(1.0)
+        assert trace.availability() == 1.0
+        assert trace.stale_fraction() == 0.0
+        assert trace.outage_intervals() == []
+
+    def test_recovery_time(self):
+        trace = self._trace([True, False, False, True])
+        assert trace.recovery_time_after(1.0) == 2.0
+        assert trace.recovery_time_after(3.5) is None
+
+    def test_out_of_order_probes_rejected(self):
+        trace = AvailabilityTrace(1.0)
+        trace.record(5.0, delivered=True)
+        with pytest.raises(ValueError):
+            trace.record(4.0, delivered=True)
+
+    def test_report_summary(self):
+        trace = self._trace([True, False, False, True])
+        report = DegradationReport.from_trace("name-based", trace)
+        assert report.architecture == "name-based"
+        assert report.probes == 4
+        assert report.availability == pytest.approx(0.5)
+        assert report.mean_outage() == 2.0
+        assert report.max_outage() == 2.0
+        assert report.outage_cdf() == [(2.0, 1.0)]
+        assert report.outage_percentile(0.5) == 2.0
+
+    def test_report_without_outages(self):
+        trace = self._trace([True, True])
+        report = DegradationReport.from_trace("x", trace)
+        assert report.mean_outage() == 0.0
+        assert report.max_outage() == 0.0
+        assert report.outage_percentile(0.9) == 0.0
+
+
+class TestFaultThreading:
+    """Faults actually reach the simulators they are wired into."""
+
+    def test_home_agent_failover_timeline(self):
+        arch = IndirectionRouting(chain_topology(9), home_agent=5)
+        faults = FaultSchedule([FaultEvent(10.0, HOME_AGENT, 5, 20.0)])
+        assert arch.active_agent_at(5.0, faults, backup_agent=3,
+                                    failover_delay=4.0) == 5
+        assert arch.active_agent_at(11.0, faults, backup_agent=3,
+                                    failover_delay=4.0) is None
+        assert arch.active_agent_at(14.0, faults, backup_agent=3,
+                                    failover_delay=4.0) == 3
+        assert arch.active_agent_at(30.0, faults, backup_agent=3,
+                                    failover_delay=4.0) == 5
+        # Without a backup the whole outage is unreachable.
+        assert arch.active_agent_at(25.0, faults) is None
+        assert arch.evaluate_move_under_faults(
+            1, 2, 9, now=25.0, faults=faults
+        ) is None
+
+    def test_downed_backup_cannot_take_over(self):
+        arch = IndirectionRouting(chain_topology(9), home_agent=5)
+        faults = FaultSchedule(
+            [
+                FaultEvent(10.0, HOME_AGENT, 5, 20.0),
+                FaultEvent(10.0, HOME_AGENT, 3, 20.0),
+            ]
+        )
+        assert arch.active_agent_at(20.0, faults, backup_agent=3,
+                                    failover_delay=2.0) is None
+
+    def test_resolver_fails_over_to_next_nearest_replica(self):
+        service = NameResolutionService(
+            {"near": {"us": 10.0}, "far": {"us": 50.0}},
+            fault_schedule=FaultSchedule(
+                [FaultEvent(0.0, REPLICA, "near", 100.0)]
+            ),
+        )
+        service.update("endpoint", [4], now=0.0)
+        resolver = RetryingResolver(
+            service, "us",
+            RetryPolicy(initial_timeout=0.1, max_attempts=3),
+            ttl_s=0.0,
+        )
+        outcome = resolver.resolve("endpoint", 10.0)
+        assert outcome.resolved
+        assert outcome.failovers == 1
+        assert outcome.timeouts == 1
+        assert outcome.total_latency_ms == pytest.approx(
+            0.1 * 1000.0 + 2 * 50.0
+        )
+
+    def test_resolver_serves_degraded_when_all_replicas_down(self):
+        service = NameResolutionService(
+            {"near": {"us": 10.0}},
+            fault_schedule=FaultSchedule(
+                [FaultEvent(20.0, REPLICA, "near", 100.0)]
+            ),
+        )
+        service.update("endpoint", [4], now=0.0)
+        resolver = RetryingResolver(
+            service, "us",
+            RetryPolicy(initial_timeout=0.1, max_attempts=2),
+            ttl_s=1.0,
+        )
+        assert resolver.resolve("endpoint", 5.0).resolved  # cached at 5.0
+        degraded = resolver.resolve("endpoint", 30.0)
+        assert degraded.resolved and degraded.degraded
+        assert degraded.result.locations == (4,)
+        assert resolver.degraded_serves == 1
+        # With nothing ever cached, resolution fails outright.
+        cold = RetryingResolver(
+            service, "us",
+            RetryPolicy(initial_timeout=0.1, max_attempts=2),
+            ttl_s=1.0,
+        )
+        assert not cold.resolve("endpoint", 30.0).resolved
+
+    def test_lossy_flood_outage_monotone_under_common_draws(self):
+        simulator = ConvergenceSimulator(chain_topology(13))
+        previous = -1.0
+        retransmissions = []
+        for rate in (0.0, 0.25, 0.5):
+            result = simulator.simulate_event_under_faults(
+                2, 12, random.Random(11), loss=MessageLossModel(rate)
+            )
+            assert result.convergence_time >= previous
+            previous = result.convergence_time
+            retransmissions.append(result.retransmissions)
+        assert retransmissions[0] == 0
+        assert retransmissions[-1] > 0
+
+    def test_link_fault_defers_update_propagation(self):
+        simulator = ConvergenceSimulator(chain_topology(5))
+        faults = FaultSchedule([FaultEvent(0.0, LINK, (3, 4), 10.0)])
+        arrivals, _ = simulator.lossy_update_arrival_times(
+            5, MessageLossModel(), RetryPolicy(), random.Random(0),
+            faults,
+        )
+        # The flood from router 5 crosses the downed (3,4) link only
+        # after it recovers at t=10.
+        assert arrivals[5] == 0.0
+        assert arrivals[4] == 1.0
+        assert arrivals[3] >= 10.0
+        assert arrivals[2] > arrivals[3]

@@ -1,0 +1,180 @@
+"""The empty-schedule identity: no faults means the pristine results.
+
+Every fault-aware entry point must delegate to the pre-existing
+fault-free code path when handed an empty :class:`FaultSchedule` and a
+lossless control plane — bit-identical results, not merely close ones.
+Hypothesis drives the check across topologies and mobility events.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FaultToleranceEvaluator,
+    IndirectionRouting,
+    MobilityTimeline,
+)
+from repro.faults import FaultSchedule, MessageLossModel, RetryPolicy
+from repro.forwarding import ConvergenceSimulator
+from repro.resolution import NameResolutionService, RetryingResolver
+from repro.topology import (
+    binary_tree_topology,
+    chain_topology,
+    clique_topology,
+)
+
+_BUILDERS = {
+    "chain": chain_topology,
+    "clique": clique_topology,
+    "binary-tree": binary_tree_topology,
+}
+
+
+@st.composite
+def topology_and_event(draw):
+    """A small topology plus a mobility event on it (nodes are 1..n)."""
+    kind = draw(st.sampled_from(sorted(_BUILDERS)))
+    n = draw(st.integers(min_value=3, max_value=15))
+    graph = _BUILDERS[kind](n)
+    old = draw(st.integers(min_value=1, max_value=n))
+    new = draw(st.integers(min_value=1, max_value=n).filter(lambda x: x != old))
+    corr = draw(st.integers(min_value=1, max_value=n))
+    return graph, old, new, corr
+
+
+class TestConvergenceIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(topology_and_event())
+    def test_simulate_event_identity(self, case):
+        graph, old, new, _ = case
+        simulator = ConvergenceSimulator(graph)
+        pristine = simulator.simulate_event(old, new)
+        faulty = simulator.simulate_event_under_faults(
+            old, new, random.Random(0),
+            loss=MessageLossModel(),
+            faults=FaultSchedule.EMPTY,
+        )
+        assert faulty.convergence_time == pristine.convergence_time
+        assert faulty.outage_by_source == pristine.outage_by_source
+        assert faulty.retransmissions == 0
+
+    def test_simulate_event_identity_none_schedule(self):
+        simulator = ConvergenceSimulator(chain_topology(9))
+        pristine = simulator.simulate_event(2, 8)
+        faulty = simulator.simulate_event_under_faults(
+            2, 8, random.Random(0)
+        )
+        assert faulty.outage_by_source == pristine.outage_by_source
+
+    def test_expected_outage_identity(self):
+        simulator = ConvergenceSimulator(binary_tree_topology(15))
+        pristine = simulator.expected_outage(20, random.Random(42))
+        faulty = simulator.expected_outage_under_faults(
+            20, random.Random(42), faults=FaultSchedule.EMPTY
+        )
+        assert faulty == pristine
+
+
+class TestResolutionIdentity:
+    _REPLICAS = {"us-east": {"us": 12.0}, "eu": {"us": 55.0}}
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        moves=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False),
+                st.integers(min_value=1, max_value=50),
+            ),
+            max_size=6,
+        ),
+        query=st.floats(min_value=0.0, max_value=120.0,
+                        allow_nan=False, allow_infinity=False),
+    )
+    def test_service_resolve_identity(self, moves, query):
+        plain = NameResolutionService(self._REPLICAS)
+        faulted = NameResolutionService(
+            self._REPLICAS, fault_schedule=FaultSchedule.EMPTY
+        )
+        for service in (plain, faulted):
+            service.update("endpoint", [1], now=-1.0)
+            for when, location in sorted(moves):
+                service.update("endpoint", [location], now=when)
+        assert (
+            faulted.resolve("endpoint", "us", query)
+            == plain.resolve("endpoint", "us", query)
+        )
+
+    def test_retrying_resolver_matches_plain_service(self):
+        service = NameResolutionService(
+            self._REPLICAS, fault_schedule=FaultSchedule.EMPTY
+        )
+        service.update("endpoint", [7], now=0.0)
+        resolver = RetryingResolver(
+            service, "us", RetryPolicy(max_attempts=3), ttl_s=0.0
+        )
+        outcome = resolver.resolve("endpoint", 10.0)
+        plain = service.resolve("endpoint", "us", 10.0)
+        assert outcome.resolved
+        assert outcome.attempts == 1
+        assert outcome.timeouts == 0
+        assert outcome.failovers == 0
+        assert not outcome.degraded
+        assert outcome.result.locations == plain.locations
+        assert outcome.result.version == plain.version
+
+
+class TestIndirectionIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(topology_and_event())
+    def test_evaluate_move_identity(self, case):
+        graph, old, new, corr = case
+        arch = IndirectionRouting(graph, home_agent=1)
+        pristine = arch.evaluate_move(old, new, corr)
+        for schedule in (None, FaultSchedule.EMPTY):
+            faulty = arch.evaluate_move_under_faults(
+                old, new, corr, now=10.0, faults=schedule
+            )
+            assert faulty == pristine
+
+    def test_active_agent_is_primary_without_faults(self):
+        arch = IndirectionRouting(chain_topology(7), home_agent=4)
+        assert arch.active_agent_at(5.0, None) == 4
+        assert arch.active_agent_at(5.0, FaultSchedule.EMPTY) == 4
+
+
+class TestEvaluatorIdentity:
+    def test_static_endpoint_is_fully_available(self):
+        graph = chain_topology(11)
+        evaluator = FaultToleranceEvaluator(
+            graph, FaultSchedule.EMPTY, horizon=30.0, probe_step=1.0
+        )
+        timeline = MobilityTimeline(initial=5)
+        reports = evaluator.evaluate_all(
+            timeline,
+            correspondent=1,
+            primary_agent=6,
+            replica_latency_ms={"us-east": {"us": 10.0}},
+            retry=RetryPolicy(max_attempts=2),
+        )
+        for name, report in reports.items():
+            assert report.availability == 1.0, name
+            assert report.stale_fraction == 0.0, name
+            assert report.outage_durations == (), name
+
+    def test_mobile_endpoint_outage_matches_registration_delay(self):
+        graph = chain_topology(11)
+        evaluator = FaultToleranceEvaluator(
+            graph, FaultSchedule.EMPTY, horizon=40.0, probe_step=0.5
+        )
+        timeline = MobilityTimeline(initial=5, moves=((10.0, 9),))
+        report = evaluator.evaluate_indirection(
+            timeline, correspondent=1, primary_agent=6,
+            registration_delay=2.0,
+        )
+        # The only outage is the registration window after the move.
+        assert report.max_outage() == pytest.approx(2.0)
+        assert report.availability == pytest.approx(1.0 - 4 / 80)
