@@ -1,0 +1,61 @@
+"""Bench: the run engine — warm-cache speedup and parallel identity.
+
+Pins the two acceptance properties of the engine subsystem:
+
+* a warm :class:`~repro.engine.cache.ArtifactCache` makes substrate
+  construction measurably faster than a cold build;
+* ``run_experiments`` returns identical payloads at ``jobs=4`` and
+  ``jobs=1`` (determinism across process boundaries).
+"""
+
+import shutil
+import tempfile
+from time import perf_counter
+
+from conftest import run_once
+
+from repro.engine import ArtifactCache, run_experiments
+from repro.experiments import World, active_scale
+
+#: Standalone experiments used for the parallel-identity bench.
+NAMES = ["table1", "compact-routing", "envelope", "ablation-hybrid",
+         "intradomain"]
+
+
+def _touch_substrate(world):
+    world.topology
+    world.workload
+    world.alternate_workload
+    world.popular_measurement
+    world.unpopular_measurement
+    return world
+
+
+def test_warm_cache_beats_cold(benchmark):
+    scale = active_scale()
+    root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        started = perf_counter()
+        cold = _touch_substrate(World(scale, cache=ArtifactCache(root)))
+        cold_s = perf_counter() - started
+        assert cold.cache.misses > 0 and cold.cache.hits == 0
+
+        warm = run_once(
+            benchmark,
+            lambda: _touch_substrate(World(scale, cache=ArtifactCache(root))),
+        )
+        warm_s = benchmark.stats.stats.mean
+        assert warm.cache.hits > 0 and warm.cache.misses == 0
+        print(f"substrate build: cold {cold_s:.2f}s, warm {warm_s:.2f}s")
+        assert warm_s < cold_s
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_parallel_identical_to_serial(benchmark):
+    scale = active_scale()
+    serial = run_experiments(NAMES, scale, jobs=1)
+    parallel = run_once(benchmark, run_experiments, NAMES, scale, jobs=4)
+    assert all(r.ok for r in serial), [r.error for r in serial]
+    strip = lambda r: {**r.to_dict(), "wall_time_s": None}
+    assert [strip(r) for r in serial] == [strip(r) for r in parallel]

@@ -4,117 +4,67 @@ Usage::
 
     python -m repro list
     python -m repro run fig8 --scale small
-    python -m repro run all --scale small
+    python -m repro run all --scale small --jobs 4
+    python -m repro run all --scale small --format json
     python -m repro export --out results/ --scale small
 
 ``run`` prints the same rows/series the paper reports; ``export``
 additionally writes the raw series behind each figure as CSV files so
-they can be re-plotted.
+they can be re-plotted. ``--jobs N`` fans experiments out over worker
+processes (output is identical to a serial run); ``--format json``
+emits one machine-readable record per experiment instead of text.
+
+Experiments come from the :mod:`repro.engine` registry — each
+``exp_*`` module registers itself — and run through the engine's
+runner, which isolates failures: one broken experiment never aborts
+``run all``, it is reported in the end-of-run summary and reflected in
+the exit code.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
-import time
-from typing import Callable, Dict, Optional, Sequence
+from time import perf_counter
+from typing import Dict, Optional, Sequence, Tuple
 
-from .experiments import (
-    DEFAULT_SCALE,
-    SMALL_SCALE,
-    World,
-    exp_ablation_caching,
-    exp_ablation_hybrid,
-    exp_ablation_multihoming,
-    exp_ablation_outage,
-    exp_ablation_strategy_layer,
-    exp_ablation_tradeoff,
-    exp_ablation_union,
-    exp_compact_routing,
-    exp_envelope,
-    exp_fault_tolerance,
-    exp_fig6,
-    exp_fig7,
-    exp_fib_size,
-    exp_fig8,
-    exp_fig8_sensitivity,
-    exp_fig9,
-    exp_fig10,
-    exp_fig11,
-    exp_fig12,
-    exp_intradomain,
-    exp_perturbation,
-    exp_policy_sensitivity,
-    exp_table1,
+from .engine import (
+    ArtifactCache,
+    all_specs,
+    experiment_names,
+    get_spec,
+    load_registry,
+    run_experiments,
 )
+from .experiments import DEFAULT_SCALE, SMALL_SCALE, World
 
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _needs_world(module) -> Callable[[Optional[World]], str]:
+def _compat_runner(name: str):
+    """A ``runner(world) -> str`` closure for the legacy dict below."""
+
     def runner(world: Optional[World]) -> str:
-        assert world is not None
-        return module.format_result(module.run(world))
+        spec = get_spec(name)
+        return spec.format(spec.execute(world if spec.needs_world else None))
 
     return runner
 
 
-def _standalone(module, **kwargs) -> Callable[[Optional[World]], str]:
-    def runner(world: Optional[World]) -> str:
-        return module.format_result(module.run(**kwargs))
+def _experiments_table() -> Dict[str, Tuple[str, object]]:
+    load_registry()
+    return {
+        spec.name: (spec.description, _compat_runner(spec.name))
+        for spec in all_specs()
+    }
 
-    return runner
 
-
-#: Experiment name -> (description, runner). Runners take a World (or
-#: None for world-free experiments) and return formatted text.
-EXPERIMENTS: Dict[str, tuple] = {
-    "table1": ("Table 1: analytic stretch vs update cost",
-               _standalone(exp_table1)),
-    "fig6": ("Fig. 6: distinct locations per user-day",
-             _needs_world(exp_fig6)),
-    "fig7": ("Fig. 7: transitions per user-day", _needs_world(exp_fig7)),
-    "fig8": ("Fig. 8: device-mobility router update rates",
-             _needs_world(exp_fig8)),
-    "fig8-sensitivity": ("§6.2.2 sensitivity checks",
-                         _needs_world(exp_fig8_sensitivity)),
-    "fib-size": ("§6.2 device FIB-size measurement",
-                 _needs_world(exp_fib_size)),
-    "fig9": ("Fig. 9: time at the dominant location",
-             _needs_world(exp_fig9)),
-    "fig10": ("Fig. 10: displacement from home", _needs_world(exp_fig10)),
-    "fig11": ("Fig. 11: content mobility + update rates",
-              _needs_world(exp_fig11)),
-    "fig12": ("Fig. 12: FIB aggregateability", _needs_world(exp_fig12)),
-    "envelope": ("§6.2/§7.3 back-of-the-envelope rates",
-                 _standalone(exp_envelope)),
-    "intradomain": ("§3.1 intradomain displacement sweep",
-                    _standalone(exp_intradomain)),
-    "ablation-union": ("§3.3.3 union-strategy ablation",
-                       _needs_world(exp_ablation_union)),
-    "ablation-tradeoff": ("§3.3.3 cost-triangle ablation",
-                          _needs_world(exp_ablation_tradeoff)),
-    "ablation-hybrid": ("§8 hybrid-architecture ablation",
-                        _standalone(exp_ablation_hybrid)),
-    "ablation-outage": ("§2/§8 mobility-outage comparison",
-                        _needs_world(exp_ablation_outage)),
-    "ablation-multihoming": ("§3.3 multihomed-device ablation",
-                             _needs_world(exp_ablation_multihoming)),
-    "ablation-strategy-layer": ("§1/§8 strategy-layer ablation",
-                                _standalone(exp_ablation_strategy_layer)),
-    "perturbation": ("§8 robustness: mobility scaled by large factors",
-                     _needs_world(exp_perturbation)),
-    "ablation-caching": ("§8 on-path caching under mobility",
-                         _standalone(exp_ablation_caching)),
-    "policy-sensitivity": ("§3.2 route-selection-policy sensitivity",
-                           _needs_world(exp_policy_sensitivity)),
-    "compact-routing": ("§2.1 compact-routing stretch/table frontier",
-                        _standalone(exp_compact_routing)),
-    "fault-tolerance": ("§8 fault injection: graceful degradation "
-                        "across architectures",
-                        _standalone(exp_fault_tolerance)),
-}
+#: Experiment name -> (description, runner) — the registry rendered in
+#: the shape this module historically exported. Runners take a World
+#: (or None for world-free experiments) and return formatted text.
+EXPERIMENTS: Dict[str, Tuple[str, object]] = _experiments_table()
 
 
 def _seed_type(text: str) -> int:
@@ -128,6 +78,21 @@ def _seed_type(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(
             f"seed must be non-negative, got {value}"
+        )
+    return value
+
+
+def _jobs_type(text: str) -> int:
+    """argparse type for ``--jobs``: a positive integer."""
+    try:
+        value = int(text, 10)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be an integer, got {text!r}"
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be positive, got {value}"
         )
     return value
 
@@ -159,6 +124,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the workload seed (non-negative integer)",
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=_jobs_type,
+        default=1,
+        help="worker processes (default 1: run in-process)",
+    )
+    run_parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        dest="output_format",
+        help="text output (default) or one JSON record per experiment",
+    )
 
     export_parser = sub.add_parser(
         "export", help="run everything and write CSV series"
@@ -185,46 +163,76 @@ def _scale_for(label: str, seed: Optional[int] = None):
 
 def _run(
     names: Sequence[str], scale_label: str, out=None,
-    seed: Optional[int] = None,
-) -> None:
+    seed: Optional[int] = None, jobs: int = 1,
+    output_format: str = "text", err=None,
+) -> int:
+    """Run ``names`` through the engine; returns a process exit code."""
     out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
     scale = _scale_for(scale_label, seed)
-    world = World(scale)
-    started = time.time()
-    for name in names:
-        _, runner = EXPERIMENTS[name]
-        out.write(runner(world) + "\n")
-    out.write(f"\n[{len(names)} experiment(s), scale={scale.label}, "
-              f"{time.time() - started:.0f}s]\n")
+    started = perf_counter()
+    records = run_experiments(
+        names, scale, jobs=jobs, cache=ArtifactCache.from_env()
+    )
+    elapsed = perf_counter() - started
+    failed = [record for record in records if not record.ok]
+
+    if output_format == "json":
+        out.write(json.dumps({
+            "scale": scale.label,
+            "jobs": jobs,
+            "elapsed_s": round(elapsed, 3),
+            "failed": len(failed),
+            "records": [record.to_dict() for record in records],
+        }, indent=2) + "\n")
+        return 1 if failed else 0
+
+    for record in records:
+        if record.ok:
+            out.write(record.output + "\n")
+        else:
+            err.write(f"repro: experiment {record.name!r} failed:\n"
+                      f"{record.error}\n")
+    summary = (f"\n[{len(records)} experiment(s), scale={scale.label}, "
+               f"{elapsed:.0f}s]\n")
+    if failed:
+        summary = (f"\n[{len(records)} experiment(s), "
+                   f"{len(failed)} FAILED "
+                   f"({', '.join(r.name for r in failed)}), "
+                   f"scale={scale.label}, {elapsed:.0f}s]\n")
+    out.write(summary)
+    return 1 if failed else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name in sorted(EXPERIMENTS):
-            description, _ = EXPERIMENTS[name]
-            print(f"{name.ljust(width)}  {description}")
+        names = experiment_names()
+        width = max(len(name) for name in names)
+        for name in names:
+            print(f"{name.ljust(width)}  {get_spec(name).description}")
         return 0
     if args.command == "run":
-        if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+        names = experiment_names()
+        if args.experiment != "all" and args.experiment not in names:
             print(
                 f"repro: unknown experiment {args.experiment!r} — "
-                f"'repro list' shows the {len(EXPERIMENTS)} available",
+                f"'repro list' shows the {len(names)} available",
                 file=sys.stderr,
             )
             return 2
-        names = sorted(EXPERIMENTS) if args.experiment == "all" else [
-            args.experiment
-        ]
-        _run(names, args.scale, seed=args.seed)
-        return 0
+        selected = names if args.experiment == "all" else [args.experiment]
+        return _run(
+            selected, args.scale, seed=args.seed, jobs=args.jobs,
+            output_format=args.output_format,
+        )
     if args.command == "export":
         from .experiments.export import export_all
 
         scale = _scale_for(args.scale, args.seed)
-        written = export_all(World(scale), args.out)
+        world = World(scale, cache=ArtifactCache.from_env())
+        written = export_all(world, args.out)
         for path in written:
             print(path)
         return 0

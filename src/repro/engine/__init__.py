@@ -1,0 +1,44 @@
+"""Experiment run engine: registry, parallel runner, artifact cache.
+
+Three layers, consumed together by the CLI, the CSV exporter, and the
+benches:
+
+* :mod:`.registry` — declarative :class:`ExperimentSpec` records, one
+  per paper artifact, populated by the ``@register`` decorator on each
+  ``exp_*`` module's ``run`` function;
+* :mod:`.runner` — executes selected specs with per-experiment error
+  isolation and optional process-level parallelism, returning
+  structured :class:`RunRecord` results;
+* :mod:`.cache` — a content-addressed on-disk :class:`ArtifactCache`
+  for the expensive shared substrate (topology, routing oracle,
+  workloads, content measurements).
+"""
+
+from .cache import CACHE_DIR_ENV, GENERATOR_VERSION, ArtifactCache
+from .registry import (
+    ExperimentSpec,
+    Series,
+    all_specs,
+    experiment_names,
+    get_spec,
+    load_registry,
+    register,
+    unregister,
+)
+from .runner import RunRecord, run_experiments
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_DIR_ENV",
+    "GENERATOR_VERSION",
+    "ExperimentSpec",
+    "Series",
+    "RunRecord",
+    "register",
+    "unregister",
+    "get_spec",
+    "all_specs",
+    "experiment_names",
+    "load_registry",
+    "run_experiments",
+]

@@ -1,0 +1,116 @@
+"""Content-addressed on-disk cache for the expensive World artifacts.
+
+The substrate pieces every experiment shares — the AS topology, the
+routing oracle, the mobility workloads, and the content measurements —
+take the bulk of a run's wall time but are pure functions of
+``(scale, seed, generator version)``. This cache pickles each piece
+under a key derived from exactly those inputs, so parallel workers and
+repeated CLI/bench invocations rebuild nothing.
+
+Keys are content-addressed: a SHA-256 over the artifact name, the
+generator version, and the sorted build parameters. Bump
+:data:`GENERATOR_VERSION` whenever a generator's output changes so old
+cache entries can never leak into new code.
+
+Writes are atomic (temp file + :func:`os.replace`), so concurrent
+workers racing to populate the same key are safe — the last writer
+wins and every reader sees a complete pickle.
+
+The cache directory defaults to ``~/.cache/repro`` and is overridden
+with the ``REPRO_CACHE_DIR`` environment variable; setting it to
+``off``, ``none``, or ``0`` disables caching entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Any, Callable, Optional
+
+__all__ = ["ArtifactCache", "GENERATOR_VERSION", "CACHE_DIR_ENV"]
+
+#: Bump when any substrate generator changes its output.
+GENERATOR_VERSION = 1
+
+#: Environment variable naming the cache directory (or disabling it).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_DISABLED_VALUES = {"off", "none", "0", ""}
+
+
+class ArtifactCache:
+    """Pickle store keyed by artifact name + build parameters."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["ArtifactCache"]:
+        """The cache selected by ``REPRO_CACHE_DIR`` (None = disabled)."""
+        value = os.environ.get(CACHE_DIR_ENV)
+        if value is not None and value.strip().lower() in _DISABLED_VALUES:
+            return None
+        if value is None:
+            value = os.path.join(os.path.expanduser("~"), ".cache", "repro")
+        return cls(value)
+
+    def key(self, artifact: str, **params: Any) -> str:
+        """Content-addressed key for ``artifact`` built with ``params``."""
+        payload = json.dumps(
+            {"artifact": artifact, "version": GENERATOR_VERSION,
+             "params": params},
+            sort_keys=True,
+        )
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        return f"{artifact}-{digest}"
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.pkl")
+
+    def load(self, key: str) -> Optional[Any]:
+        """The cached object for ``key``, or None on a miss.
+
+        A corrupt or unreadable entry (e.g. written by an incompatible
+        Python) counts as a miss; it will be overwritten by the next
+        :meth:`store`.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def store(self, key: str, obj: Any) -> str:
+        """Atomically persist ``obj`` under ``key``; returns the path."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(key)
+        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        return path
+
+    def get_or_build(
+        self, artifact: str, builder: Callable[[], Any], **params: Any
+    ) -> Any:
+        """Load ``artifact`` from the cache or build + persist it."""
+        key = self.key(artifact, **params)
+        cached = self.load(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        obj = builder()
+        self.store(key, obj)
+        return obj

@@ -1,0 +1,150 @@
+"""Declarative experiment registry.
+
+Every ``exp_*`` module registers itself by decorating its ``run``
+function with :func:`register`, declaring its name, description, paper
+section, whether it consumes the shared :class:`~repro.experiments.context.World`,
+and free-form tags. The registry replaces the hand-maintained
+experiment dict in :mod:`repro.cli` and the hardcoded module list in
+:mod:`repro.experiments.export`: the CLI, the run engine, and the CSV
+exporter all iterate the same specs, so a newly added experiment is
+runnable, parallelizable, and exportable the moment its module imports.
+
+Specs carry the *module name*, not function objects, so they stay
+picklable and resolve ``run`` / ``format_result`` / ``series`` lazily —
+the latter two are usually defined after the decorated ``run`` in the
+module body.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Series",
+    "ExperimentSpec",
+    "register",
+    "unregister",
+    "get_spec",
+    "all_specs",
+    "experiment_names",
+    "load_registry",
+]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One exportable data series: a CSV file name (stem), headers, rows."""
+
+    name: str
+    headers: Tuple[str, ...]
+    rows: Sequence[Sequence[Any]]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one paper artifact reproduction."""
+
+    name: str
+    description: str
+    section: str
+    needs_world: bool
+    module: str
+    tags: Tuple[str, ...] = field(default_factory=tuple)
+
+    def _module(self):
+        return importlib.import_module(self.module)
+
+    def execute(self, world=None):
+        """Run the experiment; ``world`` is required iff ``needs_world``."""
+        if self.needs_world:
+            if world is None:
+                raise ValueError(
+                    f"experiment {self.name!r} needs a World instance"
+                )
+            return self._module().run(world)
+        return self._module().run()
+
+    def format(self, result) -> str:
+        """Render ``result`` as the text the paper's tables/figures show."""
+        return self._module().format_result(result)
+
+    def series(self, result) -> List[Series]:
+        """The exportable raw series behind ``result`` (may be empty)."""
+        series_fn = getattr(self._module(), "series", None)
+        if series_fn is None:
+            return []
+        return list(series_fn(result))
+
+
+#: name -> spec, in registration (module import) order.
+_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(
+    name: str,
+    *,
+    description: str,
+    section: str,
+    needs_world: bool,
+    tags: Iterable[str] = (),
+) -> Callable:
+    """Decorator for an experiment module's ``run`` function.
+
+    Registers an :class:`ExperimentSpec` under ``name`` and returns the
+    function unchanged. Re-registration from the same module (e.g. an
+    ``importlib.reload``) replaces the spec; a name collision across
+    different modules is a programming error and raises.
+    """
+
+    def decorator(run_func: Callable) -> Callable:
+        spec = ExperimentSpec(
+            name=name,
+            description=description,
+            section=section,
+            needs_world=needs_world,
+            module=run_func.__module__,
+            tags=tuple(tags),
+        )
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.module != spec.module:
+            raise ValueError(
+                f"experiment name {name!r} already registered by "
+                f"{existing.module}"
+            )
+        _REGISTRY[name] = spec
+        return run_func
+
+    return decorator
+
+
+def unregister(name: str) -> None:
+    """Remove a spec (test helper; unknown names are ignored)."""
+    _REGISTRY.pop(name, None)
+
+
+def load_registry() -> None:
+    """Ensure every built-in experiment module has registered itself."""
+    importlib.import_module("repro.experiments")
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """Look up one spec by name (loading the registry if needed)."""
+    if name not in _REGISTRY:
+        load_registry()
+    return _REGISTRY[name]
+
+
+def all_specs(tag: Optional[str] = None) -> List[ExperimentSpec]:
+    """All registered specs sorted by name, optionally filtered by tag."""
+    load_registry()
+    specs = sorted(_REGISTRY.values(), key=lambda s: s.name)
+    if tag is not None:
+        specs = [s for s in specs if tag in s.tags]
+    return specs
+
+
+def experiment_names() -> List[str]:
+    """Sorted names of every registered experiment."""
+    return [spec.name for spec in all_specs()]

@@ -1,0 +1,141 @@
+"""The run engine: execute registered experiments with isolation.
+
+Given a list of experiment names and a scale, the engine runs each
+experiment, captures its formatted output, and returns one structured
+:class:`RunRecord` per experiment. Failures are isolated — one broken
+experiment never aborts the rest — and recorded with a traceback.
+
+With ``jobs > 1`` experiments are distributed over a
+:class:`~concurrent.futures.ProcessPoolExecutor`. Each worker process
+keeps one lazily-built :class:`~repro.experiments.context.World` per
+scale, shared across the experiments it is handed, and (when a cache is
+configured) hydrates that world from the on-disk
+:class:`~repro.engine.cache.ArtifactCache` instead of regenerating the
+substrate. Every experiment is a deterministic pure function of
+``(scale, seed)``, so records come back identical regardless of job
+count or completion order — results are re-sorted into request order
+before returning.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .cache import ArtifactCache
+from .registry import get_spec
+
+__all__ = ["RunRecord", "run_experiments"]
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The structured outcome of one experiment run."""
+
+    name: str
+    status: str  # STATUS_OK or STATUS_ERROR
+    wall_time_s: float
+    output: str = ""  # formatted experiment text (ok runs)
+    error: str = ""  # traceback (failed runs)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready mapping (used by ``repro run --format json``)."""
+        return {
+            "name": self.name,
+            "status": self.status,
+            "wall_time_s": round(self.wall_time_s, 3),
+            "output": self.output,
+            "error": self.error,
+        }
+
+
+def _world_class():
+    # Imported lazily: repro.experiments imports this package's
+    # registry, so a module-level import here would be circular.
+    from repro.experiments import World
+
+    return World
+
+#: Per-process world pool: (scale, cache root) -> World. Worker
+#: processes handle several experiments each; sharing the lazily-built
+#: world across them mirrors what the serial path does in one process.
+_WORLDS: Dict[Tuple[Any, Optional[str]], Any] = {}
+
+
+def _world_for(scale, cache: Optional[ArtifactCache]):
+    key = (scale, cache.root if cache is not None else None)
+    if key not in _WORLDS:
+        _WORLDS[key] = _world_class()(scale, cache=cache)
+    return _WORLDS[key]
+
+
+def _execute(name: str, scale, cache: Optional[ArtifactCache]) -> RunRecord:
+    """Run one experiment against a (possibly pooled) world."""
+    started = perf_counter()
+    try:
+        spec = get_spec(name)
+        world = _world_for(scale, cache) if spec.needs_world else None
+        result = spec.execute(world)
+        output = spec.format(result)
+        if world is not None:
+            world.save_warm_artifacts()
+        return RunRecord(
+            name=name,
+            status=STATUS_OK,
+            wall_time_s=perf_counter() - started,
+            output=output,
+        )
+    except Exception:
+        return RunRecord(
+            name=name,
+            status=STATUS_ERROR,
+            wall_time_s=perf_counter() - started,
+            error=traceback.format_exc(),
+        )
+
+
+def _execute_in_worker(
+    name: str, scale, cache_root: Optional[str]
+) -> RunRecord:
+    """Top-level (picklable) entry point for pool workers."""
+    from repro.engine.registry import load_registry
+
+    load_registry()
+    cache = ArtifactCache(cache_root) if cache_root else None
+    return _execute(name, scale, cache)
+
+
+def run_experiments(
+    names: Sequence[str],
+    scale,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+) -> List[RunRecord]:
+    """Run ``names`` at ``scale``; one :class:`RunRecord` each, in order.
+
+    ``jobs > 1`` fans the experiments out over that many worker
+    processes; ``cache`` (an :class:`ArtifactCache`) lets workers share
+    the expensive substrate through the filesystem instead of each
+    rebuilding it.
+    """
+    for name in names:
+        get_spec(name)  # fail fast on unknown names, before any work
+    if jobs <= 1 or len(names) <= 1:
+        return [_execute(name, scale, cache) for name in names]
+    cache_root = cache.root if cache is not None else None
+    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+        futures = [
+            pool.submit(_execute_in_worker, name, scale, cache_root)
+            for name in names
+        ]
+        return [future.result() for future in futures]

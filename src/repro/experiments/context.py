@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Callable, List, Optional
 
 from ..content import (
     DomainUniverse,
@@ -39,6 +39,7 @@ from ..mobility import (
     MobilityWorkloadConfig,
     generate_workload,
 )
+from ..engine.cache import ArtifactCache
 from ..routing import RoutingOracle, VantagePoint
 from ..topology import ASTopology, generate_as_topology
 
@@ -89,10 +90,24 @@ def active_scale() -> ExperimentScale:
 
 
 class World:
-    """Lazily-constructed shared substrate for all experiments."""
+    """Lazily-constructed shared substrate for all experiments.
 
-    def __init__(self, scale: Optional[ExperimentScale] = None):
+    With an :class:`~repro.engine.cache.ArtifactCache`, the expensive
+    pieces (topology, routing oracle, workloads, content measurements)
+    are loaded from / persisted to disk, content-addressed by scale,
+    seed, and generator version — parallel engine workers and repeated
+    CLI invocations then share one substrate instead of regenerating
+    it. Without a cache, behaviour is unchanged from the original
+    in-process lazy construction.
+    """
+
+    def __init__(
+        self,
+        scale: Optional[ExperimentScale] = None,
+        cache: Optional[ArtifactCache] = None,
+    ):
         self.scale = scale or active_scale()
+        self.cache = cache
         self._topology: Optional[ASTopology] = None
         self._oracle: Optional[RoutingOracle] = None
         self._routeviews: Optional[List[VantagePoint]] = None
@@ -105,20 +120,50 @@ class World:
         self._unpopular: Optional[ContentMeasurement] = None
         self._iplane: Optional[IPlanePredictor] = None
 
+    # -- artifact caching --------------------------------------------------
+
+    def _artifact(
+        self, name: str, builder: Callable[[], Any], **params: Any
+    ) -> Any:
+        """Build ``name`` via ``builder``, going through the cache if set."""
+        if self.cache is None:
+            return builder()
+        return self.cache.get_or_build(name, builder, **params)
+
+    def save_warm_artifacts(self) -> None:
+        """Persist accumulated lazy state back to the cache.
+
+        The routing oracle computes best paths on demand, so a freshly
+        built oracle is an empty shell — the valuable state is the
+        per-destination route cache it accumulates *during* a run. The
+        engine calls this after experiments finish so the next run (or
+        a sibling parallel worker) starts with the routes pre-computed.
+        Concurrent writers are safe: stores are atomic and any
+        complete snapshot yields identical routes.
+        """
+        if self.cache is None or self._oracle is None:
+            return
+        self.cache.store(self.cache.key("oracle-warm"), self._oracle)
+
     # -- substrate pieces ------------------------------------------------
 
     @property
     def topology(self) -> ASTopology:
         """The synthetic AS-level Internet."""
         if self._topology is None:
-            self._topology = generate_as_topology()
+            self._topology = self._artifact("topology", generate_as_topology)
         return self._topology
 
     @property
     def oracle(self) -> RoutingOracle:
         """Policy routing over the topology."""
         if self._oracle is None:
-            self._oracle = RoutingOracle(self.topology)
+            warm = (
+                self.cache.load(self.cache.key("oracle-warm"))
+                if self.cache is not None
+                else None
+            )
+            self._oracle = warm or RoutingOracle(self.topology)
         return self._oracle
 
     @property
@@ -148,13 +193,19 @@ class World:
     def workload(self) -> MobilityWorkload:
         """The synthetic NomadLog workload."""
         if self._workload is None:
-            self._workload = generate_workload(
-                self.topology,
-                MobilityWorkloadConfig(
-                    num_users=self.scale.num_users,
-                    num_days=self.scale.device_days,
-                    seed=self.scale.seed,
+            self._workload = self._artifact(
+                "workload",
+                lambda: generate_workload(
+                    self.topology,
+                    MobilityWorkloadConfig(
+                        num_users=self.scale.num_users,
+                        num_days=self.scale.device_days,
+                        seed=self.scale.seed,
+                    ),
                 ),
+                num_users=self.scale.num_users,
+                num_days=self.scale.device_days,
+                seed=self.scale.seed,
             )
         return self._workload
 
@@ -167,13 +218,19 @@ class World:
 
     def alternate_workload(self, num_users: int, seed: int) -> MobilityWorkload:
         """A second workload (the §6.2.2 IMAP-style sensitivity input)."""
-        return generate_workload(
-            self.topology,
-            MobilityWorkloadConfig(
-                num_users=num_users,
-                num_days=self.scale.device_days,
-                seed=seed,
+        return self._artifact(
+            "workload",
+            lambda: generate_workload(
+                self.topology,
+                MobilityWorkloadConfig(
+                    num_users=num_users,
+                    num_days=self.scale.device_days,
+                    seed=seed,
+                ),
             ),
+            num_users=num_users,
+            num_days=self.scale.device_days,
+            seed=seed,
         )
 
     # -- content workload ---------------------------------------------------
@@ -192,14 +249,24 @@ class World:
                     popular_total_names=int(n * 24.7),
                     seed=self.scale.seed,
                 )
-            self._universe = generate_domain_universe(cfg)
+            self._universe = self._artifact(
+                "universe",
+                lambda: generate_domain_universe(cfg),
+                num_popular_domains=self.scale.num_popular_domains,
+                seed=self.scale.seed,
+            )
         return self._universe
 
     @property
     def hosting(self) -> HostingDirectory:
         """Hosting models for every name in the universe."""
         if self._hosting is None:
-            self._hosting = assign_hosting(self.universe, self.topology)
+            self._hosting = self._artifact(
+                "hosting",
+                lambda: assign_hosting(self.universe, self.topology),
+                num_popular_domains=self.scale.num_popular_domains,
+                seed=self.scale.seed,
+            )
         return self._hosting
 
     def _controller(self) -> MeasurementController:
@@ -214,16 +281,24 @@ class World:
     def popular_measurement(self) -> ContentMeasurement:
         """Merged hourly Addrs(d,t) for the popular set."""
         if self._popular is None:
-            self._popular = self._controller().measure_universe(
-                self.universe, popular=True
-            )
+            self._popular = self._measurement(popular=True)
         return self._popular
+
+    def _measurement(self, popular: bool) -> ContentMeasurement:
+        return self._artifact(
+            "measurement",
+            lambda: self._controller().measure_universe(
+                self.universe, popular=popular
+            ),
+            popular=popular,
+            days=self.scale.content_days,
+            num_popular_domains=self.scale.num_popular_domains,
+            seed=self.scale.seed,
+        )
 
     @property
     def unpopular_measurement(self) -> ContentMeasurement:
         """Merged hourly Addrs(d,t) for the unpopular set."""
         if self._unpopular is None:
-            self._unpopular = self._controller().measure_universe(
-                self.universe, popular=False
-            )
+            self._unpopular = self._measurement(popular=False)
         return self._unpopular

@@ -15,11 +15,12 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from ..engine import Series, register
 from ..forwarding.stateful import InterestStrategy, StatefulForwardingPlane
 from ..topology import erdos_renyi_topology
 from .report import banner, render_table
 
-__all__ = ["CachingResult", "run", "format_result"]
+__all__ = ["CachingResult", "run", "format_result", "series"]
 
 
 @dataclass
@@ -34,6 +35,13 @@ class CachingResult:
     success: Dict[Tuple[InterestStrategy, float], float]
 
 
+@register(
+    "ablation-caching",
+    description="§8 on-path caching under mobility",
+    section="§8",
+    needs_world=False,
+    tags=("ablation", "caching"),
+)
 def run(
     n: int = 40,
     fresh_radius: int = 1,
@@ -90,3 +98,18 @@ def format_result(result: CachingResult) -> str:
         "updates do.",
     ]
     return "\n".join(lines)
+
+def series(result: CachingResult) -> list:
+    """Success rate per (strategy, cache fraction) cell."""
+    return [
+        Series(
+            "ablation_caching",
+            ("strategy", "cache_fraction", "success_rate"),
+            [
+                [strategy.value, fraction,
+                 result.success[(strategy, fraction)]]
+                for fraction in result.cache_fractions
+                for strategy in InterestStrategy
+            ],
+        )
+    ]

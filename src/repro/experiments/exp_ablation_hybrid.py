@@ -14,10 +14,11 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..core.hybrid import HybridEvaluation, evaluate_hybrid
+from ..engine import Series, register
 from ..topology import erdos_renyi_topology
 from .report import banner, render_table
 
-__all__ = ["HybridSweepResult", "run", "format_result"]
+__all__ = ["HybridSweepResult", "run", "format_result", "series"]
 
 
 @dataclass
@@ -28,6 +29,13 @@ class HybridSweepResult:
     evaluations: Dict[float, HybridEvaluation]
 
 
+@register(
+    "ablation-hybrid",
+    description="§8 hybrid-architecture ablation",
+    section="§8",
+    needs_world=False,
+    tags=("ablation", "hybrid"),
+)
 def run(
     n: int = 40,
     device_shares: Tuple[float, ...] = (0.2, 0.5, 0.8, 0.95),
@@ -81,3 +89,22 @@ def format_result(result: HybridSweepResult) -> str:
         "zero stretch — the augmentation the paper's conclusions call for."
     )
     return "\n".join(lines)
+
+
+def series(result: HybridSweepResult) -> list:
+    """Tidy per-(device share, architecture) metrics."""
+    return [
+        Series(
+            "ablation_hybrid",
+            ("device_share", "architecture", "update_fraction",
+             "device_stretch", "content_stretch",
+             "agent_updates_per_event"),
+            [
+                [share, m.architecture, m.update_fraction,
+                 m.device_stretch, m.content_stretch,
+                 m.agent_updates_per_event]
+                for share in sorted(result.evaluations)
+                for m in result.evaluations[share].metrics
+            ],
+        )
+    ]

@@ -16,11 +16,12 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..core import ContentPortMapper, ForwardingStrategy
+from ..engine import Series, register
 from ..mobility.multihoming import MultihomedTimeline, build_multihomed_timeline
 from .context import World
 from .report import banner, render_table
 
-__all__ = ["MultihomingResult", "run", "format_result"]
+__all__ = ["MultihomingResult", "run", "format_result", "series"]
 
 
 @dataclass
@@ -39,6 +40,13 @@ class MultihomingResult:
     events_multi: int
 
 
+@register(
+    "ablation-multihoming",
+    description="§3.3 multihomed-device ablation",
+    section="§3.3",
+    needs_world=True,
+    tags=("ablation", "device-mobility"),
+)
 def run(
     world: World, dual_radio_prob: float = 0.7, seed: int = 2014
 ) -> MultihomingResult:
@@ -139,3 +147,19 @@ def format_result(result: MultihomingResult) -> str:
         "and the mechanism multipath/addressing-assisted designs exploit.",
     ]
     return "\n".join(lines)
+
+def series(result: MultihomingResult) -> list:
+    """Per-router update rates for the three tracking modes."""
+    return [
+        Series(
+            "ablation_multihoming",
+            ("router", "single_attach", "multihomed_best_port",
+             "multihomed_flooding"),
+            [
+                [router, result.single[router],
+                 result.multi_best_port[router],
+                 result.multi_flooding[router]]
+                for router in result.single
+            ],
+        )
+    ]

@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..engine import Series, register
 from ..forwarding import ConvergenceSimulator
 from ..mobility import MobilityEvent
 from ..resolution import TtlPoint, simulate_ttl
@@ -26,7 +27,7 @@ from ..topology import binary_tree_topology, chain_topology, clique_topology
 from .context import World
 from .report import banner, render_table
 
-__all__ = ["OutageResult", "run", "format_result"]
+__all__ = ["OutageResult", "run", "format_result", "series"]
 
 
 @dataclass
@@ -40,6 +41,13 @@ class OutageResult:
     ttl_points: List[TtlPoint]
 
 
+@register(
+    "ablation-outage",
+    description="§2/§8 mobility-outage comparison",
+    section="§8",
+    needs_world=True,
+    tags=("ablation", "outage"),
+)
 def run(
     world: World,
     n: int = 31,
@@ -110,3 +118,26 @@ def format_result(result: OutageResult) -> str:
         "TTL — the quantified version of the paper's §8 discussion.",
     ]
     return "\n".join(lines)
+
+def series(result: OutageResult) -> list:
+    """Tidy outage metrics: per-topology convergence plus the TTL sweep."""
+    return [
+        Series(
+            "ablation_outage",
+            ("topology", "mean_outage", "max_outage"),
+            [
+                [label, mean, worst]
+                for label, (mean, worst) in sorted(result.name_based.items())
+            ],
+        ),
+        Series(
+            "ablation_outage_ttl",
+            ("ttl_s", "connections", "failure_rate", "cache_hit_rate",
+             "mean_lookup_ms"),
+            [
+                [p.ttl_s, p.connections, p.failure_rate, p.cache_hit_rate,
+                 p.mean_lookup_ms]
+                for p in result.ttl_points
+            ],
+        ),
+    ]

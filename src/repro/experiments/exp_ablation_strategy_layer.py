@@ -16,11 +16,12 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from ..engine import Series, register
 from ..forwarding.stateful import InterestStrategy, StatefulForwardingPlane
 from ..topology import erdos_renyi_topology
 from .report import banner, render_table
 
-__all__ = ["StrategyLayerResult", "run", "format_result"]
+__all__ = ["StrategyLayerResult", "run", "format_result", "series"]
 
 
 @dataclass
@@ -40,6 +41,13 @@ class StrategyLayerResult:
         return self.outcomes[(strategy, radius)][1]
 
 
+@register(
+    "ablation-strategy-layer",
+    description="§1/§8 strategy-layer ablation",
+    section="§8",
+    needs_world=False,
+    tags=("ablation", "strategy-layer"),
+)
 def run(
     n: int = 40,
     radii: Tuple[int, ...] = (0, 1, 2, 4),
@@ -89,3 +97,19 @@ def format_result(result: StrategyLayerResult) -> str:
         "in the data plane.",
     ]
     return "\n".join(lines)
+
+def series(result: StrategyLayerResult) -> list:
+    """Success and traffic per (strategy, freshness radius) cell."""
+    return [
+        Series(
+            "ablation_strategy_layer",
+            ("strategy", "fresh_radius", "success_rate", "mean_traversals"),
+            [
+                [strategy.value, radius,
+                 result.success(strategy, radius),
+                 result.traffic(strategy, radius)]
+                for radius in result.radii
+                for strategy in InterestStrategy
+            ],
+        )
+    ]

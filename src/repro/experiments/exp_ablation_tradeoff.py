@@ -11,12 +11,20 @@ from __future__ import annotations
 
 from ..core import ForwardingStrategy
 from ..core.tradeoff import TradeoffResult, evaluate_tradeoff
+from ..engine import Series, register
 from .context import World
 from .report import banner, render_table
 
-__all__ = ["run", "format_result"]
+__all__ = ["run", "format_result", "series"]
 
 
+@register(
+    "ablation-tradeoff",
+    description="§3.3.3 cost-triangle ablation",
+    section="§3.3.3",
+    needs_world=True,
+    tags=("ablation", "content-mobility"),
+)
 def run(world: World) -> TradeoffResult:
     """Evaluate the cost triangle on the popular measurement."""
     return evaluate_tradeoff(
@@ -57,3 +65,19 @@ def format_result(result: TradeoffResult) -> str:
         "both copies and state.",
     ]
     return "\n".join(lines)
+
+
+def series(result: TradeoffResult) -> list:
+    """Tidy per-(strategy, router) cost triples."""
+    return [
+        Series(
+            "ablation_tradeoff",
+            ("strategy", "router", "update_rate", "copies_per_packet",
+             "table_entries"),
+            [
+                [c.strategy.value, c.router, c.update_rate,
+                 c.avg_copies_per_packet, c.table_entries]
+                for c in result.costs
+            ],
+        )
+    ]

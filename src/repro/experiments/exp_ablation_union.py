@@ -15,10 +15,11 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..core import ContentUpdateCostEvaluator, ForwardingStrategy, UpdateRateReport
+from ..engine import Series, register
 from .context import World
 from .report import banner, render_table
 
-__all__ = ["UnionAblationResult", "run", "format_result"]
+__all__ = ["UnionAblationResult", "run", "format_result", "series"]
 
 
 @dataclass
@@ -32,6 +33,13 @@ class UnionAblationResult:
     names_measured: int
 
 
+@register(
+    "ablation-union",
+    description="§3.3.3 union-strategy ablation",
+    section="§3.3.3",
+    needs_world=True,
+    tags=("ablation", "content-mobility"),
+)
 def run(world: World) -> UnionAblationResult:
     """Evaluate all three strategies on the popular measurement."""
     measurement = world.popular_measurement
@@ -75,3 +83,24 @@ def format_result(result: UnionAblationResult) -> str:
         "forwarding traffic, exactly the fungibility §3.3.3 describes.",
     ]
     return "\n".join(lines)
+
+
+def series(result: UnionAblationResult) -> list:
+    """Per-router rates for all three strategies plus union state."""
+    return [
+        Series(
+            "ablation_union",
+            ("router", "best_port_rate", "flooding_rate", "union_rate",
+             "union_ports_per_name"),
+            [
+                [
+                    router,
+                    result.best_port.rates[router],
+                    result.flooding.rates[router],
+                    result.union.rates[router],
+                    result.union_table_sizes[router] / result.names_measured,
+                ]
+                for router in result.flooding.rates
+            ],
+        )
+    ]

@@ -15,10 +15,11 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..core.compact import CompactRoutingScheme, CompactStats
+from ..engine import Series, register
 from ..topology import erdos_renyi_topology
 from .report import banner, render_table
 
-__all__ = ["CompactSweepResult", "run", "format_result"]
+__all__ = ["CompactSweepResult", "run", "format_result", "series"]
 
 
 @dataclass
@@ -29,6 +30,13 @@ class CompactSweepResult:
     points: List[CompactStats]
 
 
+@register(
+    "compact-routing",
+    description="§2.1 compact-routing stretch/table frontier",
+    section="§2.1",
+    needs_world=False,
+    tags=("ablation", "analytic"),
+)
 def run(
     n: int = 60,
     sample_probs: Tuple[float, ...] = (0.05, 0.15, 0.3, 0.6, 1.0),
@@ -71,3 +79,20 @@ def format_result(result: CompactSweepResult) -> str:
         "entries.",
     ]
     return "\n".join(lines)
+
+
+def series(result: CompactSweepResult) -> List[Series]:
+    """The measured stretch/table frontier points."""
+    return [
+        Series(
+            "compact_routing",
+            ("num_landmarks", "mean_table_size", "max_table_size",
+             "mean_multiplicative_stretch", "max_multiplicative_stretch"),
+            [
+                [p.num_landmarks, p.mean_table_size, p.max_table_size,
+                 p.mean_multiplicative_stretch,
+                 p.max_multiplicative_stretch]
+                for p in result.points
+            ],
+        )
+    ]

@@ -18,9 +18,10 @@ from ..core import (
     EnvelopeScenario,
     extra_fib_fraction,
 )
+from ..engine import Series, register
 from .report import banner, render_table
 
-__all__ = ["EnvelopeResult", "run", "format_result"]
+__all__ = ["EnvelopeResult", "run", "format_result", "series"]
 
 
 @dataclass
@@ -31,6 +32,13 @@ class EnvelopeResult:
     extra_fib: float
 
 
+@register(
+    "envelope",
+    description="§6.2/§7.3 back-of-the-envelope rates",
+    section="§6.2",
+    needs_world=False,
+    tags=("analytic",),
+)
 def run(
     measured_device_probability: Optional[float] = None,
     measured_content_probability: Optional[float] = None,
@@ -94,3 +102,31 @@ def format_result(result: EnvelopeResult) -> str:
         f"{result.extra_fib * 100:.2f}% of all devices",
     ]
     return "\n".join(lines)
+
+
+def series(result: EnvelopeResult) -> list:
+    """The scenario table plus the extra-FIB scalar."""
+    return [
+        Series(
+            "envelope",
+            ("scenario", "principals", "moves_per_day",
+             "update_probability", "updates_per_second",
+             "paper_claim_per_sec"),
+            [
+                [
+                    s.label,
+                    s.num_principals,
+                    s.moves_per_day,
+                    s.update_probability,
+                    s.updates_per_second(),
+                    s.paper_claim_per_sec,
+                ]
+                for s in result.scenarios
+            ],
+        ),
+        Series(
+            "envelope_extra_fib",
+            ("extra_fib_fraction",),
+            [[result.extra_fib]],
+        ),
+    ]

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..core import FaultToleranceEvaluator, MobilityTimeline
+from ..engine import Series, register
 from ..faults import (
     HOME_AGENT,
     LINK,
@@ -46,7 +47,7 @@ from ..faults import (
 from ..topology import chain_topology
 from .report import banner, render_table
 
-__all__ = ["FaultToleranceResult", "run", "format_result"]
+__all__ = ["FaultToleranceResult", "run", "format_result", "series"]
 
 #: One-way ms to each replica site from the client region, nearest
 #: first — the order the replica-count sweep grows the deployment in.
@@ -120,6 +121,13 @@ def _shared_schedule(
     return scripted.merge(link_flap).merge(ambient)
 
 
+@register(
+    "fault-tolerance",
+    description="§8 fault injection: graceful degradation across architectures",
+    section="§8",
+    needs_world=False,
+    tags=("faults",),
+)
 def run(
     n: int = 31,
     horizon: float = 120.0,
@@ -283,3 +291,38 @@ def format_result(result: FaultToleranceResult) -> str:
         "— the §8 discussion as measured failure-regime curves.",
     ]
     return "\n".join(lines)
+
+def series(result: FaultToleranceResult) -> list:
+    """Tidy degradation metrics for the sweeps and the shared schedule."""
+    return [
+        Series(
+            "fault_tolerance_replicas",
+            ("replicas", "availability", "stale_fraction", "mean_latency_ms",
+             "max_outage_s"),
+            [
+                [count, r.availability, r.stale_fraction, r.mean_latency,
+                 r.max_outage()]
+                for count, r in result.replica_sweep
+            ],
+        ),
+        Series(
+            "fault_tolerance_loss",
+            ("loss_rate", "availability", "total_outage_s", "max_outage_s",
+             "p90_outage_s"),
+            [
+                [rate, r.availability, sum(r.outage_durations),
+                 r.max_outage(), r.outage_percentile(0.9)]
+                for rate, r in result.loss_sweep
+            ],
+        ),
+        Series(
+            "fault_tolerance_shared",
+            ("architecture", "availability", "stale_fraction",
+             "mean_outage_s", "max_outage_s"),
+            [
+                [name, r.availability, r.stale_fraction, r.mean_outage(),
+                 r.max_outage()]
+                for name, r in result.shared.items()
+            ],
+        ),
+    ]

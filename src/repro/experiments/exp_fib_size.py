@@ -20,12 +20,13 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..core import InterdomainPortMap
+from ..engine import Series, register
 from ..mobility import HOURS_PER_DAY
 from ..stats import median
 from .context import World
 from .report import banner, render_table
 
-__all__ = ["FibSizeResult", "run", "format_result"]
+__all__ = ["FibSizeResult", "run", "format_result", "series"]
 
 
 @dataclass
@@ -43,6 +44,13 @@ class FibSizeResult:
         return median(list(self.displaced_fraction.values()))
 
 
+@register(
+    "fib-size",
+    description="§6.2 device FIB-size measurement",
+    section="§6.2",
+    needs_world=True,
+    tags=("measurement", "device-mobility", "name-based"),
+)
 def run(world: World) -> FibSizeResult:
     """Measure time-weighted displacement per router."""
     port_maps = [
@@ -99,3 +107,17 @@ def format_result(result: FibSizeResult) -> str:
         "per-device entries in core FIBs.",
     ]
     return "\n".join(lines)
+
+
+def series(result: FibSizeResult) -> list:
+    """The per-router displaced-device fractions."""
+    return [
+        Series(
+            "fib_size",
+            ("router", "displaced_fraction"),
+            [
+                [router, fraction]
+                for router, fraction in result.displaced_fraction.items()
+            ],
+        )
+    ]

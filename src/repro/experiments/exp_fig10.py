@@ -14,11 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..engine import Series, register
 from ..mobility import day_stats, percentile
 from .context import World
 from .report import banner, render_cdf_summary
 
-__all__ = ["Fig10Result", "run", "format_result"]
+__all__ = ["Fig10Result", "run", "format_result", "series"]
 
 
 @dataclass
@@ -44,6 +45,13 @@ class Fig10Result:
         return percentile(self.physical_hops, 0.5)
 
 
+@register(
+    "fig10",
+    description="Fig. 10: displacement from home",
+    section="§6.3.2",
+    needs_world=True,
+    tags=("figure", "device-mobility", "indirection"),
+)
 def run(world: World) -> Fig10Result:
     """Predict home-to-current distances for every user-day pair."""
     predictor = world.iplane
@@ -100,3 +108,19 @@ def format_result(result: Fig10Result) -> str:
         f"{result.median_physical_hops():.1f}"
     )
     return "\n".join(lines)
+
+
+def series(result: Fig10Result) -> List[Series]:
+    """The delay/hop samples behind Fig. 10 (two files, as measured)."""
+    return [
+        Series(
+            "fig10_delays",
+            ("delay_ms", "predicted_as_hops"),
+            list(zip(result.delays_ms, result.predicted_hops)),
+        ),
+        Series(
+            "fig10_physical_hops",
+            ("physical_as_hops",),
+            [[h] for h in result.physical_hops],
+        ),
+    ]

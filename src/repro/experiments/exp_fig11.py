@@ -18,11 +18,12 @@ from dataclasses import dataclass
 from typing import List
 
 from ..core import ContentUpdateCostEvaluator, ForwardingStrategy, UpdateRateReport
+from ..engine import Series, register
 from ..mobility import cdf_points, percentile
 from .context import World
 from .report import banner, render_cdf_summary, render_table
 
-__all__ = ["Fig11Result", "run", "format_result"]
+__all__ = ["Fig11Result", "run", "format_result", "series"]
 
 
 @dataclass
@@ -45,6 +46,13 @@ class Fig11Result:
         return cdf_points(self.events_per_day)
 
 
+@register(
+    "fig11",
+    description="Fig. 11: content mobility + update rates",
+    section="§7",
+    needs_world=True,
+    tags=("figure", "content-mobility", "name-based"),
+)
 def run(world: World) -> Fig11Result:
     """Measure content mobility and evaluate both strategies."""
     popular = world.popular_measurement
@@ -108,3 +116,29 @@ def format_result(result: Fig11Result) -> str:
         f"best-port median {result.unpopular_best_port.median_rate() * 100:.3f}%"
     )
     return "\n".join(lines)
+
+
+def series(result: Fig11Result) -> List[Series]:
+    """Panel (a) events plus the (b)/(c) per-router rate bars."""
+    return [
+        Series(
+            "fig11a",
+            ("events_per_day",),
+            [[v] for v in result.events_per_day],
+        ),
+        Series(
+            "fig11bc",
+            ("router", "popular_flooding", "popular_best_port",
+             "unpopular_flooding", "unpopular_best_port"),
+            [
+                [
+                    router,
+                    result.popular_flooding.rates[router],
+                    result.popular_best_port.rates[router],
+                    result.unpopular_flooding.rates[router],
+                    result.unpopular_best_port.rates[router],
+                ]
+                for router in result.popular_flooding.rates
+            ],
+        ),
+    ]

@@ -13,10 +13,11 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..core import router_aggregateability
+from ..engine import Series, register
 from .context import World
 from .report import banner, render_table
 
-__all__ = ["Fig12Result", "run", "format_result"]
+__all__ = ["Fig12Result", "run", "format_result", "series"]
 
 
 @dataclass
@@ -34,6 +35,13 @@ class Fig12Result:
         return max(self.popular.values())
 
 
+@register(
+    "fig12",
+    description="Fig. 12: FIB aggregateability",
+    section="§7.3",
+    needs_world=True,
+    tags=("figure", "content-mobility"),
+)
 def run(world: World) -> Fig12Result:
     """Compute aggregateability at hour 0 for both content sets."""
     popular: Dict[str, float] = {}
@@ -73,3 +81,24 @@ def format_result(result: Fig12Result) -> str:
         "hardly at all (paper §7.3).",
     ]
     return "\n".join(lines)
+
+
+def series(result: Fig12Result) -> list:
+    """The per-router aggregateability bars behind Fig. 12."""
+    return [
+        Series(
+            "fig12",
+            ("router", "aggregateability", "complete_entries",
+             "lpm_entries", "unpopular_aggregateability"),
+            [
+                [
+                    router,
+                    ratio,
+                    result.table_sizes[router][0],
+                    result.table_sizes[router][1],
+                    result.unpopular[router],
+                ]
+                for router, ratio in result.popular.items()
+            ],
+        )
+    ]

@@ -11,12 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..engine import Series, register
 from ..mobility import cdf_points, percentile, user_averages
 from .context import World
 from .asciichart import render_cdf_chart
 from .report import banner, render_cdf_summary
 
-__all__ = ["Fig6Result", "run", "format_result"]
+__all__ = ["Fig6Result", "run", "format_result", "series"]
 
 
 @dataclass
@@ -44,6 +45,13 @@ class Fig6Result:
         return cdf_points(getattr(self, series))
 
 
+@register(
+    "fig6",
+    description="Fig. 6: distinct locations per user-day",
+    section="§6.1",
+    needs_world=True,
+    tags=("figure", "device-mobility"),
+)
 def run(world: World) -> Fig6Result:
     """Compute the Fig. 6 series from the NomadLog workload."""
     averages = user_averages(world.workload.user_days)
@@ -78,3 +86,15 @@ def format_result(result: Fig6Result) -> str:
         )
     )
     return "\n".join(lines)
+
+
+def series(result: Fig6Result) -> List[Series]:
+    """The raw per-user series behind the Fig. 6 CDFs."""
+    return [
+        Series(
+            "fig6",
+            ("avg_distinct_ips", "avg_distinct_prefixes",
+             "avg_distinct_ases"),
+            list(zip(result.ips, result.prefixes, result.ases)),
+        )
+    ]

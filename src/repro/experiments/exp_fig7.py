@@ -10,12 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..engine import Series, register
 from ..mobility import cdf_points, percentile, user_averages
 from .context import World
 from .asciichart import render_cdf_chart
 from .report import banner, render_cdf_summary
 
-__all__ = ["Fig7Result", "run", "format_result"]
+__all__ = ["Fig7Result", "run", "format_result", "series"]
 
 
 @dataclass
@@ -40,6 +41,13 @@ class Fig7Result:
         return cdf_points(getattr(self, series))
 
 
+@register(
+    "fig7",
+    description="Fig. 7: transitions per user-day",
+    section="§6.1",
+    needs_world=True,
+    tags=("figure", "device-mobility"),
+)
 def run(world: World) -> Fig7Result:
     """Compute the Fig. 7 series from the NomadLog workload."""
     averages = user_averages(world.workload.user_days)
@@ -75,3 +83,15 @@ def format_result(result: Fig7Result) -> str:
         )
     )
     return "\n".join(lines)
+
+
+def series(result: Fig7Result) -> List[Series]:
+    """The raw per-user series behind the Fig. 7 CDFs."""
+    return [
+        Series(
+            "fig7",
+            ("ip_transitions", "prefix_transitions", "as_transitions"),
+            list(zip(result.ip_transitions, result.prefix_transitions,
+                     result.as_transitions)),
+        )
+    ]

@@ -14,11 +14,12 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..core import DeviceUpdateCostEvaluator, UpdateRateReport
+from ..engine import Series, register
 from .context import World
 from .asciichart import render_bar_chart
 from .report import banner, render_table
 
-__all__ = ["Fig8Result", "run", "format_result"]
+__all__ = ["Fig8Result", "run", "format_result", "series"]
 
 
 @dataclass
@@ -32,6 +33,13 @@ class Fig8Result:
         return self.report.rates[router]
 
 
+@register(
+    "fig8",
+    description="Fig. 8: device-mobility router update rates",
+    section="§6.2",
+    needs_world=True,
+    tags=("figure", "device-mobility", "name-based"),
+)
 def run(world: World) -> Fig8Result:
     """Evaluate the device workload against the RouteViews FIBs."""
     evaluator = DeviceUpdateCostEvaluator(world.routeviews, world.oracle)
@@ -59,3 +67,17 @@ def format_result(result: Fig8Result) -> str:
         ),
     ]
     return "\n".join(lines)
+
+
+def series(result: Fig8Result) -> list:
+    """The per-router bars behind Fig. 8."""
+    return [
+        Series(
+            "fig8",
+            ("router", "update_rate", "next_hop_degree"),
+            [
+                [router, rate, result.next_hop_degrees[router]]
+                for router, rate in result.report.rates.items()
+            ],
+        )
+    ]

@@ -23,10 +23,11 @@ from ..core import (
     pearson_correlation,
     per_day_update_rates,
 )
+from ..engine import Series, register
 from .context import World
 from .report import banner, render_table
 
-__all__ = ["SensitivityResult", "run", "format_result"]
+__all__ = ["SensitivityResult", "run", "format_result", "series"]
 
 
 @dataclass
@@ -45,6 +46,13 @@ def _std(values: List[float]) -> float:
     return math.sqrt(sum((v - mean) ** 2 for v in values) / n)
 
 
+@register(
+    "fig8-sensitivity",
+    description="§6.2.2 sensitivity checks",
+    section="§6.2.2",
+    needs_world=True,
+    tags=("robustness", "device-mobility"),
+)
 def run(world: World, alt_users: int = 900, alt_seed: int = 4096) -> SensitivityResult:
     """Run the three sensitivity checks.
 
@@ -106,3 +114,26 @@ def format_result(result: SensitivityResult) -> str:
         f"(paper: 0.88): {result.cross_workload_correlation:.3f}",
     ]
     return "\n".join(lines)
+
+
+def series(result: SensitivityResult) -> list:
+    """Per-router robustness numbers plus the summary scalars."""
+    return [
+        Series(
+            "fig8_sensitivity",
+            ("router", "per_day_std"),
+            [[router, std] for router, std in result.per_day_std.items()],
+        ),
+        Series(
+            "fig8_sensitivity_summary",
+            ("routeviews_median", "routeviews_max", "ripe_median",
+             "ripe_max", "cross_workload_correlation"),
+            [[
+                result.routeviews.median_rate(),
+                result.routeviews.max_rate(),
+                result.ripe.median_rate(),
+                result.ripe.max_rate(),
+                result.cross_workload_correlation,
+            ]],
+        ),
+    ]

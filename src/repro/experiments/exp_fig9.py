@@ -11,12 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..engine import Series, register
 from ..mobility import cdf_points, dominant_residence_samples, percentile
 from .context import World
 from .asciichart import render_cdf_chart
 from .report import banner, render_cdf_summary
 
-__all__ = ["Fig9Result", "run", "format_result"]
+__all__ = ["Fig9Result", "run", "format_result", "series"]
 
 
 @dataclass
@@ -38,6 +39,13 @@ class Fig9Result:
         return cdf_points(getattr(self, series))
 
 
+@register(
+    "fig9",
+    description="Fig. 9: time at the dominant location",
+    section="§6.3",
+    needs_world=True,
+    tags=("figure", "device-mobility"),
+)
 def run(world: World) -> Fig9Result:
     """Compute the Fig. 9 samples from the NomadLog workload."""
     ip, prefix, asn = dominant_residence_samples(world.workload.user_days)
@@ -69,3 +77,15 @@ def format_result(result: Fig9Result) -> str:
         )
     )
     return "\n".join(lines)
+
+
+def series(result: Fig9Result) -> List[Series]:
+    """The raw per-user-day samples behind the Fig. 9 CDFs."""
+    return [
+        Series(
+            "fig9",
+            ("dominant_ip_fraction", "dominant_prefix_fraction",
+             "dominant_as_fraction"),
+            list(zip(result.ip, result.prefix, result.asn)),
+        )
+    ]

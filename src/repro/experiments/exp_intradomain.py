@@ -16,10 +16,11 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..core import intradomain_displaced
+from ..engine import Series, register
 from ..topology import random_intradomain_network
 from .report import banner, render_table
 
-__all__ = ["IntradomainResult", "run", "format_result"]
+__all__ = ["IntradomainResult", "run", "format_result", "series"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,13 @@ class IntradomainResult:
     points: List[SweepPoint]
 
 
+@register(
+    "intradomain",
+    description="§3.1 intradomain displacement sweep",
+    section="§3.1",
+    needs_world=False,
+    tags=("ablation", "name-based"),
+)
 def run(
     num_routers: int = 24,
     events: int = 400,
@@ -112,3 +120,19 @@ def format_result(result: IntradomainResult) -> str:
         "routers per move — the intradomain seed of the Fig. 8 result.",
     ]
     return "\n".join(lines)
+
+
+def series(result: IntradomainResult) -> List[Series]:
+    """The delegation-sweep points."""
+    return [
+        Series(
+            "intradomain",
+            ("specifics_per_router", "mean_displaced_fraction",
+             "max_displaced_fraction"),
+            [
+                [p.specifics_per_router, p.mean_displaced_fraction,
+                 p.max_displaced_fraction]
+                for p in result.points
+            ],
+        )
+    ]

@@ -15,11 +15,12 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..core import DeviceUpdateCostEvaluator, pearson_correlation
+from ..engine import Series, register
 from ..mobility import MobilityWorkloadConfig, generate_workload
 from .context import World
 from .report import banner, render_table
 
-__all__ = ["PerturbationResult", "run", "format_result"]
+__all__ = ["PerturbationResult", "run", "format_result", "series"]
 
 
 @dataclass
@@ -35,6 +36,13 @@ class PerturbationResult:
     profile_correlation: Dict[float, float]
 
 
+@register(
+    "perturbation",
+    description="§8 robustness: mobility scaled by large factors",
+    section="§8",
+    needs_world=True,
+    tags=("robustness", "device-mobility"),
+)
 def run(
     world: World, scales: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0)
 ) -> PerturbationResult:
@@ -101,3 +109,27 @@ def format_result(result: PerturbationResult) -> str:
         "1: event volume moves, the architecture comparison does not.",
     ]
     return "\n".join(lines)
+
+
+def series(result: PerturbationResult) -> list:
+    """Per-(scale, router) rates plus the per-scale summary."""
+    return [
+        Series(
+            "perturbation",
+            ("mobility_scale", "router", "update_rate"),
+            [
+                [scale, router, result.rates[scale][router]]
+                for scale in result.scales
+                for router in sorted(result.rates[scale])
+            ],
+        ),
+        Series(
+            "perturbation_summary",
+            ("mobility_scale", "events", "profile_correlation"),
+            [
+                [scale, result.events[scale],
+                 result.profile_correlation[scale]]
+                for scale in result.scales
+            ],
+        ),
+    ]

@@ -25,13 +25,15 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from ..engine import Series, register
 from ..mobility import MobilityEvent
 from ..net import IPv4Prefix
 from ..routing import Route, rank_key
 from .context import World
 from .report import banner, render_table
 
-__all__ = ["PolicySensitivityResult", "POLICIES", "run", "format_result"]
+__all__ = ["PolicySensitivityResult", "POLICIES", "run", "format_result",
+           "series"]
 
 
 def _best_bgp(routes: List[Route]) -> Route:
@@ -67,6 +69,13 @@ class PolicySensitivityResult:
     num_events: int
 
 
+@register(
+    "policy-sensitivity",
+    description="§3.2 route-selection-policy sensitivity",
+    section="§3.2",
+    needs_world=True,
+    tags=("robustness", "name-based"),
+)
 def run(world: World) -> PolicySensitivityResult:
     """Evaluate the device workload under every policy."""
     events: List[MobilityEvent] = world.device_events
@@ -124,3 +133,18 @@ def format_result(result: PolicySensitivityResult) -> str:
         "a modelled Internet.",
     ]
     return "\n".join(lines)
+
+
+def series(result: PolicySensitivityResult) -> list:
+    """Tidy per-(policy, router) update rates."""
+    return [
+        Series(
+            "policy_sensitivity",
+            ("policy", "router", "update_rate"),
+            [
+                [policy, router, result.rates[policy][router]]
+                for policy in result.rates
+                for router in sorted(result.rates[policy])
+            ],
+        )
+    ]

@@ -19,9 +19,10 @@ from ..core import (
     paper_asymptotic_row,
     simulate_row,
 )
+from ..engine import Series, register
 from .report import banner, render_table
 
-__all__ = ["Table1Result", "run", "format_result"]
+__all__ = ["Table1Result", "run", "format_result", "series"]
 
 
 @dataclass
@@ -35,6 +36,13 @@ class Table1Result:
     simulated: Dict[str, Table1Row]
 
 
+@register(
+    "table1",
+    description="Table 1: analytic stretch vs update cost",
+    section="§5",
+    needs_world=False,
+    tags=("table", "analytic"),
+)
 def run(n: int = 63, steps: int = 4000, seed: int = 2014) -> Table1Result:
     """Evaluate all four toy topologies at size ``n``."""
     exact = {}
@@ -89,3 +97,24 @@ def format_result(result: Table1Result) -> str:
         "everywhere, as in the paper."
     )
     return f"{head}\n{table}\n{note}"
+
+
+def series(result: Table1Result) -> list:
+    """The exact-vs-simulated rows behind Table 1."""
+    return [
+        Series(
+            "table1",
+            ("topology", "ind_stretch_exact", "ind_stretch_sim",
+             "nb_update_exact", "nb_update_sim"),
+            [
+                [
+                    kind,
+                    result.exact[kind].indirection_stretch,
+                    result.simulated[kind].indirection_stretch,
+                    result.exact[kind].name_based_update_cost,
+                    result.simulated[kind].name_based_update_cost,
+                ]
+                for kind in result.exact
+            ],
+        )
+    ]

@@ -1,26 +1,21 @@
-"""CSV export of the raw series behind every figure.
+"""CSV export of the raw series behind every artifact.
 
-Each figure's underlying data points are written as one CSV per
-artifact so they can be re-plotted with any tool; the text tables the
-benches print summarise the same series.
+Driven by the :mod:`repro.engine` registry: every experiment whose
+module defines ``series()`` is exportable, one CSV per
+:class:`~repro.engine.registry.Series` (named ``{series.name}.csv``).
+The figure experiments keep their historical file names (``fig8.csv``,
+``fig10_delays.csv``, ...) because their series carry those names; a
+newly registered experiment becomes exportable without touching this
+module.
 """
 
 from __future__ import annotations
 
 import csv
 import os
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
-from . import (
-    exp_fig6,
-    exp_fig7,
-    exp_fig8,
-    exp_fig9,
-    exp_fig10,
-    exp_fig11,
-    exp_fig12,
-    exp_table1,
-)
+from ..engine import all_specs
 from .context import World
 
 __all__ = ["export_all"]
@@ -34,132 +29,28 @@ def _write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence]) -> s
     return path
 
 
-def export_all(world: World, out_dir: str) -> List[str]:
-    """Run the figure experiments and write one CSV each.
+def export_all(
+    world: World, out_dir: str, names: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Run every exportable experiment and write one CSV per series.
 
-    Returns the list of written paths.
+    ``names`` restricts the export to those experiments (default: every
+    registered one). Returns the list of written paths.
     """
     os.makedirs(out_dir, exist_ok=True)
     written: List[str] = []
-
-    table1 = exp_table1.run()
-    written.append(
-        _write_csv(
-            os.path.join(out_dir, "table1.csv"),
-            ["topology", "ind_stretch_exact", "ind_stretch_sim",
-             "nb_update_exact", "nb_update_sim"],
-            [
-                [
-                    kind,
-                    table1.exact[kind].indirection_stretch,
-                    table1.simulated[kind].indirection_stretch,
-                    table1.exact[kind].name_based_update_cost,
-                    table1.simulated[kind].name_based_update_cost,
-                ]
-                for kind in table1.exact
-            ],
-        )
-    )
-
-    fig6 = exp_fig6.run(world)
-    written.append(
-        _write_csv(
-            os.path.join(out_dir, "fig6.csv"),
-            ["avg_distinct_ips", "avg_distinct_prefixes", "avg_distinct_ases"],
-            zip(fig6.ips, fig6.prefixes, fig6.ases),
-        )
-    )
-
-    fig7 = exp_fig7.run(world)
-    written.append(
-        _write_csv(
-            os.path.join(out_dir, "fig7.csv"),
-            ["ip_transitions", "prefix_transitions", "as_transitions"],
-            zip(fig7.ip_transitions, fig7.prefix_transitions,
-                fig7.as_transitions),
-        )
-    )
-
-    fig8 = exp_fig8.run(world)
-    written.append(
-        _write_csv(
-            os.path.join(out_dir, "fig8.csv"),
-            ["router", "update_rate", "next_hop_degree"],
-            [
-                [router, rate, fig8.next_hop_degrees[router]]
-                for router, rate in fig8.report.rates.items()
-            ],
-        )
-    )
-
-    fig9 = exp_fig9.run(world)
-    written.append(
-        _write_csv(
-            os.path.join(out_dir, "fig9.csv"),
-            ["dominant_ip_fraction", "dominant_prefix_fraction",
-             "dominant_as_fraction"],
-            zip(fig9.ip, fig9.prefix, fig9.asn),
-        )
-    )
-
-    fig10 = exp_fig10.run(world)
-    written.append(
-        _write_csv(
-            os.path.join(out_dir, "fig10_delays.csv"),
-            ["delay_ms", "predicted_as_hops"],
-            zip(fig10.delays_ms, fig10.predicted_hops),
-        )
-    )
-    written.append(
-        _write_csv(
-            os.path.join(out_dir, "fig10_physical_hops.csv"),
-            ["physical_as_hops"],
-            ([h] for h in fig10.physical_hops),
-        )
-    )
-
-    fig11 = exp_fig11.run(world)
-    written.append(
-        _write_csv(
-            os.path.join(out_dir, "fig11a.csv"),
-            ["events_per_day"],
-            ([v] for v in fig11.events_per_day),
-        )
-    )
-    written.append(
-        _write_csv(
-            os.path.join(out_dir, "fig11bc.csv"),
-            ["router", "popular_flooding", "popular_best_port",
-             "unpopular_flooding", "unpopular_best_port"],
-            [
-                [
-                    router,
-                    fig11.popular_flooding.rates[router],
-                    fig11.popular_best_port.rates[router],
-                    fig11.unpopular_flooding.rates[router],
-                    fig11.unpopular_best_port.rates[router],
-                ]
-                for router in fig11.popular_flooding.rates
-            ],
-        )
-    )
-
-    fig12 = exp_fig12.run(world)
-    written.append(
-        _write_csv(
-            os.path.join(out_dir, "fig12.csv"),
-            ["router", "aggregateability", "complete_entries", "lpm_entries",
-             "unpopular_aggregateability"],
-            [
-                [
-                    router,
-                    ratio,
-                    fig12.table_sizes[router][0],
-                    fig12.table_sizes[router][1],
-                    fig12.unpopular[router],
-                ]
-                for router, ratio in fig12.popular.items()
-            ],
-        )
-    )
+    wanted = set(names) if names is not None else None
+    for spec in all_specs():
+        if wanted is not None and spec.name not in wanted:
+            continue
+        result = spec.execute(world if spec.needs_world else None)
+        for series in spec.series(result):
+            written.append(
+                _write_csv(
+                    os.path.join(out_dir, f"{series.name}.csv"),
+                    series.headers,
+                    series.rows,
+                )
+            )
+    world.save_warm_artifacts()
     return written

@@ -1,0 +1,240 @@
+"""The run engine: registry, artifact cache, runner, and CSV export."""
+
+import csv
+import os
+import pickle
+import sys
+import types
+
+import pytest
+
+from repro.engine import (
+    ArtifactCache,
+    CACHE_DIR_ENV,
+    RunRecord,
+    Series,
+    all_specs,
+    experiment_names,
+    get_spec,
+    load_registry,
+    register,
+    run_experiments,
+    unregister,
+)
+from repro.experiments import SMALL_SCALE, World
+from repro.experiments.export import export_all
+
+#: Names the CLI historically exposed; the registry must cover them all.
+EXPECTED_NAMES = {
+    "table1", "fig6", "fig7", "fig8", "fig8-sensitivity", "fib-size",
+    "fig9", "fig10", "fig11", "fig12", "envelope", "intradomain",
+    "ablation-union", "ablation-tradeoff", "ablation-hybrid",
+    "ablation-outage", "ablation-multihoming", "ablation-strategy-layer",
+    "perturbation", "ablation-caching", "policy-sensitivity",
+    "compact-routing", "fault-tolerance",
+}
+
+#: Standalone experiments cheap enough for runner tests.
+CHEAP = ["compact-routing", "envelope", "ablation-hybrid", "table1"]
+
+
+class TestRegistry:
+    def test_every_legacy_experiment_is_registered(self):
+        assert set(experiment_names()) == EXPECTED_NAMES
+
+    def test_specs_are_complete(self):
+        for spec in all_specs():
+            assert spec.description
+            assert spec.section.startswith(("§", "Table", "Fig"))
+            assert spec.module.startswith("repro.experiments.exp_")
+
+    def test_execute_format_round_trip(self):
+        spec = get_spec("compact-routing")
+        result = spec.execute()
+        text = spec.format(result)
+        assert "compact routing" in text
+        series = spec.series(result)
+        assert [s.name for s in series] == ["compact_routing"]
+        assert all(len(row) == len(series[0].headers)
+                   for row in series[0].rows)
+
+    def test_needs_world_guard(self):
+        with pytest.raises(ValueError, match="needs a World"):
+            get_spec("fig8").execute(None)
+
+    def test_cross_module_name_collision_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register("table1", description="imposter", section="§0",
+                      needs_world=False)
+            def run():  # pragma: no cover - never runs
+                return None
+
+    def test_tag_filter(self):
+        ablations = all_specs(tag="ablation")
+        assert {"ablation-hybrid", "compact-routing"} <= {
+            s.name for s in ablations
+        }
+        assert "fig8" not in {s.name for s in ablations}
+
+    def test_specs_are_picklable(self):
+        for spec in all_specs():
+            assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestArtifactCache:
+    def test_key_depends_on_params(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        base = cache.key("topology", seed=1)
+        assert base.startswith("topology-")
+        assert base == cache.key("topology", seed=1)
+        assert base != cache.key("topology", seed=2)
+        assert base != cache.key("workload", seed=1)
+
+    def test_store_load_round_trip(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = cache.key("thing", n=3)
+        assert cache.load(key) is None
+        cache.store(key, {"rows": [1, 2, 3]})
+        assert cache.load(key) == {"rows": [1, 2, 3]}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = cache.key("thing")
+        cache.store(key, [1])
+        path, = tmp_path.glob("thing-*.pkl")
+        path.write_bytes(b"not a pickle")
+        assert cache.load(key) is None
+
+    def test_get_or_build_counts_hits_and_misses(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        built = []
+
+        def builder():
+            built.append(1)
+            return 42
+
+        assert cache.get_or_build("x", builder, n=1) == 42
+        assert cache.get_or_build("x", builder, n=1) == 42
+        assert built == [1]
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_from_env_disabled(self, tmp_path, monkeypatch):
+        for value in ("off", "none", "0", ""):
+            monkeypatch.setenv(CACHE_DIR_ENV, value)
+            assert ArtifactCache.from_env() is None
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "c"))
+        cache = ArtifactCache.from_env()
+        assert cache is not None
+        assert cache.root == str(tmp_path / "c")
+
+
+class TestWorldCache:
+    def test_cold_then_warm_world_artifacts_match(self, tmp_path):
+        cold = World(SMALL_SCALE, cache=ArtifactCache(str(tmp_path)))
+        plain = World(SMALL_SCALE)
+        assert cold.workload.user_days == plain.workload.user_days
+        assert cold.cache.misses > 0 and cold.cache.hits == 0
+
+        warm = World(SMALL_SCALE, cache=ArtifactCache(str(tmp_path)))
+        assert warm.workload.user_days == plain.workload.user_days
+        assert warm.cache.hits > 0 and warm.cache.misses == 0
+
+    def test_warm_oracle_survives_runs(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        world = World(SMALL_SCALE, cache=cache)
+        world.oracle.routes_to(next(iter(world.topology.ases)))
+        world.save_warm_artifacts()
+        rehydrated = World(SMALL_SCALE, cache=ArtifactCache(str(tmp_path)))
+        assert rehydrated.oracle._cache  # pre-warmed, not empty
+
+
+class TestRunner:
+    def test_run_record_to_dict(self):
+        record = RunRecord("x", "ok", 1.23456, output="text")
+        assert record.ok
+        assert record.to_dict() == {
+            "name": "x", "status": "ok", "wall_time_s": 1.235,
+            "output": "text", "error": "",
+        }
+
+    def test_unknown_name_fails_fast(self):
+        with pytest.raises(KeyError):
+            run_experiments(["no-such-exp"], SMALL_SCALE)
+
+    def test_parallel_matches_serial(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        serial = run_experiments(CHEAP, SMALL_SCALE, jobs=1, cache=cache)
+        parallel = run_experiments(CHEAP, SMALL_SCALE, jobs=2, cache=cache)
+        assert [r.name for r in serial] == CHEAP
+        assert all(r.ok for r in serial), [r.error for r in serial]
+        # Identical payloads modulo wall time: determinism holds across
+        # process boundaries and job counts.
+        strip = lambda r: {**r.to_dict(), "wall_time_s": None}
+        assert [strip(r) for r in serial] == [strip(r) for r in parallel]
+
+    def test_failure_is_isolated(self, monkeypatch):
+        # Specs resolve run/format_result from their module lazily, so
+        # the failing experiment must live in a (synthetic) module.
+        module = types.ModuleType("tests._exploding")
+
+        def run():
+            raise RuntimeError("boom")
+
+        run.__module__ = module.__name__
+        module.run = run
+        module.format_result = lambda result: ""
+        monkeypatch.setitem(sys.modules, module.__name__, module)
+        register("exploding", description="test-only", section="§0",
+                 needs_world=False)(run)
+
+        try:
+            records = run_experiments(
+                ["compact-routing", "exploding", "envelope"], SMALL_SCALE
+            )
+        finally:
+            unregister("exploding")
+        statuses = {r.name: r.status for r in records}
+        assert statuses == {
+            "compact-routing": "ok", "exploding": "error", "envelope": "ok",
+        }
+        failed = next(r for r in records if r.name == "exploding")
+        assert "RuntimeError: boom" in failed.error
+        assert not failed.ok
+
+
+class TestExport:
+    def test_csv_round_trip(self, tmp_path):
+        world = World(SMALL_SCALE)
+        written = export_all(
+            world, str(tmp_path), names=["compact-routing", "envelope"]
+        )
+        assert sorted(os.path.basename(p) for p in written) == [
+            "compact_routing.csv", "envelope.csv", "envelope_extra_fib.csv",
+        ]
+        for path, spec_name in [
+            (tmp_path / "compact_routing.csv", "compact-routing"),
+        ]:
+            spec = get_spec(spec_name)
+            series = spec.series(spec.execute())[0]
+            with open(path, newline="") as handle:
+                rows = list(csv.reader(handle))
+            assert tuple(rows[0]) == series.headers
+            assert len(rows) - 1 == len(series.rows)
+            assert [str(v) for v in series.rows[0]] == rows[1]
+
+    def test_export_filter_unknown_name_writes_nothing(self, tmp_path):
+        written = export_all(World(SMALL_SCALE), str(tmp_path), names=[])
+        assert written == []
+
+
+def test_series_is_frozen():
+    series = Series("s", ("a",), [[1]])
+    with pytest.raises(Exception):
+        series.name = "other"
+
+
+def test_load_registry_idempotent():
+    load_registry()
+    before = experiment_names()
+    load_registry()
+    assert experiment_names() == before
