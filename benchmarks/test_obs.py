@@ -1,0 +1,52 @@
+"""Bench: observability overhead and end-to-end metrics threading.
+
+Pins the two properties the instrumentation layer must keep:
+
+* recording is cheap — spans and counters on the hot paths must cost
+  microseconds, not milliseconds, so instrumenting the World substrate
+  and the routing oracle never shows up in an experiment's wall time;
+* the engine threads metrics end to end — a run's records carry the
+  per-experiment span tree and counters that ``--profile`` and
+  ``--metrics-out`` report.
+"""
+
+from conftest import run_once
+
+from repro import obs
+from repro.engine import run_experiments
+from repro.experiments import active_scale
+
+#: Span/counter pairs recorded per timed round.
+OPS = 10_000
+
+
+def _record_many():
+    collector = obs.Metrics()
+    with obs.using(collector):
+        for _ in range(OPS):
+            with obs.span("bench.outer"):
+                with obs.span("bench.inner"):
+                    obs.incr("bench.count")
+    return collector
+
+
+def test_recording_overhead(benchmark):
+    collector = benchmark(_record_many)
+    assert collector.counters["bench.count"] == OPS
+    assert collector.timers["bench.inner"]["count"] == OPS
+    per_op_s = benchmark.stats.stats.mean / OPS
+    print(f"obs overhead: {per_op_s * 1e6:.2f}us per span-pair+counter")
+    # Generous ceiling: recording must stay far below experiment work.
+    assert per_op_s < 500e-6
+
+
+def test_runner_threads_metrics_end_to_end(benchmark):
+    record, = run_once(
+        benchmark, run_experiments, ["compact-routing"], active_scale()
+    )
+    assert record.ok, record.error
+    timers = record.metrics["timers"]
+    assert timers["experiment.compact-routing"]["count"] == 1
+    assert record.metrics["spans"][0]["name"] == "experiment.compact-routing"
+    totals = obs.merge_snapshots([record.metrics])
+    assert totals["timers"] == timers

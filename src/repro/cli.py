@@ -13,6 +13,9 @@ additionally writes the raw series behind each figure as CSV files so
 they can be re-plotted. ``--jobs N`` fans experiments out over worker
 processes (output is identical to a serial run); ``--format json``
 emits one machine-readable record per experiment instead of text.
+``--profile`` appends a :mod:`repro.obs` report (per-experiment phase
+timings, the slowest spans, cache/oracle counters); ``--metrics-out
+FILE`` writes the merged metrics snapshot as JSON for trend tracking.
 
 Experiments come from the :mod:`repro.engine` registry — each
 ``exp_*`` module registers itself — and run through the engine's
@@ -30,6 +33,7 @@ import sys
 from time import perf_counter
 from typing import Dict, Optional, Sequence, Tuple
 
+from . import obs
 from .engine import (
     ArtifactCache,
     all_specs,
@@ -137,6 +141,19 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="output_format",
         help="text output (default) or one JSON record per experiment",
     )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="append per-experiment phase timings, the slowest spans, "
+        "and cache/oracle counters (stderr under --format json)",
+    )
+    run_parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        dest="metrics_out",
+        help="write the merged repro.obs metrics snapshot as JSON",
+    )
 
     export_parser = sub.add_parser(
         "export", help="run everything and write CSV series"
@@ -161,10 +178,72 @@ def _scale_for(label: str, seed: Optional[int] = None):
     return scale
 
 
+def _profile_report(records) -> str:
+    """The ``--profile`` text: phases, slowest spans, counters, gauges."""
+    lines = ["", "== profile: per-experiment phases =="]
+    for record in records:
+        lines.append(
+            f"{record.name}  [{record.status}]  {record.wall_time_s:.2f}s"
+        )
+        timers = (record.metrics or {}).get("timers", {})
+        for name, timer in sorted(
+            timers.items(), key=lambda item: -item[1]["total_s"]
+        ):
+            lines.append(
+                f"    {name:<34} {timer['count']:>4}x  "
+                f"{timer['total_s']:9.3f}s"
+            )
+
+    spans = []
+    def _walk(node, experiment):
+        spans.append((node["duration_s"], node["name"], experiment))
+        for child in node["children"]:
+            _walk(child, experiment)
+    for record in records:
+        for root in (record.metrics or {}).get("spans", []):
+            _walk(root, record.name)
+    if spans:
+        lines += ["", "== slowest spans =="]
+        spans.sort(key=lambda item: (-item[0], item[1], item[2]))
+        for duration, name, experiment in spans[:10]:
+            lines.append(f"    {duration:9.3f}s  {name}  ({experiment})")
+
+    totals = obs.merge_snapshots(record.metrics for record in records)
+    if totals["counters"]:
+        lines += ["", "== counters =="]
+        for name, value in sorted(totals["counters"].items()):
+            lines.append(f"    {name:<34} {value:g}")
+    if totals["gauges"]:
+        lines += ["", "== gauges =="]
+        for name, value in sorted(totals["gauges"].items()):
+            lines.append(f"    {name:<34} {value:g}")
+    return "\n".join(lines) + "\n"
+
+
+def _metrics_payload(records, scale, jobs: int, elapsed: float) -> Dict:
+    """The ``--metrics-out`` JSON document."""
+    return {
+        "schema": "repro.obs/v1",
+        "scale": scale.label,
+        "jobs": jobs,
+        "elapsed_s": round(elapsed, 3),
+        "experiments": {
+            record.name: {
+                "status": record.status,
+                "wall_time_s": round(record.wall_time_s, 3),
+                "metrics": record.metrics,
+            }
+            for record in records
+        },
+        "totals": obs.merge_snapshots(record.metrics for record in records),
+    }
+
+
 def _run(
     names: Sequence[str], scale_label: str, out=None,
     seed: Optional[int] = None, jobs: int = 1,
     output_format: str = "text", err=None,
+    profile: bool = False, metrics_out: Optional[str] = None,
 ) -> int:
     """Run ``names`` through the engine; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -177,7 +256,15 @@ def _run(
     elapsed = perf_counter() - started
     failed = [record for record in records if not record.ok]
 
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(_metrics_payload(records, scale, jobs, elapsed),
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
     if output_format == "json":
+        if profile:  # keep stdout valid JSON; the report goes to stderr
+            err.write(_profile_report(records))
         out.write(json.dumps({
             "scale": scale.label,
             "jobs": jobs,
@@ -193,6 +280,8 @@ def _run(
         else:
             err.write(f"repro: experiment {record.name!r} failed:\n"
                       f"{record.error}\n")
+    if profile:
+        out.write(_profile_report(records))
     summary = (f"\n[{len(records)} experiment(s), scale={scale.label}, "
                f"{elapsed:.0f}s]\n")
     if failed:
@@ -225,7 +314,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         selected = names if args.experiment == "all" else [args.experiment]
         return _run(
             selected, args.scale, seed=args.seed, jobs=args.jobs,
-            output_format=args.output_format,
+            output_format=args.output_format, profile=args.profile,
+            metrics_out=args.metrics_out,
         )
     if args.command == "export":
         from .experiments.export import export_all

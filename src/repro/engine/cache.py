@@ -30,15 +30,41 @@ import pickle
 import tempfile
 from typing import Any, Callable, Optional
 
+from .. import obs
+
 __all__ = ["ArtifactCache", "GENERATOR_VERSION", "CACHE_DIR_ENV"]
 
 #: Bump when any substrate generator changes its output.
-GENERATOR_VERSION = 1
+#: 2: artifact keys carry the topology generator parameters and warm
+#:    oracles pickle a route-dirtiness counter.
+GENERATOR_VERSION = 2
 
 #: Environment variable naming the cache directory (or disabling it).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 _DISABLED_VALUES = {"off", "none", "0", ""}
+
+#: Sentinel distinguishing "no cache entry" from a legitimately cached
+#: ``None`` value. Never escapes this module.
+_MISS = object()
+
+#: Everything a stale or truncated pickle can raise. Beyond the obvious
+#: decode errors, a pickle referencing a class that has since moved or
+#: been deleted raises ImportError/ModuleNotFoundError or
+#: AttributeError, and a truncated or bit-rotted stream can surface as
+#: ValueError (incl. UnicodeDecodeError), IndexError, or MemoryError
+#: (absurd length prefixes). All of them mean "this entry is garbage",
+#: never "the caller did something wrong".
+_CORRUPT_ERRORS = (
+    OSError,
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    ValueError,
+    IndexError,
+    MemoryError,
+)
 
 
 class ArtifactCache:
@@ -75,16 +101,31 @@ class ArtifactCache:
     def load(self, key: str) -> Optional[Any]:
         """The cached object for ``key``, or None on a miss.
 
-        A corrupt or unreadable entry (e.g. written by an incompatible
-        Python) counts as a miss; it will be overwritten by the next
-        :meth:`store`.
+        A corrupt, truncated, or stale entry (e.g. written by an
+        incompatible Python, or pickling a class that has since moved)
+        counts as a miss: it is counted under the ``cache.corrupt``
+        metric and unlinked so the next :meth:`store` starts clean.
         """
+        obj = self._load(key)
+        return None if obj is _MISS else obj
+
+    def _load(self, key: str) -> Any:
+        """The cached object for ``key``, or :data:`_MISS`."""
         path = self._path(key)
         try:
-            with open(path, "rb") as handle:
+            handle = open(path, "rb")
+        except OSError:
+            return _MISS
+        try:
+            with handle:
                 return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return None
+        except _CORRUPT_ERRORS:
+            obs.incr("cache.corrupt")
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return _MISS
 
     def store(self, key: str, obj: Any) -> str:
         """Atomically persist ``obj`` under ``key``; returns the path."""
@@ -104,13 +145,20 @@ class ArtifactCache:
     def get_or_build(
         self, artifact: str, builder: Callable[[], Any], **params: Any
     ) -> Any:
-        """Load ``artifact`` from the cache or build + persist it."""
+        """Load ``artifact`` from the cache or build + persist it.
+
+        The miss test is entry *presence*, not truthiness: an artifact
+        whose legitimate value is ``None`` (or empty) is stored once
+        and is a hit on every later call.
+        """
         key = self.key(artifact, **params)
-        cached = self.load(key)
-        if cached is not None:
+        cached = self._load(key)
+        if cached is not _MISS:
             self.hits += 1
+            obs.incr("cache.hit")
             return cached
         self.misses += 1
+        obs.incr("cache.miss")
         obj = builder()
         self.store(key, obj)
         return obj

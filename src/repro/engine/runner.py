@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from .cache import ArtifactCache
 from .registry import get_spec
 
@@ -43,6 +45,12 @@ class RunRecord:
     wall_time_s: float
     output: str = ""  # formatted experiment text (ok runs)
     error: str = ""  # traceback (failed runs)
+    #: :meth:`repro.obs.Metrics.snapshot` of everything the experiment
+    #: recorded — counters, gauges, timers, and the span tree. Workers
+    #: ship it back inside the (pickled) record; the parent merges it
+    #: into its own registry, so serial and parallel runs expose the
+    #: same per-experiment detail.
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -56,6 +64,7 @@ class RunRecord:
             "wall_time_s": round(self.wall_time_s, 3),
             "output": self.output,
             "error": self.error,
+            "metrics": self.metrics,
         }
 
 
@@ -80,20 +89,30 @@ def _world_for(scale, cache: Optional[ArtifactCache]):
 
 
 def _execute(name: str, scale, cache: Optional[ArtifactCache]) -> RunRecord:
-    """Run one experiment against a (possibly pooled) world."""
+    """Run one experiment against a (possibly pooled) world.
+
+    Everything the experiment records through :mod:`repro.obs` — cache
+    hits, oracle computations, World build spans — lands in a fresh
+    per-experiment collector whose snapshot rides on the returned
+    record, in serial and worker paths alike.
+    """
     started = perf_counter()
+    collector = obs.Metrics()
     try:
-        spec = get_spec(name)
-        world = _world_for(scale, cache) if spec.needs_world else None
-        result = spec.execute(world)
-        output = spec.format(result)
-        if world is not None:
-            world.save_warm_artifacts()
+        with obs.using(collector):
+            spec = get_spec(name)
+            world = _world_for(scale, cache) if spec.needs_world else None
+            with collector.span(f"experiment.{name}"):
+                result = spec.execute(world)
+            output = spec.format(result)
+            if world is not None:
+                world.save_warm_artifacts()
         return RunRecord(
             name=name,
             status=STATUS_OK,
             wall_time_s=perf_counter() - started,
             output=output,
+            metrics=collector.snapshot(),
         )
     except Exception:
         return RunRecord(
@@ -101,6 +120,7 @@ def _execute(name: str, scale, cache: Optional[ArtifactCache]) -> RunRecord:
             status=STATUS_ERROR,
             wall_time_s=perf_counter() - started,
             error=traceback.format_exc(),
+            metrics=collector.snapshot(),
         )
 
 
@@ -115,6 +135,19 @@ def _execute_in_worker(
     return _execute(name, scale, cache)
 
 
+def _lost_worker_record(name: str, exc: BaseException) -> RunRecord:
+    """An error record for an experiment whose worker process died."""
+    return RunRecord(
+        name=name,
+        status=STATUS_ERROR,
+        wall_time_s=0.0,
+        error=(
+            f"worker process died before returning a result for {name!r} "
+            f"(OOM kill, segfault, or hard exit): {exc!r}"
+        ),
+    )
+
+
 def run_experiments(
     names: Sequence[str],
     scale,
@@ -127,15 +160,52 @@ def run_experiments(
     processes; ``cache`` (an :class:`ArtifactCache`) lets workers share
     the expensive substrate through the filesystem instead of each
     rebuilding it.
+
+    Failure isolation is per experiment even when a worker process
+    *dies* (OOM kill, segfault, hard ``os._exit``): a broken pool
+    poisons every result still in flight, so each affected experiment
+    is retried once in its own fresh single-worker pool — innocent
+    victims of someone else's crash complete normally, and only the
+    experiment that actually kills its worker again comes back as a
+    ``STATUS_ERROR`` record.
+
+    Each returned record carries the :mod:`repro.obs` snapshot of its
+    own run; the snapshots are also merged into this process's current
+    metrics registry so callers see run-wide totals.
     """
     for name in names:
         get_spec(name)  # fail fast on unknown names, before any work
     if jobs <= 1 or len(names) <= 1:
-        return [_execute(name, scale, cache) for name in names]
-    cache_root = cache.root if cache is not None else None
-    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
-        futures = [
-            pool.submit(_execute_in_worker, name, scale, cache_root)
-            for name in names
+        records: List[Optional[RunRecord]] = [
+            _execute(name, scale, cache) for name in names
         ]
-        return [future.result() for future in futures]
+    else:
+        cache_root = cache.root if cache is not None else None
+        records = [None] * len(names)
+        lost: List[int] = []
+        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+            futures = [
+                pool.submit(_execute_in_worker, name, scale, cache_root)
+                for name in names
+            ]
+            for index, future in enumerate(futures):
+                try:
+                    records[index] = future.result()
+                except BrokenProcessPool:
+                    lost.append(index)
+        for index in lost:
+            name = names[index]
+            obs.incr("runner.worker_lost")
+            try:
+                with ProcessPoolExecutor(max_workers=1) as retry_pool:
+                    records[index] = retry_pool.submit(
+                        _execute_in_worker, name, scale, cache_root
+                    ).result()
+                obs.incr("runner.worker_retry_ok")
+            except BrokenProcessPool as exc:
+                records[index] = _lost_worker_record(name, exc)
+                obs.incr("runner.worker_retry_lost")
+    parent = obs.metrics()
+    for record in records:
+        parent.merge(record.metrics)
+    return list(records)

@@ -14,9 +14,10 @@ pipelines in seconds for CI and examples.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..content import (
     DomainUniverse,
@@ -39,9 +40,10 @@ from ..mobility import (
     MobilityWorkloadConfig,
     generate_workload,
 )
+from .. import obs
 from ..engine.cache import ArtifactCache
 from ..routing import RoutingOracle, VantagePoint
-from ..topology import ASTopology, generate_as_topology
+from ..topology import ASTopology, ASTopologyConfig, generate_as_topology
 
 __all__ = ["ExperimentScale", "DEFAULT_SCALE", "SMALL_SCALE", "World", "active_scale"]
 
@@ -125,10 +127,35 @@ class World:
     def _artifact(
         self, name: str, builder: Callable[[], Any], **params: Any
     ) -> Any:
-        """Build ``name`` via ``builder``, going through the cache if set."""
-        if self.cache is None:
-            return builder()
-        return self.cache.get_or_build(name, builder, **params)
+        """Build ``name`` via ``builder``, going through the cache if set.
+
+        The whole acquisition is traced as span ``world.<name>``; when
+        the builder actually runs (a cache miss, or no cache at all)
+        the construction itself nests as ``world.build.<name>``, so a
+        profile separates "loaded from disk" from "regenerated".
+        """
+        def timed_builder() -> Any:
+            with obs.span(f"world.build.{name}"):
+                return builder()
+
+        with obs.span(f"world.{name}"):
+            if self.cache is None:
+                return timed_builder()
+            return self.cache.get_or_build(name, timed_builder, **params)
+
+    @staticmethod
+    def _topology_params() -> Dict[str, Any]:
+        """The generator parameters the shared topology is built with.
+
+        The world builds the topology with the default
+        :class:`~repro.topology.ASTopologyConfig`; keying the topology
+        artifact — and the warm oracle derived from it — by these
+        fields means a future config change can never resurrect routes
+        computed over a different graph.
+        """
+        cfg = ASTopologyConfig()
+        return {f.name: getattr(cfg, f.name)
+                for f in dataclasses.fields(cfg)}
 
     def save_warm_artifacts(self) -> None:
         """Persist accumulated lazy state back to the cache.
@@ -140,10 +167,23 @@ class World:
         a sibling parallel worker) starts with the routes pre-computed.
         Concurrent writers are safe: stores are atomic and any
         complete snapshot yields identical routes.
+
+        The store is skipped entirely when the oracle has accumulated
+        no routes since it was built or loaded — re-pickling an
+        unchanged oracle after every experiment is pure overhead.
         """
         if self.cache is None or self._oracle is None:
             return
-        self.cache.store(self.cache.key("oracle-warm"), self._oracle)
+        if self._oracle.dirty_routes == 0:
+            obs.incr("oracle.warm_store_skipped")
+            return
+        with obs.span("world.oracle_warm_store"):
+            self.cache.store(
+                self.cache.key("oracle-warm", **self._topology_params()),
+                self._oracle,
+            )
+        obs.incr("oracle.warm_stored")
+        self._oracle.mark_clean()
 
     # -- substrate pieces ------------------------------------------------
 
@@ -151,19 +191,27 @@ class World:
     def topology(self) -> ASTopology:
         """The synthetic AS-level Internet."""
         if self._topology is None:
-            self._topology = self._artifact("topology", generate_as_topology)
+            self._topology = self._artifact(
+                "topology", generate_as_topology, **self._topology_params()
+            )
         return self._topology
 
     @property
     def oracle(self) -> RoutingOracle:
         """Policy routing over the topology."""
         if self._oracle is None:
-            warm = (
-                self.cache.load(self.cache.key("oracle-warm"))
-                if self.cache is not None
-                else None
-            )
-            self._oracle = warm or RoutingOracle(self.topology)
+            with obs.span("world.oracle"):
+                warm = (
+                    self.cache.load(
+                        self.cache.key("oracle-warm",
+                                       **self._topology_params())
+                    )
+                    if self.cache is not None
+                    else None
+                )
+                obs.incr("oracle.warm_load" if warm is not None
+                         else "oracle.cold_start")
+                self._oracle = warm or RoutingOracle(self.topology)
         return self._oracle
 
     @property

@@ -1,0 +1,35 @@
+"""Observability: process-local counters, gauges, and trace spans.
+
+The instrumentation layer the engine, the artifact cache, the
+:class:`~repro.experiments.context.World` substrate, and the routing
+oracle all record into. Snapshots are plain JSON and merge
+deterministically, so worker processes ship their metrics back to the
+parent and ``repro run --profile`` / ``--metrics-out`` can report one
+coherent picture of a parallel run.
+
+This package deliberately imports nothing from the rest of ``repro``,
+so any module — however low-level — can instrument itself without
+creating an import cycle.
+"""
+
+from .metrics import (
+    Metrics,
+    gauge,
+    incr,
+    merge_snapshots,
+    metrics,
+    reset_metrics,
+    span,
+    using,
+)
+
+__all__ = [
+    "Metrics",
+    "metrics",
+    "reset_metrics",
+    "using",
+    "incr",
+    "gauge",
+    "span",
+    "merge_snapshots",
+]

@@ -1,0 +1,195 @@
+"""Process-local metrics registry: counters, gauges, and trace spans.
+
+One :class:`Metrics` instance collects everything a run wants to know
+about itself — how often the artifact cache hit, how many routing
+destinations were computed on demand, and where the wall time went.
+Three primitives cover those needs:
+
+* **counters** — monotonically accumulated numbers (``incr``), merged
+  across processes by summation;
+* **gauges** — last-observed values (``gauge``), merged by maximum so
+  the result is independent of merge order;
+* **spans** — nested wall-time intervals (``span``), kept as a tree so
+  a profile can show that the topology build happened *inside* the
+  fig-8 experiment, and aggregated per name into ``timers``.
+
+Everything in a snapshot is plain JSON (dicts, lists, strings,
+numbers), so worker processes can ship their metrics back to the
+parent inside a pickled :class:`~repro.engine.runner.RunRecord` and
+the parent can :meth:`Metrics.merge` them losslessly. Counter merge is
+commutative and associative, which is what makes a serial run and a
+merged parallel run agree on totals.
+
+The module keeps a process-local *current* registry. Library code
+(cache, world, oracle) records through the module-level
+:func:`incr` / :func:`gauge` / :func:`span` helpers, which resolve the
+current registry at call time; the engine scopes one fresh
+:class:`Metrics` per experiment with :func:`using`, so each
+:class:`RunRecord` carries exactly the activity of its own experiment.
+The registry is process-local, not thread-local: the engine
+parallelises with processes, never threads.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+__all__ = [
+    "Metrics",
+    "metrics",
+    "reset_metrics",
+    "using",
+    "incr",
+    "gauge",
+    "span",
+    "merge_snapshots",
+]
+
+
+def _json_copy(value: Any) -> Any:
+    """A detached, guaranteed-JSON-serializable copy of ``value``."""
+    return json.loads(json.dumps(value))
+
+
+class Metrics:
+    """Counters, gauges, and nested wall-time spans for one process."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        #: Completed root spans, each ``{"name", "duration_s", "children"}``.
+        self.spans: List[Dict[str, Any]] = []
+        self._stack: List[Dict[str, Any]] = []
+
+    # -- recording -------------------------------------------------------
+
+    def incr(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest observation of ``name``."""
+        self.gauges[name] = value
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Dict[str, Any]]:
+        """Time a ``with`` block as a span named ``name``.
+
+        Spans opened while another span is active become its children,
+        so the recorded tree mirrors the dynamic call structure. The
+        span is recorded even when the block raises — a failed
+        experiment still shows where its time went.
+        """
+        frame: Dict[str, Any] = {"name": name, "duration_s": 0.0,
+                                 "children": []}
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(frame)
+        started = perf_counter()
+        try:
+            yield frame
+        finally:
+            frame["duration_s"] = perf_counter() - started
+            self._stack.pop()
+            if parent is not None:
+                parent["children"].append(frame)
+            else:
+                self.spans.append(frame)
+
+    # -- views -----------------------------------------------------------
+
+    @property
+    def timers(self) -> Dict[str, Dict[str, float]]:
+        """Per-name span aggregation: ``{name: {count, total_s}}``."""
+        out: Dict[str, Dict[str, float]] = {}
+        def walk(node: Dict[str, Any]) -> None:
+            timer = out.setdefault(node["name"],
+                                   {"count": 0, "total_s": 0.0})
+            timer["count"] += 1
+            timer["total_s"] += node["duration_s"]
+            for child in node["children"]:
+                walk(child)
+        for root in self.spans:
+            walk(root)
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A detached JSON-ready view of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": self.timers,
+            "spans": _json_copy(self.spans),
+        }
+
+    # -- merging ---------------------------------------------------------
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this registry.
+
+        Counters sum, gauges take the maximum (so merge order never
+        matters), and span trees are appended. ``timers`` need no
+        merging — they are always re-derived from the span trees.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.incr(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            current = self.gauges.get(name)
+            self.gauges[name] = value if current is None else max(current,
+                                                                  value)
+        self.spans.extend(_json_copy(snapshot.get("spans", [])))
+
+
+# -- the process-local current registry ---------------------------------
+
+_STACK: List[Metrics] = [Metrics()]
+
+
+def metrics() -> Metrics:
+    """The registry that module-level helpers currently record into."""
+    return _STACK[-1]
+
+
+def reset_metrics() -> Metrics:
+    """Replace the current registry with a fresh one and return it."""
+    fresh = Metrics()
+    _STACK[-1] = fresh
+    return fresh
+
+
+@contextmanager
+def using(collector: Metrics) -> Iterator[Metrics]:
+    """Route all module-level recording to ``collector`` for a block."""
+    _STACK.append(collector)
+    try:
+        yield collector
+    finally:
+        _STACK.pop()
+
+
+def incr(name: str, value: float = 1) -> None:
+    """Bump a counter on the current registry."""
+    metrics().incr(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Record a gauge on the current registry."""
+    metrics().gauge(name, value)
+
+
+def span(name: str):
+    """A span context manager on the current registry."""
+    return metrics().span(name)
+
+
+def merge_snapshots(
+    snapshots: Iterable[Optional[Dict[str, Any]]],
+) -> Dict[str, Any]:
+    """Merge many snapshots into one (``None`` entries are skipped)."""
+    merged = Metrics()
+    for snapshot in snapshots:
+        if snapshot:
+            merged.merge(snapshot)
+    return merged.snapshot()

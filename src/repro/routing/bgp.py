@@ -35,6 +35,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..net import IPv4Address, IPv4Prefix
 from ..topology import ASTopology, Relationship
 from .ranking import Route, best_route, rank_routes, synthetic_med
@@ -87,11 +88,42 @@ class RoutingOracle:
     def __init__(self, topology: ASTopology):
         self._topo = topology
         self._cache: Dict[int, Dict[int, BestPath]] = {}
+        #: Destinations computed since construction, unpickling, or the
+        #: last :meth:`mark_clean` — i.e. routes a warm-cache snapshot
+        #: does not yet hold.
+        self._dirty = 0
 
     @property
     def topology(self) -> ASTopology:
         """The AS topology routes are computed over."""
         return self._topo
+
+    @property
+    def route_cache_size(self) -> int:
+        """Number of destinations with fully computed routes."""
+        return len(self._cache)
+
+    @property
+    def dirty_routes(self) -> int:
+        """Destinations computed since the last snapshot/:meth:`mark_clean`."""
+        return self._dirty
+
+    def mark_clean(self) -> None:
+        """Declare the accumulated routes persisted (resets dirtiness)."""
+        self._dirty = 0
+
+    def __getstate__(self):
+        # A pickled oracle *is* the snapshot, so it carries no dirt —
+        # rehydrated copies must not re-persist routes they were loaded
+        # with.
+        state = dict(self.__dict__)
+        state["_dirty"] = 0
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # Pre-dirtiness pickles (older cache entries) lack the field.
+        self.__dict__.setdefault("_dirty", 0)
 
     def routes_to(self, dest_asn: int) -> Dict[int, BestPath]:
         """Best path from every AS to ``dest_asn`` (absent = unreachable)."""
@@ -102,6 +134,9 @@ class RoutingOracle:
             raise KeyError(f"unknown destination AS{dest_asn}")
         result = self._compute(dest_asn)
         self._cache[dest_asn] = result
+        self._dirty += 1
+        obs.incr("oracle.demand_computations")
+        obs.gauge("oracle.route_cache_size", len(self._cache))
         return result
 
     def best_path(self, source_asn: int, dest_asn: int) -> Optional[BestPath]:

@@ -117,3 +117,66 @@ class TestExport:
         out = capsys.readouterr().out
         assert "fig12.csv" in out
         assert (target / "table1.csv").exists()
+
+
+class TestCliObservability:
+    def test_profile_reports_phases_and_warm_cache_hits(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.engine import CACHE_DIR_ENV, runner
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        runner._WORLDS.clear()  # force a substrate build in this process
+        assert main(["run", "fig6", "--scale", "small", "--profile"]) == 0
+        cold = capsys.readouterr().out
+        assert "== profile: per-experiment phases ==" in cold
+        assert "experiment.fig6" in cold
+        assert "cache.miss" in cold
+
+        # Warm second run (fresh process simulated by dropping the
+        # in-memory world pool): the substrate loads from disk and the
+        # profile shows nonzero hit counters plus where the time went.
+        runner._WORLDS.clear()
+        assert main(["run", "fig6", "--scale", "small", "--profile"]) == 0
+        warm = capsys.readouterr().out
+        assert "== slowest spans ==" in warm
+        assert "cache.hit" in warm
+        assert "cache.miss" not in warm
+
+    def test_metrics_out_writes_merged_snapshot(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import json as jsonlib
+
+        from repro.engine import CACHE_DIR_ENV
+
+        monkeypatch.setenv(CACHE_DIR_ENV, "off")
+        out_path = tmp_path / "metrics.json"
+        assert main(["run", "envelope", "--metrics-out",
+                     str(out_path)]) == 0
+        capsys.readouterr()
+        with open(out_path, encoding="utf-8") as handle:
+            payload = jsonlib.load(handle)
+        assert payload["schema"] == "repro.obs/v1"
+        assert payload["jobs"] == 1
+        record = payload["experiments"]["envelope"]
+        assert record["status"] == "ok"
+        assert "experiment.envelope" in record["metrics"]["timers"]
+        assert "experiment.envelope" in payload["totals"]["timers"]
+
+    def test_profile_goes_to_stderr_under_json_format(self, capsys,
+                                                      monkeypatch):
+        import json as jsonlib
+
+        from repro.engine import CACHE_DIR_ENV
+
+        monkeypatch.setenv(CACHE_DIR_ENV, "off")
+        assert main(["run", "envelope", "--format", "json",
+                     "--profile"]) == 0
+        captured = capsys.readouterr()
+        payload = jsonlib.loads(captured.out)  # stdout stays pure JSON
+        assert payload["records"][0]["name"] == "envelope"
+        assert "experiment.envelope" in (
+            payload["records"][0]["metrics"]["timers"]
+        )
+        assert "== profile: per-experiment phases ==" in captured.err

@@ -1,6 +1,7 @@
 """The run engine: registry, artifact cache, runner, and CSV export."""
 
 import csv
+import multiprocessing
 import os
 import pickle
 import sys
@@ -8,6 +9,7 @@ import types
 
 import pytest
 
+from repro import obs
 from repro.engine import (
     ArtifactCache,
     CACHE_DIR_ENV,
@@ -36,6 +38,24 @@ EXPECTED_NAMES = {
 
 #: Standalone experiments cheap enough for runner tests.
 CHEAP = ["compact-routing", "envelope", "ablation-hybrid", "table1"]
+
+#: Synthetic experiment modules registered from inside a test are only
+#: visible to pool workers when they inherit this process's memory.
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="worker processes must inherit test-registered experiments",
+)
+
+
+def _register_synthetic(monkeypatch, name, run):
+    """Register ``run`` as experiment ``name`` inside a synthetic module."""
+    module = types.ModuleType(f"tests._synthetic_{name.replace('-', '_')}")
+    run.__module__ = module.__name__
+    module.run = run
+    module.format_result = lambda result: ""
+    monkeypatch.setitem(sys.modules, module.__name__, module)
+    register(name, description="test-only", section="§0",
+             needs_world=False)(run)
 
 
 class TestRegistry:
@@ -103,7 +123,71 @@ class TestArtifactCache:
         cache.store(key, [1])
         path, = tmp_path.glob("thing-*.pkl")
         path.write_bytes(b"not a pickle")
+        collector = obs.Metrics()
+        with obs.using(collector):
+            assert cache.load(key) is None
+        # The garbage entry is counted and unlinked, so the next store
+        # starts clean instead of crashing every future run.
+        assert collector.counters["cache.corrupt"] == 1
+        assert not path.exists()
+
+    def test_truncated_pickle_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        key = cache.key("thing")
+        cache.store(key, list(range(1000)))
+        path, = tmp_path.glob("thing-*.pkl")
+        path.write_bytes(path.read_bytes()[:40])
         assert cache.load(key) is None
+        assert not path.exists()
+
+    def test_stale_class_pickle_is_a_miss(self, tmp_path):
+        # A cache entry whose pickle references a class that has since
+        # been moved/renamed raises ModuleNotFoundError on load — the
+        # docstring's "counts as a miss" promise must hold for it too.
+        ghost = types.ModuleType("tests._ghost_artifact")
+
+        class Artifact:
+            pass
+
+        Artifact.__module__ = ghost.__name__
+        Artifact.__qualname__ = "Artifact"
+        ghost.Artifact = Artifact
+        sys.modules[ghost.__name__] = ghost
+        cache = ArtifactCache(str(tmp_path))
+        key = cache.key("thing")
+        try:
+            cache.store(key, Artifact())
+        finally:
+            del sys.modules[ghost.__name__]  # "delete" the class
+        collector = obs.Metrics()
+        with obs.using(collector):
+            assert cache.load(key) is None
+        assert collector.counters["cache.corrupt"] == 1
+        rebuilt = []
+        assert cache.get_or_build("thing", lambda: rebuilt.append(1) or 7) == 7
+        assert rebuilt == [1]
+
+    def test_none_valued_artifact_is_a_hit(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        built = []
+
+        def builder():
+            built.append(1)
+            return None
+
+        assert cache.get_or_build("maybe", builder, n=1) is None
+        assert cache.get_or_build("maybe", builder, n=1) is None
+        assert built == [1]  # stored once, hit forever after
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_hit_and_miss_counters_reach_obs(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        collector = obs.Metrics()
+        with obs.using(collector):
+            cache.get_or_build("x", lambda: 1, n=1)
+            cache.get_or_build("x", lambda: 1, n=1)
+        assert collector.counters["cache.miss"] == 1
+        assert collector.counters["cache.hit"] == 1
 
     def test_get_or_build_counts_hits_and_misses(self, tmp_path):
         cache = ArtifactCache(str(tmp_path))
@@ -147,6 +231,44 @@ class TestWorldCache:
         rehydrated = World(SMALL_SCALE, cache=ArtifactCache(str(tmp_path)))
         assert rehydrated.oracle._cache  # pre-warmed, not empty
 
+    def test_warm_oracle_store_skipped_when_clean(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        world = World(SMALL_SCALE, cache=cache)
+        world.oracle.routes_to(next(iter(world.topology.ases)))
+        stores = []
+        original_store = cache.store
+        cache.store = lambda key, obj: stores.append(key) or original_store(
+            key, obj
+        )
+        collector = obs.Metrics()
+        with obs.using(collector):
+            world.save_warm_artifacts()  # one dirty route -> stored
+            world.save_warm_artifacts()  # nothing new -> skipped
+        assert len(stores) == 1
+        assert collector.counters["oracle.warm_stored"] == 1
+        assert collector.counters["oracle.warm_store_skipped"] == 1
+
+        # A rehydrated oracle is born clean: re-persisting routes it
+        # was loaded with would be pure overhead after every experiment.
+        rehydrated = World(SMALL_SCALE, cache=ArtifactCache(str(tmp_path)))
+        assert rehydrated.oracle.dirty_routes == 0
+        restores = []
+        rehydrated.cache.store = lambda key, obj: restores.append(key)
+        rehydrated.save_warm_artifacts()
+        assert restores == []
+
+    def test_warm_oracle_key_includes_topology_params(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path))
+        world = World(SMALL_SCALE, cache=cache)
+        world.oracle.routes_to(next(iter(world.topology.ases)))
+        world.save_warm_artifacts()
+        # The stored key is parameterised by the topology generator
+        # config, so routes computed over one graph can never be
+        # rehydrated against a differently-configured topology.
+        assert cache.load(cache.key("oracle-warm")) is None
+        keyed = cache.key("oracle-warm", **World._topology_params())
+        assert cache.load(keyed) is not None
+
 
 class TestRunner:
     def test_run_record_to_dict(self):
@@ -154,7 +276,7 @@ class TestRunner:
         assert record.ok
         assert record.to_dict() == {
             "name": "x", "status": "ok", "wall_time_s": 1.235,
-            "output": "text", "error": "",
+            "output": "text", "error": "", "metrics": {},
         }
 
     def test_unknown_name_fails_fast(self):
@@ -167,9 +289,12 @@ class TestRunner:
         parallel = run_experiments(CHEAP, SMALL_SCALE, jobs=2, cache=cache)
         assert [r.name for r in serial] == CHEAP
         assert all(r.ok for r in serial), [r.error for r in serial]
-        # Identical payloads modulo wall time: determinism holds across
-        # process boundaries and job counts.
-        strip = lambda r: {**r.to_dict(), "wall_time_s": None}
+        # Identical payloads modulo wall time and metrics (timings, and
+        # substrate counters that depend on how experiments share
+        # worker-pooled Worlds): determinism holds across process
+        # boundaries and job counts.
+        strip = lambda r: {**r.to_dict(), "wall_time_s": None,
+                           "metrics": None}
         assert [strip(r) for r in serial] == [strip(r) for r in parallel]
 
     def test_failure_is_isolated(self, monkeypatch):
@@ -200,6 +325,89 @@ class TestRunner:
         failed = next(r for r in records if r.name == "exploding")
         assert "RuntimeError: boom" in failed.error
         assert not failed.ok
+
+    @fork_only
+    def test_dead_worker_is_isolated(self, monkeypatch):
+        # A worker killed mid-task (OOM, segfault) breaks the whole
+        # pool; the engine must keep its per-experiment isolation
+        # contract: the killer comes back STATUS_ERROR and the innocent
+        # experiments caught in the pool collapse are retried and pass.
+        def run():
+            os._exit(17)
+
+        _register_synthetic(monkeypatch, "worker-killer", run)
+        try:
+            records = run_experiments(
+                ["compact-routing", "worker-killer", "envelope"],
+                SMALL_SCALE, jobs=2,
+            )
+        finally:
+            unregister("worker-killer")
+        statuses = {r.name: r.status for r in records}
+        assert statuses == {
+            "compact-routing": "ok",
+            "worker-killer": "error",
+            "envelope": "ok",
+        }
+        killed = next(r for r in records if r.name == "worker-killer")
+        assert "worker process died" in killed.error
+
+
+class TestRunnerMetrics:
+    def test_record_carries_experiment_span(self):
+        record, = run_experiments(["compact-routing"], SMALL_SCALE)
+        timers = record.metrics["timers"]
+        assert timers["experiment.compact-routing"]["count"] == 1
+        assert record.metrics["spans"]  # full trace tree, not just sums
+
+    def test_failed_experiment_still_reports_metrics(self, monkeypatch):
+        def run():
+            obs.incr("test.before_boom")
+            raise RuntimeError("boom")
+
+        _register_synthetic(monkeypatch, "metric-boom", run)
+        try:
+            record, = run_experiments(["metric-boom"], SMALL_SCALE)
+        finally:
+            unregister("metric-boom")
+        assert not record.ok
+        assert record.metrics["counters"]["test.before_boom"] == 1
+
+    def test_run_merges_record_metrics_into_parent_registry(self):
+        parent = obs.reset_metrics()
+        records = run_experiments(["compact-routing"], SMALL_SCALE)
+        assert parent.timers["experiment.compact-routing"]["count"] == 1
+        assert records[0].metrics["counters"] == parent.counters
+
+    @fork_only
+    def test_serial_and_parallel_counter_totals_agree(self, monkeypatch):
+        # The acceptance property of the worker merge path: summing the
+        # per-record snapshots of a parallel run reproduces the serial
+        # totals exactly, for every counter.
+        def make_run(weight):
+            def run():
+                obs.incr("test.runs")
+                obs.incr("test.weight", weight)
+                with obs.span("test.work"):
+                    pass
+            return run
+
+        _register_synthetic(monkeypatch, "counting-a", make_run(3))
+        _register_synthetic(monkeypatch, "counting-b", make_run(4))
+        names = ["counting-a", "counting-b"]
+        try:
+            serial = run_experiments(names, SMALL_SCALE, jobs=1)
+            parallel = run_experiments(names, SMALL_SCALE, jobs=2)
+        finally:
+            unregister("counting-a")
+            unregister("counting-b")
+        totals_serial = obs.merge_snapshots(r.metrics for r in serial)
+        totals_parallel = obs.merge_snapshots(r.metrics for r in parallel)
+        assert totals_serial["counters"] == totals_parallel["counters"] == {
+            "test.runs": 2, "test.weight": 7,
+        }
+        assert totals_serial["timers"]["test.work"]["count"] == 2
+        assert totals_parallel["timers"]["test.work"]["count"] == 2
 
 
 class TestExport:

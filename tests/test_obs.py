@@ -1,0 +1,144 @@
+"""The observability layer: counters, gauges, spans, snapshot/merge."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import Metrics
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        m = Metrics()
+        m.incr("a")
+        m.incr("a", 2)
+        m.incr("b", 0.5)
+        assert m.counters == {"a": 3, "b": 0.5}
+
+    def test_gauge_keeps_latest(self):
+        m = Metrics()
+        m.gauge("size", 10)
+        m.gauge("size", 3)
+        assert m.gauges == {"size": 3}
+
+
+class TestSpans:
+    def test_nesting_mirrors_call_structure(self):
+        m = Metrics()
+        with m.span("outer"):
+            with m.span("inner"):
+                pass
+            with m.span("inner"):
+                pass
+        with m.span("other"):
+            pass
+        assert [s["name"] for s in m.spans] == ["outer", "other"]
+        outer = m.spans[0]
+        assert [c["name"] for c in outer["children"]] == ["inner", "inner"]
+        assert outer["duration_s"] >= sum(
+            c["duration_s"] for c in outer["children"]
+        )
+
+    def test_span_recorded_on_exception(self):
+        m = Metrics()
+        with pytest.raises(RuntimeError):
+            with m.span("outer"):
+                with m.span("inner"):
+                    raise RuntimeError("boom")
+        assert [s["name"] for s in m.spans] == ["outer"]
+        assert m.spans[0]["children"][0]["name"] == "inner"
+        assert not m._stack  # fully unwound
+
+    def test_timers_aggregate_across_the_tree(self):
+        m = Metrics()
+        with m.span("a"):
+            with m.span("b"):
+                pass
+        with m.span("b"):
+            pass
+        timers = m.timers
+        assert timers["a"]["count"] == 1
+        assert timers["b"]["count"] == 2
+        assert timers["b"]["total_s"] >= 0
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_and_detached(self):
+        m = Metrics()
+        m.incr("c")
+        with m.span("s"):
+            pass
+        snap = m.snapshot()
+        json.dumps(snap)  # must be pure JSON
+        snap["counters"]["c"] = 999
+        snap["spans"].clear()
+        assert m.counters["c"] == 1
+        assert len(m.spans) == 1
+
+    def test_merge_sums_counters_maxes_gauges_extends_spans(self):
+        a, b = Metrics(), Metrics()
+        a.incr("n", 2)
+        a.gauge("g", 5)
+        with a.span("x"):
+            pass
+        b.incr("n", 3)
+        b.incr("only-b")
+        b.gauge("g", 4)
+        with b.span("y"):
+            pass
+        a.merge(b.snapshot())
+        assert a.counters == {"n": 5, "only-b": 1}
+        assert a.gauges == {"g": 5}
+        assert [s["name"] for s in a.spans] == ["x", "y"]
+        assert a.timers["y"]["count"] == 1
+
+    def test_merge_snapshots_is_order_independent(self):
+        snaps = []
+        for value in (1, 2, 3):
+            m = Metrics()
+            m.incr("n", value)
+            m.gauge("g", value)
+            snaps.append(m.snapshot())
+        forward = obs.merge_snapshots(snaps)
+        backward = obs.merge_snapshots(reversed(snaps))
+        assert forward["counters"] == backward["counters"] == {"n": 6}
+        assert forward["gauges"] == backward["gauges"] == {"g": 3}
+
+    def test_merge_skips_none_and_empty(self):
+        merged = obs.merge_snapshots([None, {}, {"counters": {"n": 1}}])
+        assert merged["counters"] == {"n": 1}
+
+
+class TestProcessLocalRegistry:
+    def test_module_helpers_hit_current_registry(self):
+        fresh = obs.reset_metrics()
+        obs.incr("top")
+        obs.gauge("g", 1)
+        with obs.span("s"):
+            pass
+        assert fresh.counters == {"top": 1}
+        assert fresh.timers["s"]["count"] == 1
+
+    def test_using_scopes_and_restores(self):
+        outer = obs.reset_metrics()
+        scoped = Metrics()
+        with obs.using(scoped):
+            assert obs.metrics() is scoped
+            obs.incr("inner")
+        assert obs.metrics() is outer
+        assert scoped.counters == {"inner": 1}
+        assert "inner" not in outer.counters
+
+    def test_using_restores_on_exception(self):
+        outer = obs.reset_metrics()
+        with pytest.raises(ValueError):
+            with obs.using(Metrics()):
+                raise ValueError()
+        assert obs.metrics() is outer
+
+    def test_reset_returns_fresh_registry(self):
+        obs.incr("stale")
+        fresh = obs.reset_metrics()
+        assert obs.metrics() is fresh
+        assert fresh.counters == {}

@@ -277,3 +277,39 @@ class TestVantagePoint:
         entries = {r.as_path[-2] for r in filtered}
         assert len(entries) == 1
         assert len(filtered) <= len(unfiltered)
+
+
+class TestOracleObservability:
+    def test_demand_computation_metrics(self, oracle):
+        from repro import obs
+
+        collector = obs.Metrics()
+        with obs.using(collector):
+            oracle.routes_to(6)
+            oracle.routes_to(6)  # cached: no second computation
+            oracle.routes_to(7)
+        assert collector.counters["oracle.demand_computations"] == 2
+        assert collector.gauges["oracle.route_cache_size"] == 2
+        assert oracle.route_cache_size == 2
+
+    def test_dirty_route_tracking(self, oracle):
+        assert oracle.dirty_routes == 0
+        oracle.routes_to(6)
+        oracle.routes_to(6)
+        assert oracle.dirty_routes == 1
+        oracle.mark_clean()
+        assert oracle.dirty_routes == 0
+        oracle.routes_to(7)
+        assert oracle.dirty_routes == 1
+
+    def test_pickled_oracle_is_born_clean(self, oracle):
+        import pickle
+
+        oracle.routes_to(6)
+        assert oracle.dirty_routes == 1
+        clone = pickle.loads(pickle.dumps(oracle))
+        # The pickle *is* the snapshot: a rehydrated oracle must not
+        # re-persist routes it was loaded with.
+        assert clone.dirty_routes == 0
+        assert clone.route_cache_size == 1
+        assert clone.routes_to(6) == oracle.routes_to(6)
