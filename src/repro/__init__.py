@@ -40,6 +40,6 @@ Subpackages
     One runnable module per paper table/figure.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -6,6 +6,9 @@ Usage::
     python -m repro run fig8 --scale small
     python -m repro run all --scale small --jobs 4
     python -m repro run all --scale small --format json
+    python -m repro run all --trace-out trace.json
+    python -m repro check
+    python -m repro compare -2 -1
     python -m repro export --out results/ --scale small
 
 ``run`` prints the same rows/series the paper reports; ``export``
@@ -14,8 +17,19 @@ they can be re-plotted. ``--jobs N`` fans experiments out over worker
 processes (output is identical to a serial run); ``--format json``
 emits one machine-readable record per experiment instead of text.
 ``--profile`` appends a :mod:`repro.obs` report (per-experiment phase
-timings, the slowest spans, cache/oracle counters); ``--metrics-out
-FILE`` writes the merged metrics snapshot as JSON for trend tracking.
+timings, the slowest spans by exclusive time, cache/oracle counters);
+``--metrics-out FILE`` writes the merged metrics snapshot as JSON and
+``--trace-out FILE`` writes the span trees as Chrome trace-event JSON
+viewable in Perfetto.
+
+When a run ledger is configured (``REPRO_LEDGER_DIR`` or
+``--ledger-dir``), every ``run`` appends a manifest — git SHA, seed,
+scale, per-experiment wall time/status/series digests, observed
+paper-target values — to ``ledger.jsonl``. ``check`` scores the
+latest entry against the paper targets declared by the experiment
+modules (pass/drift/regress; nonzero exit on regression), and
+``compare`` diffs two entries (wall-time deltas, counter deltas,
+series-digest mismatches).
 
 Experiments come from the :mod:`repro.engine` registry — each
 ``exp_*`` module registers itself — and run through the engine's
@@ -31,9 +45,9 @@ import dataclasses
 import json
 import sys
 from time import perf_counter
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from . import obs
+from . import __version__, obs
 from .engine import (
     ArtifactCache,
     all_specs,
@@ -43,6 +57,7 @@ from .engine import (
     run_experiments,
 )
 from .experiments import DEFAULT_SCALE, SMALL_SCALE, World
+from .experiments.report import format_band, format_delta, render_table
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -107,6 +122,10 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Reproduce the SIGCOMM'14 location-independence "
         "comparison, one artifact at a time.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
+        help="print the code version (stamped into run manifests)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
@@ -154,6 +173,45 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="metrics_out",
         help="write the merged repro.obs metrics snapshot as JSON",
     )
+    run_parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        dest="trace_out",
+        help="write span trees as Chrome trace-event JSON (Perfetto)",
+    )
+    run_parser.add_argument(
+        "--ledger-dir",
+        metavar="DIR",
+        default=None,
+        dest="ledger_dir",
+        help=f"append the run manifest to DIR/ledger.jsonl "
+        f"(default: ${obs.LEDGER_DIR_ENV})",
+    )
+
+    check_parser = sub.add_parser(
+        "check",
+        help="score the latest ledgered run against the paper targets",
+    )
+    check_parser.add_argument(
+        "--ledger-dir", metavar="DIR", default=None, dest="ledger_dir",
+        help=f"ledger directory (default: ${obs.LEDGER_DIR_ENV})",
+    )
+
+    compare_parser = sub.add_parser(
+        "compare", help="diff two ledgered runs (wall time, counters, "
+        "series digests)",
+    )
+    compare_parser.add_argument(
+        "run_a", help="ledger entry: run id, 'last', or -N (e.g. -2)"
+    )
+    compare_parser.add_argument(
+        "run_b", help="ledger entry: run id, 'last', or -N (e.g. -1)"
+    )
+    compare_parser.add_argument(
+        "--ledger-dir", metavar="DIR", default=None, dest="ledger_dir",
+        help=f"ledger directory (default: ${obs.LEDGER_DIR_ENV})",
+    )
 
     export_parser = sub.add_parser(
         "export", help="run everything and write CSV series"
@@ -178,8 +236,21 @@ def _scale_for(label: str, seed: Optional[int] = None):
     return scale
 
 
+def _span_self_s(node) -> float:
+    """Exclusive span time, tolerating pre-``self_s`` snapshots."""
+    fallback = node["duration_s"] - sum(
+        c["duration_s"] for c in node["children"]
+    )
+    return max(0.0, node.get("self_s", fallback))
+
+
 def _profile_report(records) -> str:
-    """The ``--profile`` text: phases, slowest spans, counters, gauges."""
+    """The ``--profile`` text: phases, slowest spans, counters, gauges.
+
+    Spans report both inclusive (``total``) and exclusive (``self``)
+    time, and the slowest-span table ranks by exclusive time — a
+    parent is never blamed for work its children did.
+    """
     lines = ["", "== profile: per-experiment phases =="]
     for record in records:
         lines.append(
@@ -189,24 +260,30 @@ def _profile_report(records) -> str:
         for name, timer in sorted(
             timers.items(), key=lambda item: -item[1]["total_s"]
         ):
+            self_s = timer.get("self_s", timer["total_s"])
             lines.append(
                 f"    {name:<34} {timer['count']:>4}x  "
-                f"{timer['total_s']:9.3f}s"
+                f"{timer['total_s']:9.3f}s total "
+                f"{self_s:9.3f}s self"
             )
 
     spans = []
     def _walk(node, experiment):
-        spans.append((node["duration_s"], node["name"], experiment))
+        spans.append((_span_self_s(node), node["duration_s"],
+                      node["name"], experiment))
         for child in node["children"]:
             _walk(child, experiment)
     for record in records:
         for root in (record.metrics or {}).get("spans", []):
             _walk(root, record.name)
     if spans:
-        lines += ["", "== slowest spans =="]
-        spans.sort(key=lambda item: (-item[0], item[1], item[2]))
-        for duration, name, experiment in spans[:10]:
-            lines.append(f"    {duration:9.3f}s  {name}  ({experiment})")
+        lines += ["", "== slowest spans (by exclusive time) =="]
+        spans.sort(key=lambda item: (-item[0], item[2], item[3]))
+        for self_s, duration, name, experiment in spans[:10]:
+            lines.append(
+                f"    {self_s:9.3f}s self  {duration:9.3f}s total  "
+                f"{name}  ({experiment})"
+            )
 
     totals = obs.merge_snapshots(record.metrics for record in records)
     if totals["counters"]:
@@ -239,11 +316,19 @@ def _metrics_payload(records, scale, jobs: int, elapsed: float) -> Dict:
     }
 
 
+def _ledger_for(ledger_dir: Optional[str]) -> Optional[obs.RunLedger]:
+    """The ledger from ``--ledger-dir``, else ``$REPRO_LEDGER_DIR``."""
+    if ledger_dir:
+        return obs.RunLedger(ledger_dir)
+    return obs.RunLedger.from_env()
+
+
 def _run(
     names: Sequence[str], scale_label: str, out=None,
     seed: Optional[int] = None, jobs: int = 1,
     output_format: str = "text", err=None,
     profile: bool = False, metrics_out: Optional[str] = None,
+    trace_out: Optional[str] = None, ledger_dir: Optional[str] = None,
 ) -> int:
     """Run ``names`` through the engine; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -261,8 +346,25 @@ def _run(
             json.dump(_metrics_payload(records, scale, jobs, elapsed),
                       handle, indent=2, sort_keys=True)
             handle.write("\n")
+    if trace_out:
+        obs.write_chrome_trace(
+            records, trace_out,
+            label=f"repro run (scale={scale.label}, jobs={jobs})",
+        )
+
+    ledger = _ledger_for(ledger_dir)
+    ledger_line = ""
+    if ledger is not None:
+        entry = ledger.append(obs.build_entry(
+            records, scale_label=scale.label,
+            seed=getattr(scale, "seed", None), jobs=jobs,
+            elapsed_s=elapsed, version=__version__,
+        ))
+        ledger_line = f"[ledger: {entry['run_id']} -> {ledger.path}]\n"
 
     if output_format == "json":
+        if ledger_line:  # keep stdout valid JSON
+            err.write(ledger_line)
         if profile:  # keep stdout valid JSON; the report goes to stderr
             err.write(_profile_report(records))
         out.write(json.dumps({
@@ -290,7 +392,159 @@ def _run(
                    f"({', '.join(r.name for r in failed)}), "
                    f"scale={scale.label}, {elapsed:.0f}s]\n")
     out.write(summary)
+    if ledger_line:
+        out.write(ledger_line)
     return 1 if failed else 0
+
+
+def _declared_targets() -> Dict[str, List[obs.PaperTarget]]:
+    """Experiment name -> declared paper targets, non-empty only."""
+    targets = {}
+    for spec in all_specs():
+        declared = spec.targets()
+        if declared:
+            targets[spec.name] = declared
+    return targets
+
+
+def _check(ledger_dir: Optional[str], out=None, err=None) -> int:
+    """Score the latest ledger entry; nonzero exit on regression."""
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    ledger = _ledger_for(ledger_dir)
+    if ledger is None:
+        err.write("repro check: no ledger configured — set "
+                  f"{obs.LEDGER_DIR_ENV} or pass --ledger-dir\n")
+        return 2
+    entry = ledger.latest()
+    if entry is None:
+        err.write(f"repro check: ledger {ledger.path} is empty — "
+                  "run 'repro run' with the ledger enabled first\n")
+        return 2
+    previous = ledger.previous(entry)
+    scores = obs.score_entry(entry, _declared_targets(), previous)
+
+    out.write(
+        f"repro check: run {entry.get('run_id')} "
+        f"(scale={entry.get('scale')}, seed={entry.get('seed')}, "
+        f"git={str(entry.get('git_sha'))[:12]})"
+        + (f" vs previous {previous.get('run_id')}" if previous else
+           " (no previous comparable run)")
+        + "\n\n"
+    )
+    rows = []
+    for score in scores:
+        target = score.target
+        observed = ("-" if score.observed is None
+                    else f"{score.observed:g}")
+        rows.append([
+            score.experiment, target.key, f"{target.paper:g}",
+            format_band(target.lo, target.hi), observed,
+            "-" if score.previous is None else f"{score.previous:g}",
+            score.status.upper(),
+        ])
+    if rows:
+        out.write(render_table(
+            ["experiment", "metric", "paper", "accepted", "observed",
+             "previous", "status"], rows,
+        ) + "\n")
+    else:
+        out.write("no declared targets matched the entry's "
+                  "experiments\n")
+
+    if previous is not None:
+        perf_rows = []
+        for name, exp in sorted(entry.get("experiments", {}).items()):
+            prev_exp = previous.get("experiments", {}).get(name)
+            prev_wall = prev_exp.get("wall_s") if prev_exp else None
+            perf_rows.append([
+                name, f"{exp.get('wall_s', 0):g}s",
+                format_delta(exp.get("wall_s", 0.0), prev_wall, "s"),
+            ])
+        out.write("\nwall time vs previous (informational):\n")
+        out.write(render_table(["experiment", "wall", "delta"],
+                               perf_rows) + "\n")
+
+    counts: Dict[str, int] = {}
+    for score in scores:
+        counts[score.status] = counts.get(score.status, 0) + 1
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    regressed = obs.has_regression(scores)
+    out.write(f"\n[{len(scores)} target(s): {summary or 'none'}]\n")
+    return 1 if regressed else 0
+
+
+def _compare(run_a: str, run_b: str, ledger_dir: Optional[str],
+             out=None, err=None) -> int:
+    """Diff two ledger entries: wall time, counters, series digests."""
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    ledger = _ledger_for(ledger_dir)
+    if ledger is None:
+        err.write("repro compare: no ledger configured — set "
+                  f"{obs.LEDGER_DIR_ENV} or pass --ledger-dir\n")
+        return 2
+    try:
+        a, b = ledger.resolve(run_a), ledger.resolve(run_b)
+    except KeyError as exc:
+        err.write(f"repro compare: {exc.args[0]}\n")
+        return 2
+
+    out.write(
+        f"repro compare: {a.get('run_id')} (A) vs "
+        f"{b.get('run_id')} (B)\n"
+        f"  A: scale={a.get('scale')} seed={a.get('seed')} "
+        f"jobs={a.get('jobs')} wall={a.get('wall_s')}s "
+        f"git={str(a.get('git_sha'))[:12]}\n"
+        f"  B: scale={b.get('scale')} seed={b.get('seed')} "
+        f"jobs={b.get('jobs')} wall={b.get('wall_s')}s "
+        f"git={str(b.get('git_sha'))[:12]}\n\n"
+    )
+
+    exps_a, exps_b = a.get("experiments", {}), b.get("experiments", {})
+    rows, mismatched = [], []
+    for name in sorted(set(exps_a) | set(exps_b)):
+        exp_a, exp_b = exps_a.get(name), exps_b.get(name)
+        if exp_a is None or exp_b is None:
+            rows.append([name, "-", "-", "-",
+                         "only in B" if exp_a is None else "only in A"])
+            continue
+        digests_a = exp_a.get("series_digests", {})
+        digests_b = exp_b.get("series_digests", {})
+        same = digests_a == digests_b
+        if not same:
+            mismatched.append(name)
+        rows.append([
+            name, f"{exp_a.get('wall_s', 0):g}s",
+            f"{exp_b.get('wall_s', 0):g}s",
+            format_delta(exp_b.get("wall_s", 0.0),
+                         exp_a.get("wall_s"), "s"),
+            "same" if same else "DIFFERENT",
+        ])
+    out.write(render_table(
+        ["experiment", "wall A", "wall B", "delta", "series"], rows,
+    ) + "\n")
+
+    counters_a = a.get("totals", {}).get("counters", {})
+    counters_b = b.get("totals", {}).get("counters", {})
+    delta_rows = []
+    for name in sorted(set(counters_a) | set(counters_b)):
+        va, vb = counters_a.get(name, 0), counters_b.get(name, 0)
+        if va != vb:
+            delta_rows.append([name, f"{va:g}", f"{vb:g}",
+                               format_delta(vb, va)])
+    if delta_rows:
+        out.write("\ncounter deltas:\n")
+        out.write(render_table(["counter", "A", "B", "delta"],
+                               delta_rows) + "\n")
+
+    if mismatched:
+        out.write(f"\n[{len(mismatched)} experiment(s) produced "
+                  f"different series: {', '.join(mismatched)}]\n")
+    else:
+        out.write("\n[all shared experiments produced identical "
+                  "series]\n")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -315,8 +569,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run(
             selected, args.scale, seed=args.seed, jobs=args.jobs,
             output_format=args.output_format, profile=args.profile,
-            metrics_out=args.metrics_out,
+            metrics_out=args.metrics_out, trace_out=args.trace_out,
+            ledger_dir=args.ledger_dir,
         )
+    if args.command == "check":
+        return _check(args.ledger_dir)
+    if args.command == "compare":
+        return _compare(args.run_a, args.run_b, args.ledger_dir)
     if args.command == "export":
         from .experiments.export import export_all
 

@@ -77,6 +77,29 @@ class ExperimentSpec:
             return []
         return list(series_fn(result))
 
+    def targets(self) -> List[Any]:
+        """The module's declared paper targets (may be empty).
+
+        Experiment modules opt in by defining a module-level
+        ``PAPER_TARGETS`` sequence of
+        :class:`repro.obs.PaperTarget` records; ``repro check`` holds
+        every ledgered run to them.
+        """
+        return list(getattr(self._module(), "PAPER_TARGETS", ()))
+
+    def observed(self, result) -> Dict[str, float]:
+        """The target-value observations behind ``result``.
+
+        Resolved from the module's ``target_values(result)`` function;
+        keys match ``PAPER_TARGETS`` entries. Empty when the module
+        declares no targets.
+        """
+        values_fn = getattr(self._module(), "target_values", None)
+        if values_fn is None:
+            return {}
+        return {key: float(value)
+                for key, value in values_fn(result).items()}
+
 
 #: name -> spec, in registration (module import) order.
 _REGISTRY: Dict[str, ExperimentSpec] = {}

@@ -23,7 +23,7 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
@@ -45,16 +45,33 @@ class RunRecord:
     wall_time_s: float
     output: str = ""  # formatted experiment text (ok runs)
     error: str = ""  # traceback (failed runs)
+    #: Wall-clock time (``time.time()``) at which the experiment
+    #: started, stamped in serial and worker paths alike — the trace
+    #: exporter uses it to align spans from different processes on one
+    #: timeline, and the run ledger persists it.
+    started_at: float = 0.0
     #: :meth:`repro.obs.Metrics.snapshot` of everything the experiment
     #: recorded — counters, gauges, timers, and the span tree. Workers
     #: ship it back inside the (pickled) record; the parent merges it
     #: into its own registry, so serial and parallel runs expose the
     #: same per-experiment detail.
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: ``{series name: digest}`` over the experiment's ``series()``
+    #: output (:func:`repro.obs.digest_series`) — the ledger's
+    #: "did the numbers change?" fingerprint.
+    series_digests: Dict[str, str] = field(default_factory=dict)
+    #: Observed paper-target values (``target_values()`` of modules
+    #: declaring ``PAPER_TARGETS``), scored by ``repro check``.
+    observed: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return self.status == STATUS_OK
+
+    @property
+    def wall_s(self) -> float:
+        """Ledger-schema alias for :attr:`wall_time_s`."""
+        return self.wall_time_s
 
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready mapping (used by ``repro run --format json``)."""
@@ -62,9 +79,12 @@ class RunRecord:
             "name": self.name,
             "status": self.status,
             "wall_time_s": round(self.wall_time_s, 3),
+            "started_at": round(self.started_at, 3),
             "output": self.output,
             "error": self.error,
             "metrics": self.metrics,
+            "series_digests": self.series_digests,
+            "observed": self.observed,
         }
 
 
@@ -97,6 +117,7 @@ def _execute(name: str, scale, cache: Optional[ArtifactCache]) -> RunRecord:
     record, in serial and worker paths alike.
     """
     started = perf_counter()
+    started_at = time()  # wall clock: aligns workers in the trace
     collector = obs.Metrics()
     try:
         with obs.using(collector):
@@ -105,6 +126,13 @@ def _execute(name: str, scale, cache: Optional[ArtifactCache]) -> RunRecord:
             with collector.span(f"experiment.{name}"):
                 result = spec.execute(world)
             output = spec.format(result)
+            digests = {
+                series.name: obs.digest_series(
+                    series.name, series.headers, series.rows
+                )
+                for series in spec.series(result)
+            }
+            observed = spec.observed(result)
             if world is not None:
                 world.save_warm_artifacts()
         return RunRecord(
@@ -112,7 +140,10 @@ def _execute(name: str, scale, cache: Optional[ArtifactCache]) -> RunRecord:
             status=STATUS_OK,
             wall_time_s=perf_counter() - started,
             output=output,
+            started_at=started_at,
             metrics=collector.snapshot(),
+            series_digests=digests,
+            observed=observed,
         )
     except Exception:
         return RunRecord(
@@ -120,6 +151,7 @@ def _execute(name: str, scale, cache: Optional[ArtifactCache]) -> RunRecord:
             status=STATUS_ERROR,
             wall_time_s=perf_counter() - started,
             error=traceback.format_exc(),
+            started_at=started_at,
             metrics=collector.snapshot(),
         )
 

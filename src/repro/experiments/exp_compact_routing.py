@@ -16,10 +16,39 @@ from typing import List, Tuple
 
 from ..core.compact import CompactRoutingScheme, CompactStats
 from ..engine import Series, register
+from ..obs import PaperTarget
 from ..topology import erdos_renyi_topology
 from .report import banner, render_table
 
-__all__ = ["CompactSweepResult", "run", "format_result", "series"]
+__all__ = ["CompactSweepResult", "run", "format_result", "series",
+           "PAPER_TARGETS", "target_values"]
+
+#: §2.1's framing: compact routing buys small tables by tolerating
+#: stretch, with the Thorup-Zwick guarantee capping it at 3x. The
+#: sweep is seeded and world-free, so these hold at every scale.
+PAPER_TARGETS = (
+    PaperTarget(
+        key="max_stretch", paper=3.0, lo=1.0, hi=3.000001,
+        section="§2.1",
+        note="worst-case multiplicative stretch (TZ guarantee: <=3)",
+    ),
+    PaperTarget(
+        key="full_landmark_stretch", paper=1.0, lo=1.0, hi=1.000001,
+        section="§2.1",
+        note="stretch with every router a landmark (shortest paths)",
+    ),
+)
+
+
+def target_values(result: "CompactSweepResult") -> dict:
+    """Observed values for :data:`PAPER_TARGETS`."""
+    return {
+        "max_stretch": max(
+            p.max_multiplicative_stretch for p in result.points
+        ),
+        "full_landmark_stretch":
+            result.points[-1].max_multiplicative_stretch,
+    }
 
 
 @dataclass

@@ -19,9 +19,43 @@ from ..core import (
     extra_fib_fraction,
 )
 from ..engine import Series, register
+from ..obs import PaperTarget
 from .report import banner, render_table
 
-__all__ = ["EnvelopeResult", "run", "format_result", "series"]
+__all__ = ["EnvelopeResult", "run", "format_result", "series",
+           "PAPER_TARGETS", "target_values"]
+
+#: Pure arithmetic over the paper's constants — scale-independent, so
+#: the bands are tight around the paper's own claims.
+PAPER_TARGETS = (
+    PaperTarget(
+        key="devices_median_updates_per_s", paper=2100.0,
+        lo=1900.0, hi=2300.0, section="§6.2",
+        note="name-based updates/s, median user scenario",
+    ),
+    PaperTarget(
+        key="content_updates_per_s", paper=100.0, lo=90.0, hi=140.0,
+        section="§7.3",
+        note="content updates/s at 1e9 names, 2 moves/day",
+    ),
+    PaperTarget(
+        key="extra_fib_fraction", paper=0.01, lo=0.005, hi=0.02,
+        section="§6.2",
+        note="extra FIB entries per router as a fraction of devices",
+    ),
+)
+
+
+def target_values(result: "EnvelopeResult") -> dict:
+    """Observed values for :data:`PAPER_TARGETS`."""
+    by_label = {s.label: s for s in result.scenarios}
+    return {
+        "devices_median_updates_per_s":
+            by_label["devices (median user)"].updates_per_second(),
+        "content_updates_per_s":
+            by_label["content names"].updates_per_second(),
+        "extra_fib_fraction": result.extra_fib,
+    }
 
 
 @dataclass

@@ -20,10 +20,42 @@ from typing import List
 from ..core import ContentUpdateCostEvaluator, ForwardingStrategy, UpdateRateReport
 from ..engine import Series, register
 from ..mobility import cdf_points, percentile
+from ..obs import PaperTarget
 from .context import World
 from .report import banner, render_cdf_summary, render_table
 
-__all__ = ["Fig11Result", "run", "format_result", "series"]
+__all__ = ["Fig11Result", "run", "format_result", "series",
+           "PAPER_TARGETS", "target_values"]
+
+#: The paper's Fig. 11(a)/(b) headlines: popular content moves ~2x a
+#: day and flooding always costs more than best-port, with flooding
+#: capped around ~13% and best-port well under it.
+PAPER_TARGETS = (
+    PaperTarget(
+        key="median_events_per_day", paper=2.0, lo=1.0, hi=3.5,
+        section="§7.2 Fig. 11(a)",
+        note="median popular-content mobility events/day",
+    ),
+    PaperTarget(
+        key="popular_flooding_max", paper=0.13, lo=0.03, hi=0.16,
+        section="§7.2 Fig. 11(b)",
+        note="max flooding update rate over routers (paper: <=~13%)",
+    ),
+    PaperTarget(
+        key="popular_best_port_max", paper=0.06, lo=0.01, hi=0.08,
+        section="§7.2 Fig. 11(b)",
+        note="max best-port update rate over routers (paper: <=~6%)",
+    ),
+)
+
+
+def target_values(result: "Fig11Result") -> dict:
+    """Observed values for :data:`PAPER_TARGETS`."""
+    return {
+        "median_events_per_day": result.median_events_per_day(),
+        "popular_flooding_max": result.popular_flooding.max_rate(),
+        "popular_best_port_max": result.popular_best_port.max_rate(),
+    }
 
 
 @dataclass

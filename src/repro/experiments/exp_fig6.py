@@ -13,11 +13,42 @@ from typing import List, Tuple
 
 from ..engine import Series, register
 from ..mobility import cdf_points, percentile, user_averages
+from ..obs import PaperTarget
 from .context import World
 from .asciichart import render_cdf_chart
 from .report import banner, render_cdf_summary
 
-__all__ = ["Fig6Result", "run", "format_result", "series"]
+__all__ = ["Fig6Result", "run", "format_result", "series",
+           "PAPER_TARGETS", "target_values"]
+
+#: Per-user daily medians are ratios, stable across workload scales,
+#: so one band covers both the paper and the small CI workload.
+PAPER_TARGETS = (
+    PaperTarget(
+        key="median_ases", paper=2.0, lo=1.5, hi=3.0,
+        section="§6.1 Fig. 6",
+        note="median distinct ASes per user-day",
+    ),
+    PaperTarget(
+        key="median_prefixes", paper=2.0, lo=1.5, hi=3.5,
+        section="§6.1 Fig. 6",
+        note="median distinct IP prefixes per user-day",
+    ),
+    PaperTarget(
+        key="frac_above_10_ips", paper=0.20, lo=0.12, hi=0.40,
+        section="§6.1 Fig. 6",
+        note="fraction of users above 10 IP addresses/day (paper: >20%)",
+    ),
+)
+
+
+def target_values(result: "Fig6Result") -> dict:
+    """Observed values for :data:`PAPER_TARGETS`."""
+    return {
+        "median_ases": result.median_ases(),
+        "median_prefixes": result.median_prefixes(),
+        "frac_above_10_ips": result.fraction_above_10_ips(),
+    }
 
 
 @dataclass

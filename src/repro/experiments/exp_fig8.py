@@ -15,11 +15,39 @@ from typing import Dict
 
 from ..core import DeviceUpdateCostEvaluator, UpdateRateReport
 from ..engine import Series, register
+from ..obs import PaperTarget
 from .context import World
 from .asciichart import render_bar_chart
 from .report import banner, render_table
 
-__all__ = ["Fig8Result", "run", "format_result", "series"]
+__all__ = ["Fig8Result", "run", "format_result", "series",
+           "PAPER_TARGETS", "target_values"]
+
+#: The synthetic workload reproduces the paper's *shape* (a handful of
+#: high-degree collectors near ~max, a long low tail) with a hotter
+#: median than the measured NomadLog feed, so the bands accept the
+#: reproduction's operating range at either scale while still failing
+#: if update attribution breaks (rates collapsing to 0 or exploding).
+PAPER_TARGETS = (
+    PaperTarget(
+        key="median_update_rate", paper=0.0315, lo=0.03, hi=0.15,
+        section="§6.2 Fig. 8",
+        note="median per-router device update rate (paper: ~3.15%)",
+    ),
+    PaperTarget(
+        key="max_update_rate", paper=0.14, lo=0.08, hi=0.30,
+        section="§6.2 Fig. 8",
+        note="max per-router device update rate (paper: ~14%)",
+    ),
+)
+
+
+def target_values(result: "Fig8Result") -> Dict[str, float]:
+    """Observed values for :data:`PAPER_TARGETS`."""
+    return {
+        "median_update_rate": result.report.median_rate(),
+        "max_update_rate": result.report.max_rate(),
+    }
 
 
 @dataclass

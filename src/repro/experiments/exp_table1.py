@@ -20,9 +20,44 @@ from ..core import (
     simulate_row,
 )
 from ..engine import Series, register
+from ..obs import PaperTarget
 from .report import banner, render_table
 
-__all__ = ["Table1Result", "run", "format_result", "series"]
+__all__ = ["Table1Result", "run", "format_result", "series",
+           "PAPER_TARGETS", "target_values"]
+
+#: §5 closed forms are scale-independent (n=63 fixed), so the bands
+#: are tight: the exact formulas must keep matching the paper's
+#: asymptotics to within discretisation error.
+PAPER_TARGETS = (
+    PaperTarget(
+        key="chain.ind_stretch.exact", paper=21.00, lo=20.5, hi=21.5,
+        section="§5 Table 1",
+        note="indirection stretch on the chain, exact closed form",
+    ),
+    PaperTarget(
+        key="clique.nb_update.exact", paper=1.0, lo=0.95, hi=1.0,
+        section="§5 Table 1",
+        note="name-based update cost on the clique",
+    ),
+    PaperTarget(
+        key="star.nb_update.exact", paper=0.0156, lo=0.013, hi=0.018,
+        section="§5 Table 1",
+        note="name-based update cost on the star",
+    ),
+)
+
+
+def target_values(result: "Table1Result") -> Dict[str, float]:
+    """Observed values for :data:`PAPER_TARGETS`."""
+    return {
+        "chain.ind_stretch.exact":
+            result.exact["chain"].indirection_stretch,
+        "clique.nb_update.exact":
+            result.exact["clique"].name_based_update_cost,
+        "star.nb_update.exact":
+            result.exact["star"].name_based_update_cost,
+    }
 
 
 @dataclass

@@ -6,9 +6,10 @@ bench run reads like the evaluation section of the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
-__all__ = ["render_table", "render_cdf_summary", "banner"]
+__all__ = ["render_table", "render_cdf_summary", "banner",
+           "format_delta", "format_band"]
 
 
 def banner(title: str) -> str:
@@ -31,6 +32,27 @@ def render_table(
     lines = [fmt(headers), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in rows)
     return "\n".join(lines)
+
+
+def format_delta(value: float, baseline: Optional[float],
+                 unit: str = "") -> str:
+    """``value`` against ``baseline`` as ``"+0.12s (+34%)"``.
+
+    The check/compare scoreboards lean on this so every delta column
+    reads the same way; a missing baseline renders as ``"-"``.
+    """
+    if baseline is None:
+        return "-"
+    delta = value - baseline
+    text = f"{delta:+.3g}{unit}"
+    if baseline:
+        text += f" ({delta / baseline:+.0%})"
+    return text
+
+
+def format_band(lo: float, hi: float) -> str:
+    """An accepted band as ``"[lo, hi]"`` with short float rendering."""
+    return f"[{lo:g}, {hi:g}]"
 
 
 def render_cdf_summary(

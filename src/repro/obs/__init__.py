@@ -1,19 +1,45 @@
-"""Observability: process-local counters, gauges, and trace spans.
+"""Observability: metrics, run history, paper fidelity, trace export.
 
-The instrumentation layer the engine, the artifact cache, the
-:class:`~repro.experiments.context.World` substrate, and the routing
-oracle all record into. Snapshots are plain JSON and merge
-deterministically, so worker processes ship their metrics back to the
-parent and ``repro run --profile`` / ``--metrics-out`` can report one
-coherent picture of a parallel run.
+Four layers, lowest first:
+
+* :mod:`.metrics` — process-local counters, gauges, and nested trace
+  spans; snapshots are plain JSON and merge deterministically, so
+  worker processes ship their metrics back to the parent and
+  ``repro run --profile`` / ``--metrics-out`` report one coherent
+  picture of a parallel run;
+* :mod:`.history` — the run ledger: every run appends a manifest (git
+  SHA, seed, scale, per-experiment status/wall time/series digests,
+  merged metric totals) to ``$REPRO_LEDGER_DIR/ledger.jsonl``, making
+  runs comparable after their processes are gone;
+* :mod:`.fidelity` — paper-target scoring: experiments declare the
+  values the paper reports with accepted bands; ``repro check`` scores
+  the latest ledger entry pass/drift/regress against them and against
+  the previous comparable run;
+* :mod:`.traceviz` — span trees rendered as Chrome trace-event JSON
+  (``repro run --trace-out``), viewable in Perfetto.
 
 This package deliberately imports nothing from the rest of ``repro``,
 so any module — however low-level — can instrument itself without
-creating an import cycle.
+creating an import cycle; ledger/fidelity/trace consume run records
+duck-typed.
 """
 
+from .fidelity import (
+    PaperTarget,
+    TargetScore,
+    has_regression,
+    score_entry,
+)
+from .history import (
+    LEDGER_DIR_ENV,
+    RunLedger,
+    build_entry,
+    digest_series,
+    git_sha,
+)
 from .metrics import (
     Metrics,
+    SIZE_GAUGE_SUFFIX,
     gauge,
     incr,
     merge_snapshots,
@@ -22,9 +48,11 @@ from .metrics import (
     span,
     using,
 )
+from .traceviz import chrome_trace, write_chrome_trace
 
 __all__ = [
     "Metrics",
+    "SIZE_GAUGE_SUFFIX",
     "metrics",
     "reset_metrics",
     "using",
@@ -32,4 +60,15 @@ __all__ = [
     "gauge",
     "span",
     "merge_snapshots",
+    "LEDGER_DIR_ENV",
+    "RunLedger",
+    "build_entry",
+    "digest_series",
+    "git_sha",
+    "PaperTarget",
+    "TargetScore",
+    "score_entry",
+    "has_regression",
+    "chrome_trace",
+    "write_chrome_trace",
 ]

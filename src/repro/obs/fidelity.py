@@ -1,0 +1,152 @@
+"""Paper-fidelity scoring: is the reproduction still the paper's?
+
+Experiment modules declare :class:`PaperTarget` records — "the paper
+reports a median Fig. 8 update rate of ~3.15%; our reproduction is
+accepted anywhere in [3%, 15%]" — and every run persists the observed
+values into the run ledger (:mod:`repro.obs.history`). This module
+scores a ledger entry against those declarations and against the
+previous comparable entry, labelling each target:
+
+``pass``
+    observed value inside the accepted band, unchanged since the
+    previous comparable run (or no previous run to compare);
+``drift``
+    still inside the band, but *different* from the previous run of
+    the same scale and seed — every experiment is a deterministic
+    function of ``(scale, seed)``, so any movement means the code
+    changed behaviour, worth a human look even when still acceptable;
+``regress``
+    outside the accepted band — the reproduction no longer supports
+    the paper's claim; ``repro check`` exits nonzero;
+``missing``
+    the experiment declared the target but the run produced no value
+    for it (failed experiment, renamed key) — treated as a regression,
+    because silence must never read as fidelity.
+
+Targets may be restricted to specific scales (``scales=("paper",)``)
+when a paper value only holds at full workload size; unrestricted
+targets use bands wide enough to hold at every scale, which keeps the
+CI check meaningful on the small workload.
+
+Like every ``repro.obs`` module this imports nothing from the rest of
+``repro``; the CLI hands it target declarations gathered from the
+experiment registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "PaperTarget",
+    "TargetScore",
+    "STATUS_PASS",
+    "STATUS_DRIFT",
+    "STATUS_REGRESS",
+    "STATUS_MISSING",
+    "score_entry",
+    "has_regression",
+]
+
+STATUS_PASS = "pass"
+STATUS_DRIFT = "drift"
+STATUS_REGRESS = "regress"
+STATUS_MISSING = "missing"
+
+#: Relative wobble below which two observations count as identical.
+#: Experiments are deterministic, so this only absorbs float printing
+#: round-trips, not real nondeterminism.
+DRIFT_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class PaperTarget:
+    """One paper-reported value the reproduction is held to."""
+
+    #: Key in the experiment's ``target_values()`` mapping.
+    key: str
+    #: The value the paper reports (shown for context, not enforced —
+    #: reproductions track the paper's *claims*, not its decimals).
+    paper: float
+    #: Accepted band for the reproduced value, inclusive.
+    lo: float
+    hi: float
+    #: Paper section the value comes from, e.g. "§6.2 Fig. 8".
+    section: str = ""
+    note: str = ""
+    #: Scales the band applies at; empty = every scale.
+    scales: Tuple[str, ...] = field(default_factory=tuple)
+
+    def applies_at(self, scale_label: str) -> bool:
+        return not self.scales or scale_label in self.scales
+
+    def accepts(self, observed: float) -> bool:
+        return self.lo <= observed <= self.hi
+
+
+@dataclass(frozen=True)
+class TargetScore:
+    """The verdict for one target in one ledger entry."""
+
+    experiment: str
+    target: PaperTarget
+    observed: Optional[float]
+    previous: Optional[float]
+    status: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (STATUS_PASS, STATUS_DRIFT)
+
+
+def _drifted(observed: float, previous: float) -> bool:
+    scale = max(abs(observed), abs(previous), 1e-12)
+    return abs(observed - previous) > DRIFT_RTOL * scale
+
+
+def score_entry(
+    entry: Mapping[str, Any],
+    targets: Mapping[str, Sequence[PaperTarget]],
+    previous_entry: Optional[Mapping[str, Any]] = None,
+) -> List[TargetScore]:
+    """Score one ledger entry against declared targets.
+
+    ``targets`` maps experiment name to its declared
+    :class:`PaperTarget` list (usually gathered from the registry).
+    Only experiments present in the entry are scored — a run of a
+    single experiment is checked against that experiment's targets
+    alone, not penalised for the ones it didn't run.
+    """
+    scale_label = entry.get("scale", "")
+    experiments = entry.get("experiments", {})
+    previous_experiments = (
+        previous_entry.get("experiments", {}) if previous_entry else {}
+    )
+    scores: List[TargetScore] = []
+    for name in sorted(experiments):
+        observed_map = experiments[name].get("observed", {})
+        previous_map = previous_experiments.get(name, {}).get("observed", {})
+        for target in targets.get(name, ()):
+            if not target.applies_at(scale_label):
+                continue
+            observed = observed_map.get(target.key)
+            previous = previous_map.get(target.key)
+            if observed is None:
+                status = STATUS_MISSING
+            elif not target.accepts(observed):
+                status = STATUS_REGRESS
+            elif previous is not None and _drifted(observed, previous):
+                status = STATUS_DRIFT
+            else:
+                status = STATUS_PASS
+            scores.append(TargetScore(
+                experiment=name, target=target, observed=observed,
+                previous=previous, status=status,
+            ))
+    return scores
+
+
+def has_regression(scores: Iterable[TargetScore]) -> bool:
+    """True when any score is a regression (or a missing value)."""
+    return any(not score.ok for score in scores)

@@ -8,10 +8,18 @@ Three primitives cover those needs:
 * **counters** — monotonically accumulated numbers (``incr``), merged
   across processes by summation;
 * **gauges** — last-observed values (``gauge``), merged by maximum so
-  the result is independent of merge order;
+  the result is independent of merge order — *except* size-like gauges:
+  a name ending in ``.size`` (e.g. ``oracle.route_cache.size``) is an
+  additive resource measurement, so merging per-worker values by
+  ``max`` would under-report the aggregate; ``.size`` gauges merge by
+  summation instead, which is equally merge-order independent;
 * **spans** — nested wall-time intervals (``span``), kept as a tree so
   a profile can show that the topology build happened *inside* the
-  fig-8 experiment, and aggregated per name into ``timers``.
+  fig-8 experiment, and aggregated per name into ``timers``. Each span
+  records its ``duration_s`` (inclusive), its ``self_s`` (exclusive:
+  duration minus direct children, so a parent is never blamed for its
+  children's work), and its ``start_s`` offset from the registry's
+  creation, which lets a trace exporter reconstruct the timeline.
 
 Everything in a snapshot is plain JSON (dicts, lists, strings,
 numbers), so worker processes can ship their metrics back to the
@@ -39,6 +47,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 __all__ = [
     "Metrics",
+    "SIZE_GAUGE_SUFFIX",
     "metrics",
     "reset_metrics",
     "using",
@@ -54,15 +63,30 @@ def _json_copy(value: Any) -> Any:
     return json.loads(json.dumps(value))
 
 
+def _self_seconds(node: Dict[str, Any]) -> float:
+    """Exclusive duration for span dicts recorded before ``self_s``."""
+    return max(
+        0.0,
+        node["duration_s"] - sum(c["duration_s"] for c in node["children"]),
+    )
+
+
+#: Gauges whose name ends with this merge by summation, not maximum.
+SIZE_GAUGE_SUFFIX = ".size"
+
+
 class Metrics:
     """Counters, gauges, and nested wall-time spans for one process."""
 
     def __init__(self) -> None:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
-        #: Completed root spans, each ``{"name", "duration_s", "children"}``.
+        #: Completed root spans, each ``{"name", "start_s", "duration_s",
+        #: "self_s", "children"}``; ``start_s`` is the offset from this
+        #: registry's creation.
         self.spans: List[Dict[str, Any]] = []
         self._stack: List[Dict[str, Any]] = []
+        self._epoch = perf_counter()
 
     # -- recording -------------------------------------------------------
 
@@ -83,15 +107,22 @@ class Metrics:
         span is recorded even when the block raises — a failed
         experiment still shows where its time went.
         """
-        frame: Dict[str, Any] = {"name": name, "duration_s": 0.0,
+        frame: Dict[str, Any] = {"name": name, "start_s": 0.0,
+                                 "duration_s": 0.0, "self_s": 0.0,
                                  "children": []}
         parent = self._stack[-1] if self._stack else None
         self._stack.append(frame)
         started = perf_counter()
+        frame["start_s"] = started - self._epoch
         try:
             yield frame
         finally:
             frame["duration_s"] = perf_counter() - started
+            frame["self_s"] = max(
+                0.0,
+                frame["duration_s"]
+                - sum(c["duration_s"] for c in frame["children"]),
+            )
             self._stack.pop()
             if parent is not None:
                 parent["children"].append(frame)
@@ -102,13 +133,21 @@ class Metrics:
 
     @property
     def timers(self) -> Dict[str, Dict[str, float]]:
-        """Per-name span aggregation: ``{name: {count, total_s}}``."""
+        """Per-name span aggregation: ``{name: {count, total_s, self_s}}``.
+
+        ``total_s`` is inclusive (a parent's total contains its
+        children's), ``self_s`` is exclusive — summing ``self_s`` over
+        all names recovers each tree's root duration exactly once, so
+        the profile's attribution adds up instead of double-counting.
+        """
         out: Dict[str, Dict[str, float]] = {}
         def walk(node: Dict[str, Any]) -> None:
             timer = out.setdefault(node["name"],
-                                   {"count": 0, "total_s": 0.0})
+                                   {"count": 0, "total_s": 0.0,
+                                    "self_s": 0.0})
             timer["count"] += 1
             timer["total_s"] += node["duration_s"]
+            timer["self_s"] += node.get("self_s", _self_seconds(node))
             for child in node["children"]:
                 walk(child)
         for root in self.spans:
@@ -129,16 +168,24 @@ class Metrics:
     def merge(self, snapshot: Dict[str, Any]) -> None:
         """Fold a :meth:`snapshot` (e.g. from a worker) into this registry.
 
-        Counters sum, gauges take the maximum (so merge order never
-        matters), and span trees are appended. ``timers`` need no
-        merging — they are always re-derived from the span trees.
+        Counters sum, gauges take the maximum — except gauges named
+        ``*.size``, which are additive resource measurements and sum
+        across workers (taking the max of per-worker route-cache sizes
+        would under-report aggregate memory). Both rules are
+        commutative and associative, so merge order never matters.
+        Span trees are appended. ``timers`` need no merging — they are
+        always re-derived from the span trees.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.incr(name, value)
         for name, value in snapshot.get("gauges", {}).items():
             current = self.gauges.get(name)
-            self.gauges[name] = value if current is None else max(current,
-                                                                  value)
+            if current is None:
+                self.gauges[name] = value
+            elif name.endswith(SIZE_GAUGE_SUFFIX):
+                self.gauges[name] = current + value
+            else:
+                self.gauges[name] = max(current, value)
         self.spans.extend(_json_copy(snapshot.get("spans", [])))
 
 

@@ -136,7 +136,9 @@ class RoutingOracle:
         self._cache[dest_asn] = result
         self._dirty += 1
         obs.incr("oracle.demand_computations")
-        obs.gauge("oracle.route_cache_size", len(self._cache))
+        # ``.size`` suffix: merged by summation across workers (each
+        # worker grows its own cache; aggregate memory is the sum).
+        obs.gauge("oracle.route_cache.size", len(self._cache))
         return result
 
     def best_path(self, source_asn: int, dest_asn: int) -> Optional[BestPath]:

@@ -139,7 +139,7 @@ class TestCliObservability:
         runner._WORLDS.clear()
         assert main(["run", "fig6", "--scale", "small", "--profile"]) == 0
         warm = capsys.readouterr().out
-        assert "== slowest spans ==" in warm
+        assert "== slowest spans (by exclusive time) ==" in warm
         assert "cache.hit" in warm
         assert "cache.miss" not in warm
 
@@ -180,3 +180,158 @@ class TestCliObservability:
             payload["records"][0]["metrics"]["timers"]
         )
         assert "== profile: per-experiment phases ==" in captured.err
+
+
+class TestLedgerCli:
+    """repro run --ledger-dir / check / compare / --trace-out."""
+
+    @pytest.fixture()
+    def no_cache(self, monkeypatch):
+        from repro.engine import CACHE_DIR_ENV
+
+        monkeypatch.setenv(CACHE_DIR_ENV, "off")
+
+    def _run_once(self, tmp_path, capsys):
+        assert main(["run", "envelope", "--scale", "small",
+                     "--ledger-dir", str(tmp_path / "ledger")]) == 0
+        return capsys.readouterr()
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_run_appends_ledger_entry(self, tmp_path, capsys, no_cache):
+        import json as jsonlib
+
+        captured = self._run_once(tmp_path, capsys)
+        assert "[ledger: " in captured.out
+        path = tmp_path / "ledger" / "ledger.jsonl"
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        entry = jsonlib.loads(lines[0])
+        assert entry["scale"] == "small"
+        assert entry["version"]
+        assert entry["experiments"]["envelope"]["status"] == "ok"
+        assert entry["experiments"]["envelope"]["series_digests"]
+
+    def test_run_without_ledger_is_silent(self, capsys, no_cache,
+                                          monkeypatch):
+        from repro.obs import LEDGER_DIR_ENV
+
+        monkeypatch.setenv(LEDGER_DIR_ENV, "off")
+        assert main(["run", "envelope", "--scale", "small"]) == 0
+        assert "[ledger:" not in capsys.readouterr().out
+
+    def test_check_passes_on_clean_tree(self, tmp_path, capsys,
+                                        no_cache):
+        self._run_once(tmp_path, capsys)
+        assert main(["check", "--ledger-dir",
+                     str(tmp_path / "ledger")]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "envelope" in out
+
+    def test_check_fails_on_perturbed_target(self, tmp_path, capsys,
+                                             no_cache, monkeypatch):
+        # A target whose accepted band excludes the reproduced value
+        # must fail the check — this is the CI tripwire for drifting
+        # reproductions.
+        from repro.experiments import exp_envelope
+        from repro.obs import PaperTarget
+
+        self._run_once(tmp_path, capsys)
+        monkeypatch.setattr(
+            exp_envelope, "PAPER_TARGETS",
+            (PaperTarget(key="content_updates_per_s", paper=100.0,
+                         lo=0.0, hi=1.0, section="§7.3"),),
+        )
+        assert main(["check", "--ledger-dir",
+                     str(tmp_path / "ledger")]) == 1
+        assert "REGRESS" in capsys.readouterr().out
+
+    def test_check_fails_on_missing_observation(self, tmp_path, capsys,
+                                                no_cache, monkeypatch):
+        from repro.experiments import exp_envelope
+        from repro.obs import PaperTarget
+
+        self._run_once(tmp_path, capsys)
+        monkeypatch.setattr(
+            exp_envelope, "PAPER_TARGETS",
+            (PaperTarget(key="renamed_away", paper=1.0, lo=0, hi=2),),
+        )
+        assert main(["check", "--ledger-dir",
+                     str(tmp_path / "ledger")]) == 1
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_check_without_ledger_errors(self, capsys, monkeypatch):
+        from repro.obs import LEDGER_DIR_ENV
+
+        monkeypatch.setenv(LEDGER_DIR_ENV, "off")
+        assert main(["check"]) == 2
+        assert "no ledger configured" in capsys.readouterr().err
+
+    def test_check_on_empty_ledger_errors(self, tmp_path, capsys):
+        assert main(["check", "--ledger-dir", str(tmp_path)]) == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_compare_two_identical_runs(self, tmp_path, capsys,
+                                        no_cache):
+        self._run_once(tmp_path, capsys)
+        self._run_once(tmp_path, capsys)
+        assert main(["compare", "-2", "-1", "--ledger-dir",
+                     str(tmp_path / "ledger")]) == 0
+        out = capsys.readouterr().out
+        assert "envelope" in out
+        assert "identical series" in out
+        assert "DIFFERENT" not in out
+
+    def test_compare_flags_digest_mismatch(self, tmp_path, capsys,
+                                           no_cache):
+        import json as jsonlib
+
+        self._run_once(tmp_path, capsys)
+        self._run_once(tmp_path, capsys)
+        path = tmp_path / "ledger" / "ledger.jsonl"
+        lines = path.read_text().strip().splitlines()
+        doctored = jsonlib.loads(lines[1])
+        doctored["experiments"]["envelope"]["series_digests"][
+            "envelope"] = "0" * 16
+        lines[1] = jsonlib.dumps(doctored)
+        path.write_text("\n".join(lines) + "\n")
+        assert main(["compare", "-2", "-1", "--ledger-dir",
+                     str(tmp_path / "ledger")]) == 0
+        out = capsys.readouterr().out
+        assert "DIFFERENT" in out
+        assert "different series: envelope" in out
+
+    def test_compare_unknown_ref_errors(self, tmp_path, capsys,
+                                        no_cache):
+        self._run_once(tmp_path, capsys)
+        assert main(["compare", "nope", "-1", "--ledger-dir",
+                     str(tmp_path / "ledger")]) == 2
+        assert "no ledger entry" in capsys.readouterr().err
+
+    def test_trace_out_writes_perfetto_loadable_json(
+        self, tmp_path, capsys, no_cache
+    ):
+        import json as jsonlib
+
+        trace = tmp_path / "trace.json"
+        assert main(["run", "envelope", "--scale", "small",
+                     "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        with open(trace, encoding="utf-8") as handle:
+            doc = jsonlib.load(handle)
+        # The structural contract the Perfetto loader needs: a
+        # traceEvents list of complete events with numeric ts/dur.
+        assert isinstance(doc["traceEvents"], list)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert any(e["name"] == "experiment.envelope" for e in spans)
+        for event in spans:
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+            assert event["pid"] == 1

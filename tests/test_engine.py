@@ -100,6 +100,35 @@ class TestRegistry:
         for spec in all_specs():
             assert pickle.loads(pickle.dumps(spec)) == spec
 
+    def test_paper_targets_resolve_and_validate(self):
+        # Every declared target must have a sane band and an observed
+        # value produced by the module's target_values().
+        declared = {s.name: s.targets() for s in all_specs()
+                    if s.targets()}
+        assert {"table1", "envelope", "compact-routing", "fig6",
+                "fig8", "fig11", "fib-size"} <= set(declared)
+        for name, targets in declared.items():
+            keys = {t.key for t in targets}
+            assert len(keys) == len(targets)  # no duplicate keys
+            for target in targets:
+                assert target.lo <= target.hi
+                assert target.section
+
+    def test_world_free_targets_pass_their_bands(self):
+        for name in ["table1", "envelope", "compact-routing"]:
+            spec = get_spec(name)
+            observed = spec.observed(spec.execute())
+            for target in spec.targets():
+                value = observed[target.key]
+                assert target.lo <= value <= target.hi, (
+                    f"{name}.{target.key}={value} outside "
+                    f"[{target.lo}, {target.hi}]"
+                )
+
+    def test_spec_without_targets_observes_nothing(self):
+        spec = get_spec("perturbation")
+        assert spec.targets() == []
+
 
 class TestArtifactCache:
     def test_key_depends_on_params(self, tmp_path):
@@ -274,9 +303,11 @@ class TestRunner:
     def test_run_record_to_dict(self):
         record = RunRecord("x", "ok", 1.23456, output="text")
         assert record.ok
+        assert record.wall_s == record.wall_time_s
         assert record.to_dict() == {
             "name": "x", "status": "ok", "wall_time_s": 1.235,
-            "output": "text", "error": "", "metrics": {},
+            "started_at": 0.0, "output": "text", "error": "",
+            "metrics": {}, "series_digests": {}, "observed": {},
         }
 
     def test_unknown_name_fails_fast(self):
@@ -294,8 +325,13 @@ class TestRunner:
         # worker-pooled Worlds): determinism holds across process
         # boundaries and job counts.
         strip = lambda r: {**r.to_dict(), "wall_time_s": None,
-                           "metrics": None}
+                           "started_at": None, "metrics": None}
         assert [strip(r) for r in serial] == [strip(r) for r in parallel]
+        # Series digests are part of the determinism contract: the
+        # ledger must fingerprint a parallel run identically.
+        for s, p in zip(serial, parallel):
+            assert s.series_digests == p.series_digests
+            assert s.observed == p.observed
 
     def test_failure_is_isolated(self, monkeypatch):
         # Specs resolve run/format_result from their module lazily, so
@@ -408,6 +444,61 @@ class TestRunnerMetrics:
         }
         assert totals_serial["timers"]["test.work"]["count"] == 2
         assert totals_parallel["timers"]["test.work"]["count"] == 2
+
+
+class TestLedgerParity:
+    #: World-free experiments: no substrate counters that depend on
+    #: how experiments share worker-pooled Worlds, so serial and
+    #: parallel runs must agree on *every* counter.
+    WORLD_FREE = ["table1", "envelope", "compact-routing"]
+
+    def test_records_are_stamped_for_the_ledger(self):
+        record, = run_experiments(["table1"], SMALL_SCALE)
+        assert record.started_at > 0
+        assert record.series_digests  # table1 exports one series
+        assert all(len(d) == 16 for d in record.series_digests.values())
+        assert record.observed["chain.ind_stretch.exact"] > 0
+
+    @fork_only
+    def test_serial_and_parallel_ledger_entries_agree(self):
+        serial = run_experiments(self.WORLD_FREE, SMALL_SCALE, jobs=1)
+        parallel = run_experiments(self.WORLD_FREE, SMALL_SCALE, jobs=2)
+        entry_s = obs.build_entry(
+            serial, scale_label="small", seed=2014, jobs=1,
+            elapsed_s=1.0,
+        )
+        entry_p = obs.build_entry(
+            parallel, scale_label="small", seed=2014, jobs=2,
+            elapsed_s=1.0,
+        )
+        for name in self.WORLD_FREE:
+            exp_s = entry_s["experiments"][name]
+            exp_p = entry_p["experiments"][name]
+            assert exp_s["series_digests"] == exp_p["series_digests"]
+            assert exp_s["observed"] == exp_p["observed"]
+            assert exp_s["status"] == exp_p["status"] == "ok"
+        assert (entry_s["totals"]["counters"]
+                == entry_p["totals"]["counters"])
+
+    def test_failed_experiment_ledgers_with_empty_digests(
+        self, monkeypatch
+    ):
+        def run():
+            raise RuntimeError("boom")
+
+        _register_synthetic(monkeypatch, "ledger-boom", run)
+        try:
+            record, = run_experiments(["ledger-boom"], SMALL_SCALE)
+        finally:
+            unregister("ledger-boom")
+        entry = obs.build_entry(
+            [record], scale_label="small", seed=None, jobs=1,
+            elapsed_s=0.1,
+        )
+        exp = entry["experiments"]["ledger-boom"]
+        assert exp["status"] == "error"
+        assert exp["series_digests"] == {}
+        assert exp["observed"] == {}
 
 
 class TestExport:

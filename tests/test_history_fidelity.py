@@ -1,0 +1,184 @@
+"""Run ledger, series digests, and paper-fidelity scoring."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs import PaperTarget, RunLedger
+from repro.obs.fidelity import (
+    STATUS_DRIFT,
+    STATUS_MISSING,
+    STATUS_PASS,
+    STATUS_REGRESS,
+)
+
+
+class _FakeRecord:
+    def __init__(self, name, status="ok", wall=1.0, started=100.0,
+                 metrics=None, digests=None, observed=None):
+        self.name = name
+        self.status = status
+        self.wall_time_s = wall
+        self.started_at = started
+        self.metrics = metrics or {}
+        self.series_digests = digests or {}
+        self.observed = observed or {}
+
+
+def _entry(**overrides):
+    entry = obs.build_entry(
+        [_FakeRecord("fig8", observed={"median": 0.09},
+                     digests={"fig8": "abc"})],
+        scale_label="small", seed=2014, jobs=1, elapsed_s=2.0,
+    )
+    entry.update(overrides)
+    return entry
+
+
+class TestDigest:
+    def test_digest_is_stable_and_content_addressed(self):
+        a = obs.digest_series("s", ("x", "y"), [[1, 2.5], ["r", 3]])
+        b = obs.digest_series("s", ("x", "y"), [[1, 2.5], ["r", 3]])
+        c = obs.digest_series("s", ("x", "y"), [[1, 2.5], ["r", 4]])
+        assert a == b != c
+        assert len(a) == 16
+
+    def test_digest_accepts_non_json_cells(self):
+        # Exotic cell types fall back to repr instead of crashing.
+        assert obs.digest_series("s", ("v",), [[complex(1, 2)]])
+
+
+class TestBuildEntry:
+    def test_manifest_shape(self):
+        entry = _entry()
+        assert entry["schema"] == "repro.ledger/v1"
+        assert entry["scale"] == "small" and entry["seed"] == 2014
+        assert entry["wall_s"] == 2.0
+        assert entry["python"]
+        assert "-" in entry["run_id"]
+        exp = entry["experiments"]["fig8"]
+        assert exp["observed"] == {"median": 0.09}
+        assert exp["series_digests"] == {"fig8": "abc"}
+        json.dumps(entry)  # must be pure JSON
+
+    def test_totals_drop_span_trees(self):
+        m = obs.Metrics()
+        m.incr("n", 2)
+        with m.span("s"):
+            pass
+        entry = obs.build_entry(
+            [_FakeRecord("x", metrics=m.snapshot())],
+            scale_label="small", seed=None, jobs=1, elapsed_s=0.5,
+        )
+        assert entry["totals"]["counters"] == {"n": 2}
+        assert "spans" not in entry["totals"]
+        assert entry["totals"]["timers"]["s"]["count"] == 1
+
+    def test_git_sha_present_in_a_checkout(self):
+        # The repo under test is a git checkout, so the stamp resolves.
+        assert obs.git_sha()
+
+
+class TestRunLedger:
+    def test_append_and_read_round_trip(self, tmp_path):
+        ledger = RunLedger(str(tmp_path / "ledger"))
+        first = ledger.append(_entry())
+        second = ledger.append(_entry())
+        ids = [e["run_id"] for e in ledger.entries()]
+        assert ids == [first["run_id"], second["run_id"]]
+        assert ledger.latest()["run_id"] == second["run_id"]
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        for value in ("", "0", "off", "none"):
+            monkeypatch.setenv(obs.LEDGER_DIR_ENV, value)
+            assert RunLedger.from_env() is None
+        monkeypatch.setenv(obs.LEDGER_DIR_ENV, str(tmp_path / "l"))
+        ledger = RunLedger.from_env()
+        assert ledger is not None and ledger.root == str(tmp_path / "l")
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        entry = ledger.append(_entry())
+        with open(ledger.path, "a", encoding="utf-8") as handle:
+            handle.write("{truncated\n")
+            handle.write("[1, 2]\n")  # parseable but not a manifest
+        assert [e["run_id"] for e in ledger.entries()] == [
+            entry["run_id"]
+        ]
+
+    def test_resolve_by_id_index_and_alias(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        a = ledger.append(_entry())
+        b = ledger.append(_entry())
+        assert ledger.resolve(a["run_id"]) == a
+        assert ledger.resolve("-2") == a
+        assert ledger.resolve("-1") == b
+        assert ledger.resolve("last") == b
+        with pytest.raises(KeyError, match="no ledger entry"):
+            ledger.resolve("nope")
+        with pytest.raises(KeyError):
+            ledger.resolve("-3")
+
+    def test_previous_matches_scale_and_seed(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        small_old = ledger.append(_entry(started_at=1.0))
+        ledger.append(_entry(scale="paper", started_at=2.0))
+        ledger.append(_entry(seed=7, started_at=3.0))
+        small_new = ledger.append(_entry(started_at=4.0))
+        assert ledger.previous(small_new)["run_id"] == (
+            small_old["run_id"]
+        )
+        assert ledger.previous(small_old) is None
+
+
+class TestFidelityScoring:
+    TARGETS = {
+        "fig8": [PaperTarget(key="median", paper=0.0315, lo=0.03,
+                             hi=0.15, section="§6.2")],
+    }
+
+    def test_pass_inside_band(self):
+        scores = obs.score_entry(_entry(), self.TARGETS)
+        assert [s.status for s in scores] == [STATUS_PASS]
+        assert not obs.has_regression(scores)
+
+    def test_regress_outside_band(self):
+        entry = _entry()
+        entry["experiments"]["fig8"]["observed"]["median"] = 0.5
+        scores = obs.score_entry(entry, self.TARGETS)
+        assert [s.status for s in scores] == [STATUS_REGRESS]
+        assert obs.has_regression(scores)
+
+    def test_missing_value_is_a_regression(self):
+        entry = _entry()
+        entry["experiments"]["fig8"]["observed"] = {}
+        scores = obs.score_entry(entry, self.TARGETS)
+        assert [s.status for s in scores] == [STATUS_MISSING]
+        assert obs.has_regression(scores)
+
+    def test_drift_when_value_moves_within_band(self):
+        previous = _entry()
+        entry = _entry()
+        entry["experiments"]["fig8"]["observed"]["median"] = 0.10
+        scores = obs.score_entry(entry, self.TARGETS, previous)
+        assert [s.status for s in scores] == [STATUS_DRIFT]
+        assert not obs.has_regression(scores)  # drift warns, not fails
+
+    def test_identical_previous_value_stays_pass(self):
+        scores = obs.score_entry(_entry(), self.TARGETS, _entry())
+        assert [s.status for s in scores] == [STATUS_PASS]
+
+    def test_scale_restricted_targets_are_skipped(self):
+        targets = {
+            "fig8": [PaperTarget(key="median", paper=1.0, lo=0.0,
+                                 hi=0.0, scales=("paper",))],
+        }
+        assert obs.score_entry(_entry(), targets) == []
+
+    def test_unrun_experiments_are_not_penalised(self):
+        targets = dict(self.TARGETS)
+        targets["fig99"] = [PaperTarget(key="k", paper=1, lo=0, hi=2)]
+        scores = obs.score_entry(_entry(), targets)
+        assert {s.experiment for s in scores} == {"fig8"}

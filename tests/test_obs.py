@@ -1,8 +1,11 @@
 """The observability layer: counters, gauges, spans, snapshot/merge."""
 
 import json
+import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import obs
 from repro.obs import Metrics
@@ -62,6 +65,43 @@ class TestSpans:
         assert timers["b"]["count"] == 2
         assert timers["b"]["total_s"] >= 0
 
+    def test_self_time_excludes_direct_children(self):
+        # A parent that does nothing but wait for its child must not
+        # be blamed for the child's work: self_s ~ 0 while total
+        # contains the child's sleep.
+        m = Metrics()
+        with m.span("parent"):
+            with m.span("child"):
+                time.sleep(0.02)
+        parent = m.spans[0]
+        child = parent["children"][0]
+        assert child["self_s"] == pytest.approx(child["duration_s"])
+        assert parent["self_s"] == pytest.approx(
+            parent["duration_s"] - child["duration_s"]
+        )
+        assert parent["self_s"] < 0.5 * parent["duration_s"]
+        timers = m.timers
+        assert timers["parent"]["self_s"] == pytest.approx(
+            parent["self_s"]
+        )
+        # Exclusive times sum to the root duration: attribution adds
+        # up instead of double-counting nested spans.
+        assert (timers["parent"]["self_s"] + timers["child"]["self_s"]
+                == pytest.approx(parent["duration_s"]))
+
+    def test_spans_carry_start_offsets(self):
+        m = Metrics()
+        with m.span("first"):
+            pass
+        time.sleep(0.01)
+        with m.span("second"):
+            with m.span("nested"):
+                pass
+        first, second = m.spans
+        assert 0 <= first["start_s"] <= second["start_s"]
+        nested = second["children"][0]
+        assert nested["start_s"] >= second["start_s"]
+
 
 class TestSnapshot:
     def test_snapshot_is_json_and_detached(self):
@@ -109,6 +149,72 @@ class TestSnapshot:
         merged = obs.merge_snapshots([None, {}, {"counters": {"n": 1}}])
         assert merged["counters"] == {"n": 1}
 
+    def test_size_gauges_merge_by_sum_others_by_max(self):
+        # Each worker grows its own route cache; aggregate memory is
+        # the sum. Non-size gauges keep the max rule.
+        snaps = []
+        for value in (10, 3):
+            m = Metrics()
+            m.gauge("oracle.route_cache.size", value)
+            m.gauge("high_water", value)
+            snaps.append(m.snapshot())
+        merged = obs.merge_snapshots(snaps)
+        assert merged["gauges"]["oracle.route_cache.size"] == 13
+        assert merged["gauges"]["high_water"] == 10
+
+
+#: Gauge names exercising both merge rules.
+_GAUGE_NAMES = st.sampled_from(
+    ["cache.size", "pool.size", "high_water", "depth"]
+)
+_SNAPSHOT = st.builds(
+    lambda counters, gauges: {"counters": counters, "gauges": gauges},
+    st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                    st.integers(min_value=-100, max_value=100),
+                    max_size=3),
+    st.dictionaries(_GAUGE_NAMES,
+                    st.integers(min_value=0, max_value=100),
+                    max_size=4),
+)
+
+
+class TestMergeAlgebra:
+    """Property tests: snapshot merge is a commutative monoid."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_SNAPSHOT, max_size=5), st.randoms())
+    def test_merge_is_order_independent(self, snaps, rng):
+        shuffled = list(snaps)
+        rng.shuffle(shuffled)
+        forward = obs.merge_snapshots(snaps)
+        permuted = obs.merge_snapshots(shuffled)
+        assert forward["counters"] == permuted["counters"]
+        assert forward["gauges"] == permuted["gauges"]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_SNAPSHOT, min_size=2, max_size=5),
+           st.integers(min_value=1))
+    def test_merge_is_associative(self, snaps, cut):
+        # Merging everything at once equals merging a prefix-merge
+        # with a suffix-merge — the property that makes per-worker
+        # pre-aggregation legal.
+        cut = cut % len(snaps)
+        flat = obs.merge_snapshots(snaps)
+        grouped = obs.merge_snapshots([
+            obs.merge_snapshots(snaps[:cut]),
+            obs.merge_snapshots(snaps[cut:]),
+        ])
+        assert flat["counters"] == grouped["counters"]
+        assert flat["gauges"] == grouped["gauges"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(_SNAPSHOT)
+    def test_empty_snapshot_is_identity(self, snap):
+        merged = obs.merge_snapshots([{}, snap, {}])
+        alone = obs.merge_snapshots([snap])
+        assert merged["counters"] == alone["counters"]
+        assert merged["gauges"] == alone["gauges"]
+
 
 class TestProcessLocalRegistry:
     def test_module_helpers_hit_current_registry(self):
@@ -142,3 +248,68 @@ class TestProcessLocalRegistry:
         fresh = obs.reset_metrics()
         assert obs.metrics() is fresh
         assert fresh.counters == {}
+
+
+class _FakeRecord:
+    def __init__(self, name, started_at, metrics):
+        self.name = name
+        self.started_at = started_at
+        self.metrics = metrics
+
+
+class TestTraceViz:
+    def _record(self, name, started_at):
+        m = Metrics()
+        with m.span("outer"):
+            with m.span("inner"):
+                pass
+        return _FakeRecord(name, started_at, m.snapshot())
+
+    def test_chrome_trace_structure(self):
+        doc = obs.chrome_trace([self._record("fig8", 100.0)])
+        json.dumps(doc)  # must be pure JSON
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["args"]["name"] for e in meta} >= {"fig8"}
+        assert [e["name"] for e in spans] == ["outer", "inner"]
+        for event in spans:
+            assert set(event) >= {"name", "ph", "ts", "dur", "pid",
+                                  "tid", "cat", "args"}
+            assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_workers_are_offset_corrected(self):
+        # Records from different (wall-clock) start times land on one
+        # timeline: the later record's spans start later.
+        early = self._record("early", 100.0)
+        late = self._record("late", 101.5)
+        doc = obs.chrome_trace([late, early])  # order must not matter
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_tid = {}
+        for event in spans:
+            by_tid.setdefault(event["tid"], []).append(event)
+        tids = {e["args"]["name"]: e["tid"]
+                for e in doc["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "thread_name"}
+        late_ts = min(e["ts"] for e in by_tid[tids["late"]])
+        early_ts = min(e["ts"] for e in by_tid[tids["early"]])
+        assert late_ts - early_ts >= 1.4e6  # ~1.5s in microseconds
+
+    def test_nested_span_lies_within_parent(self):
+        doc = obs.chrome_trace([self._record("x", 50.0)])
+        outer, inner = [e for e in doc["traceEvents"]
+                        if e["ph"] == "X"]
+        assert outer["ts"] <= inner["ts"]
+        assert (inner["ts"] + inner["dur"]
+                <= outer["ts"] + outer["dur"] + 1)  # 1us rounding slack
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        # Parent directories are created on demand.
+        path = str(tmp_path / "deep" / "trace.json")
+        assert obs.write_chrome_trace(
+            [self._record("x", 1.0)], path
+        ) == path
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["traceEvents"]

@@ -289,7 +289,7 @@ class TestOracleObservability:
             oracle.routes_to(6)  # cached: no second computation
             oracle.routes_to(7)
         assert collector.counters["oracle.demand_computations"] == 2
-        assert collector.gauges["oracle.route_cache_size"] == 2
+        assert collector.gauges["oracle.route_cache.size"] == 2
         assert oracle.route_cache_size == 2
 
     def test_dirty_route_tracking(self, oracle):
