@@ -36,10 +36,15 @@ Subpackages
 ``repro.core``
     The paper's methodology: displacement, forwarding strategies,
     update-cost evaluation, aggregateability, the §5 analytic model.
+``repro.workload``
+    The columnar data plane: numpy-backed event tables and Addrs(d,t)
+    matrices the vectorized evaluators reduce over.
 ``repro.experiments``
     One runnable module per paper table/figure.
 """
 
-__version__ = "1.1.0"
+#: Single source of truth for the package version — pyproject.toml
+#: reads it via ``[tool.setuptools.dynamic]``.
+__version__ = "1.2.0"
 
 __all__ = ["__version__"]

@@ -212,6 +212,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ledger-dir", metavar="DIR", default=None, dest="ledger_dir",
         help=f"ledger directory (default: ${obs.LEDGER_DIR_ENV})",
     )
+    compare_parser.add_argument(
+        "--fail-on-diff", action="store_true", dest="fail_on_diff",
+        help="exit 1 when any shared experiment's series digests "
+        "differ (for CI parity gates)",
+    )
 
     export_parser = sub.add_parser(
         "export", help="run everything and write CSV series"
@@ -475,8 +480,13 @@ def _check(ledger_dir: Optional[str], out=None, err=None) -> int:
 
 
 def _compare(run_a: str, run_b: str, ledger_dir: Optional[str],
-             out=None, err=None) -> int:
-    """Diff two ledger entries: wall time, counters, series digests."""
+             out=None, err=None, fail_on_diff: bool = False) -> int:
+    """Diff two ledger entries: wall time, counters, series digests.
+
+    With ``fail_on_diff``, a digest mismatch in any shared experiment
+    exits 1 — the CI gate that holds the vectorized evaluators to
+    bit-identical results against the ``REPRO_SCALAR=1`` oracle.
+    """
     out = out if out is not None else sys.stdout
     err = err if err is not None else sys.stderr
     ledger = _ledger_for(ledger_dir)
@@ -541,9 +551,9 @@ def _compare(run_a: str, run_b: str, ledger_dir: Optional[str],
     if mismatched:
         out.write(f"\n[{len(mismatched)} experiment(s) produced "
                   f"different series: {', '.join(mismatched)}]\n")
-    else:
-        out.write("\n[all shared experiments produced identical "
-                  "series]\n")
+        return 1 if fail_on_diff else 0
+    out.write("\n[all shared experiments produced identical "
+              "series]\n")
     return 0
 
 
@@ -575,7 +585,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "check":
         return _check(args.ledger_dir)
     if args.command == "compare":
-        return _compare(args.run_a, args.run_b, args.ledger_dir)
+        return _compare(args.run_a, args.run_b, args.ledger_dir,
+                        fail_on_diff=args.fail_on_diff)
     if args.command == "export":
         from .experiments.export import export_all
 

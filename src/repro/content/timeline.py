@@ -119,6 +119,29 @@ class AddressTimeline:
             out |= s
         return frozenset(out)
 
+    def change_points(self) -> List[Tuple[int, FrozenSet[IPv4Address]]]:
+        """All change points as ``(hour, set)`` pairs, in time order.
+
+        The first pair is the initial set at hour 0; each subsequent
+        pair corresponds to one mobility event.
+        """
+        return list(zip(self._hours, self._sets))
+
+    def as_matrix(self):
+        """This timeline as a columnar membership matrix.
+
+        Returns the memoized :class:`repro.workload.AddrsMatrix` over
+        the same change points — the batch form the vectorized content
+        evaluator reduces over. Imported lazily so the timeline module
+        never requires numpy on its own.
+        """
+        matrix = getattr(self, "_matrix", None)
+        if matrix is None:
+            from ..workload import AddrsMatrix
+
+            matrix = self._matrix = AddrsMatrix.from_timeline(self)
+        return matrix
+
 
 def _geometric_next(rng: random.Random, prob: float) -> int:
     """Hours until the next success of an hourly Bernoulli(prob)."""

@@ -78,6 +78,29 @@ class InterdomainPortMap:
             return None
         return self.port_for_prefix(prefix)
 
+    def port_table(self, prefixes):
+        """Output ports for a batch of prefixes, as an int64 array.
+
+        Entry ``i`` is :meth:`port_for_prefix` of ``prefixes[i]`` with
+        ``None`` encoded as ``-1`` — the per-router LUT the vectorized
+        device evaluator gathers through with one fancy-index per
+        column. Shares (and warms) the same per-prefix cache the scalar
+        path uses, so mixing the two paths never recomputes a route.
+        """
+        from ..workload import require_numpy
+
+        np = require_numpy()
+        missing = [p for p in prefixes if p not in self._cache]
+        if missing:
+            filled = self.vantage.next_hop_table(self._oracle, missing)
+            for prefix, port in zip(missing, filled.tolist()):
+                self._cache[prefix] = None if port < 0 else port
+        table = np.empty(len(prefixes), dtype=np.int64)
+        for i, prefix in enumerate(prefixes):
+            port = self._cache[prefix]
+            table[i] = -1 if port is None else port
+        return table
+
     def cache_size(self) -> int:
         """Number of prefixes resolved so far."""
         return len(self._cache)

@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..faults import (
     HOME_AGENT,
     AvailabilityTrace,
@@ -37,6 +38,8 @@ from ..resolution import NameResolutionService, RetryingResolver
 from ..routing import RoutingOracle, VantagePoint
 from ..stats import median
 from ..topology import Graph
+from ..workload import DeviceEventColumns, require_numpy, scalar_mode
+from ..workload.columns import unique_with_inverse
 from .architectures import IndirectionRouting
 from .displacement import InterdomainPortMap, interdomain_displaced
 from .strategies import (
@@ -44,6 +47,8 @@ from .strategies import (
     ForwardingStrategy,
     UnionFloodingState,
 )
+
+np = require_numpy()
 
 __all__ = [
     "UpdateRateReport",
@@ -82,15 +87,45 @@ class UpdateRateReport:
 
 
 class DeviceUpdateCostEvaluator:
-    """Fig. 8: fraction of device mobility events updating each router."""
+    """Fig. 8: fraction of device mobility events updating each router.
+
+    Accepts either an iterable of :class:`MobilityEvent` or a
+    :class:`~repro.workload.DeviceEventColumns` batch. The default path
+    vectorizes over the event axis (unique-address prefix interning,
+    one next-hop LUT gather per router); setting ``REPRO_SCALAR=1``
+    forces the original per-event loop, which serves as the parity
+    oracle — both paths produce bit-identical reports and ledger
+    digests.
+    """
 
     def __init__(self, routers: Sequence[VantagePoint], oracle: RoutingOracle):
         if not routers:
             raise ValueError("need at least one vantage router")
+        self._oracle = oracle
         self._port_maps = [InterdomainPortMap(r, oracle) for r in routers]
 
     def evaluate(self, events: Iterable[MobilityEvent]) -> UpdateRateReport:
         """Per-router update rate over ``events``."""
+        if scalar_mode():
+            return self._evaluate_scalar(events)
+        columns = self._as_columns(events)
+        count = len(columns)
+        with obs.span("evaluator.batch.device"):
+            obs.incr("evaluator.batch.device.events", count)
+            flags = self._update_flags(columns)
+            updates = {
+                pm.vantage.name: int(np.count_nonzero(flag))
+                for pm, flag in zip(self._port_maps, flags)
+            }
+        rates = {
+            name: (n / count if count else 0.0) for name, n in updates.items()
+        }
+        return UpdateRateReport(rates=rates, num_events=count, updates=updates)
+
+    def _evaluate_scalar(
+        self, events: Iterable[MobilityEvent]
+    ) -> UpdateRateReport:
+        """The per-event reference path (``REPRO_SCALAR=1``)."""
         updates = {pm.vantage.name: 0 for pm in self._port_maps}
         count = 0
         for event in events:
@@ -98,10 +133,73 @@ class DeviceUpdateCostEvaluator:
             for pm in self._port_maps:
                 if interdomain_displaced(pm, event):
                     updates[pm.vantage.name] += 1
+        obs.incr("evaluator.scalar.device.events", count)
         rates = {
             name: (n / count if count else 0.0) for name, n in updates.items()
         }
         return UpdateRateReport(rates=rates, num_events=count, updates=updates)
+
+    # -- columnar internals --------------------------------------------
+
+    @staticmethod
+    def _as_columns(events) -> DeviceEventColumns:
+        """Events in columnar form (no-op if already a batch)."""
+        if isinstance(events, DeviceEventColumns):
+            return events
+        return DeviceEventColumns.from_events(events)
+
+    def _prefix_ids(self, columns: DeviceEventColumns):
+        """Intern covering prefixes over the batch's unique addresses.
+
+        Returns ``(prefixes, old_pid, new_pid)``: the distinct covering
+        prefixes touched by the batch, and per-event prefix ids for the
+        old/new address (-1 when no announced prefix covers it). Each
+        unique address resolves its prefix exactly once, however many
+        events revisit it.
+        """
+        from ..net import IPv4Address
+
+        cols = columns.as_columns()
+        all_ips = np.concatenate([cols.from_ip, cols.to_ip])
+        uniq_ips, inverse = unique_with_inverse(all_ips)
+        topology = self._oracle.topology
+        prefixes: List = []
+        prefix_index: Dict = {}
+        ip_pid = np.empty(len(uniq_ips), dtype=np.int64)
+        for i, value in enumerate(uniq_ips.tolist()):
+            prefix = topology.covering_prefix(IPv4Address(int(value)))
+            if prefix is None:
+                ip_pid[i] = -1
+                continue
+            pid = prefix_index.get(prefix)
+            if pid is None:
+                pid = prefix_index[prefix] = len(prefixes)
+                prefixes.append(prefix)
+            ip_pid[i] = pid
+        n = len(columns)
+        return prefixes, ip_pid[inverse[:n]], ip_pid[inverse[n:]]
+
+    def _update_flags(self, columns: DeviceEventColumns) -> List:
+        """Per-router boolean arrays: does event ``i`` update router ``r``?
+
+        The vectorized §3.2 displacement test: gather old/new output
+        ports through the router's prefix->port LUT and flag events
+        where both ports exist and differ.
+        """
+        prefixes, old_pid, new_pid = self._prefix_ids(columns)
+        obs.incr("evaluator.batch.device.prefixes", len(prefixes))
+        flags = []
+        for pm in self._port_maps:
+            # Sentinel -1 appended so pid -1 gathers port -1 (no route).
+            lut = np.concatenate(
+                [pm.port_table(prefixes), np.array([-1], dtype=np.int64)]
+            )
+            old_port = lut[old_pid]
+            new_port = lut[new_pid]
+            flags.append(
+                (old_port >= 0) & (new_port >= 0) & (old_port != new_port)
+            )
+        return flags
 
 
 class ContentUpdateCostEvaluator:
@@ -119,11 +217,44 @@ class ContentUpdateCostEvaluator:
     ) -> UpdateRateReport:
         """Per-router update rate over every event in ``measurement``.
 
-        Events are replayed *incrementally*: each timeline's port
-        profile is maintained as a counter and only the addresses an
-        event actually added or removed are re-projected, which turns
-        the full popular-set evaluation from hours into seconds while
-        computing exactly the §3.3.1 definitions.
+        The default path reduces each name's columnar ``Addrs(d, t)``
+        membership matrix per router with a handful of numpy
+        operations (rank gather + row minimum for best-port, a port
+        one-hot product for the flooding variants). ``REPRO_SCALAR=1``
+        forces the incremental per-event replay, the parity oracle —
+        both paths compute exactly the §3.3.1 definitions and produce
+        bit-identical reports.
+        """
+        if scalar_mode():
+            return self._evaluate_scalar(measurement, strategy)
+        updates = {m.vantage.name: 0 for m in self._mappers}
+        count = 0
+        with obs.span("evaluator.batch.content"):
+            for name in measurement.names():
+                matrix = measurement.matrix(name)
+                count += matrix.num_events
+                if matrix.num_events == 0:
+                    continue
+                for mapper in self._mappers:
+                    updates[mapper.vantage.name] += self._count_updates(
+                        mapper, matrix, strategy
+                    )
+            obs.incr("evaluator.batch.content.events", count)
+        rates = {
+            name: (n / count if count else 0.0) for name, n in updates.items()
+        }
+        return UpdateRateReport(rates=rates, num_events=count, updates=updates)
+
+    def _evaluate_scalar(
+        self,
+        measurement: ContentMeasurement,
+        strategy: ForwardingStrategy,
+    ) -> UpdateRateReport:
+        """The incremental per-event reference path (``REPRO_SCALAR=1``).
+
+        Each timeline's port profile is maintained as a counter and
+        only the addresses an event actually added or removed are
+        re-projected.
         """
         updates = {m.vantage.name: 0 for m in self._mappers}
         union_states: Dict[str, UnionFloodingState] = {
@@ -151,10 +282,78 @@ class ContentUpdateCostEvaluator:
                 updates[router] += self._replay_timeline(
                     mapper, timeline, events, strategy
                 )
+        obs.incr("evaluator.scalar.content.events", count)
         rates = {
             name: (n / count if count else 0.0) for name, n in updates.items()
         }
         return UpdateRateReport(rates=rates, num_events=count, updates=updates)
+
+    @staticmethod
+    def _count_updates(
+        mapper: ContentPortMapper, matrix, strategy: ForwardingStrategy
+    ) -> int:
+        """Count one router's updates along one columnar timeline.
+
+        Parity with the incremental replay rests on two facts: equal
+        :func:`~repro.routing.rank_key` implies equal next hop (the
+        next hop is the key's final tiebreak), so the row-minimum rank
+        determines the best port exactly as the scalar best-tracking
+        does; and the flooding port set is a pure function of the
+        addresses present (or ever seen, for union) in a row.
+        """
+        from ..routing import rank_key
+
+        routes = mapper.routes_for_addresses(matrix.addrs)
+        ports = np.array(
+            [-1 if r is None else r.next_hop for r in routes], dtype=np.int64
+        )
+        routed = ports >= 0
+        if not routed.any():
+            # No address ever routed: ports stay empty/None throughout.
+            return 0
+        membership = matrix.membership
+
+        if strategy is ForwardingStrategy.BEST_PORT:
+            keyed = [None if r is None else rank_key(r) for r in routes]
+            key_port = {
+                k: int(p)
+                for k, p in zip(keyed, ports.tolist())
+                if k is not None
+            }
+            uniq_keys = sorted(key_port)
+            key_rank = {k: i for i, k in enumerate(uniq_keys)}
+            none_rank = len(uniq_keys)
+            addr_rank = np.array(
+                [none_rank if k is None else key_rank[k] for k in keyed],
+                dtype=np.int64,
+            )
+            port_of_rank = np.array(
+                [key_port[k] for k in uniq_keys] + [-1], dtype=np.int64
+            )
+            grid = np.where(
+                membership & routed[None, :], addr_rank[None, :], none_rank
+            )
+            row_port = port_of_rank[grid.min(axis=1)]
+            return int(np.count_nonzero(row_port[1:] != row_port[:-1]))
+
+        # Flooding variants: project rows onto port presence via a
+        # one-hot (routed address -> port) matrix. int32 accumulators —
+        # a uint8 product would overflow past 255 addresses per port.
+        routed_idx = np.nonzero(routed)[0]
+        present = membership[:, routed_idx].astype(np.int32)
+        if strategy is ForwardingStrategy.UNION_FLOODING:
+            # The union of all addresses seen so far only ever grows.
+            present = np.maximum.accumulate(present, axis=0)
+        elif strategy is not ForwardingStrategy.CONTROLLED_FLOODING:
+            raise ValueError(f"unknown strategy: {strategy!r}")
+        _, port_inverse = unique_with_inverse(ports[routed_idx])
+        onehot = np.zeros(
+            (len(routed_idx), int(port_inverse.max()) + 1), dtype=np.int32
+        )
+        onehot[np.arange(len(routed_idx)), port_inverse] = 1
+        port_presence = (present @ onehot) > 0
+        changed = (port_presence[1:] != port_presence[:-1]).any(axis=1)
+        return int(np.count_nonzero(changed))
 
     @staticmethod
     def _replay_timeline(
@@ -241,15 +440,40 @@ def per_day_update_rates(
     evaluator: DeviceUpdateCostEvaluator,
     events: Iterable[MobilityEvent],
 ) -> Dict[str, List[float]]:
-    """§6.2.2 sensitivity to time: update rate per router per day."""
-    by_day: Dict[int, List[MobilityEvent]] = {}
-    for event in events:
-        by_day.setdefault(event.day, []).append(event)
-    series: Dict[str, List[float]] = {}
-    for day in sorted(by_day):
-        report = evaluator.evaluate(by_day[day])
-        for router, rate in report.rates.items():
-            series.setdefault(router, []).append(rate)
+    """§6.2.2 sensitivity to time: update rate per router per day.
+
+    Vectorized by default — per-event update flags are computed once
+    for the whole batch and reduced day by day; ``REPRO_SCALAR=1``
+    replays the original group-then-evaluate loop. Both paths group by
+    the same sorted distinct days and divide the same integers, so the
+    series (and their ledger digests) are identical.
+    """
+    if scalar_mode():
+        by_day: Dict[int, List[MobilityEvent]] = {}
+        for event in events:
+            by_day.setdefault(event.day, []).append(event)
+        series: Dict[str, List[float]] = {}
+        for day in sorted(by_day):
+            report = evaluator.evaluate(by_day[day])
+            for router, rate in report.rates.items():
+                series.setdefault(router, []).append(rate)
+        return series
+
+    columns = evaluator._as_columns(events)
+    if not len(columns):
+        return {}
+    with obs.span("evaluator.batch.per_day"):
+        flags = evaluator._update_flags(columns)
+        days, day_inverse = unique_with_inverse(columns.as_columns().day)
+        counts = np.bincount(day_inverse, minlength=len(days))
+        series = {}
+        for pm, flag in zip(evaluator._port_maps, flags):
+            day_updates = np.bincount(
+                day_inverse[flag], minlength=len(days)
+            )
+            series[pm.vantage.name] = [
+                int(n) / int(c) for n, c in zip(day_updates, counts)
+            ]
     return series
 
 

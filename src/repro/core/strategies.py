@@ -68,6 +68,16 @@ class ContentPortMapper:
         self._addr_cache[address] = route
         return route
 
+    def routes_for_addresses(self, addrs):
+        """Best routes for a batch of addresses, in given order.
+
+        Returns ``[Optional[Route], ...]`` aligned with ``addrs``,
+        filling the same per-address/per-prefix caches the scalar path
+        uses — the gather step the vectorized content evaluator turns
+        into rank/port arrays.
+        """
+        return [self.best_route_for_address(addr) for addr in addrs]
+
     def eligible_ports(
         self, addrs: Iterable[IPv4Address]
     ) -> FrozenSet[int]:

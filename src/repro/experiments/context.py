@@ -116,6 +116,7 @@ class World:
         self._ripe: Optional[List[VantagePoint]] = None
         self._workload: Optional[MobilityWorkload] = None
         self._events: Optional[List[MobilityEvent]] = None
+        self._event_columns = None
         self._universe: Optional[DomainUniverse] = None
         self._hosting: Optional[HostingDirectory] = None
         self._popular: Optional[ContentMeasurement] = None
@@ -263,6 +264,29 @@ class World:
         if self._events is None:
             self._events = self.workload.all_transitions()
         return self._events
+
+    @property
+    def device_event_columns(self):
+        """All device mobility events as one columnar batch.
+
+        The :class:`~repro.workload.DeviceEventColumns` the vectorized
+        evaluators reduce over — same events, same order as
+        :attr:`device_events`. Content-addressed like the other world
+        artifacts (keyed by workload parameters plus the table layout
+        version), so a cache hit skips workload generation entirely.
+        """
+        if self._event_columns is None:
+            from ..workload import DeviceEventColumns
+
+            self._event_columns = self._artifact(
+                "event-columns",
+                lambda: self.workload.as_columns(),
+                num_users=self.scale.num_users,
+                num_days=self.scale.device_days,
+                seed=self.scale.seed,
+                layout=DeviceEventColumns.LAYOUT_VERSION,
+            )
+        return self._event_columns
 
     def alternate_workload(self, num_users: int, seed: int) -> MobilityWorkload:
         """A second workload (the §6.2.2 IMAP-style sensitivity input)."""

@@ -71,7 +71,7 @@ class Fig8Result:
 def run(world: World) -> Fig8Result:
     """Evaluate the device workload against the RouteViews FIBs."""
     evaluator = DeviceUpdateCostEvaluator(world.routeviews, world.oracle)
-    report = evaluator.evaluate(world.device_events)
+    report = evaluator.evaluate(world.device_event_columns)
     degrees = {r.name: r.next_hop_degree() for r in world.routeviews}
     return Fig8Result(report=report, next_hop_degrees=degrees)
 

@@ -62,7 +62,7 @@ def run(world: World, alt_users: int = 900, alt_seed: int = 4096) -> Sensitivity
     """
     rv_eval = DeviceUpdateCostEvaluator(world.routeviews, world.oracle)
     ripe_eval = DeviceUpdateCostEvaluator(world.ripe, world.oracle)
-    events = world.device_events
+    events = world.device_event_columns
 
     # (1) per-day variation at the RouteViews routers.
     series = per_day_update_rates(rv_eval, events)
@@ -73,7 +73,7 @@ def run(world: World, alt_users: int = 900, alt_seed: int = 4096) -> Sensitivity
     ripe_report = ripe_eval.evaluate(events)
 
     # (3) a second, larger workload over all 25 routers.
-    alt_events = world.alternate_workload(alt_users, alt_seed).all_transitions()
+    alt_events = world.alternate_workload(alt_users, alt_seed).as_columns()
     all_routers = world.routeviews + world.ripe
     both_eval = DeviceUpdateCostEvaluator(all_routers, world.oracle)
     ours = both_eval.evaluate(events)

@@ -62,10 +62,10 @@ def run(
                 mobility_scale=scale,
             ),
         )
-        transitions = workload.all_transitions()
-        report = evaluator.evaluate(transitions)
+        columns = workload.as_columns()
+        report = evaluator.evaluate(columns)
         rates[scale] = dict(report.rates)
-        events[scale] = len(transitions)
+        events[scale] = len(columns)
 
     routers = sorted(rates[1.0])
     baseline = [rates[1.0][r] for r in routers]

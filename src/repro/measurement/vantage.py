@@ -146,6 +146,18 @@ class ContentMeasurement:
         """All measured names."""
         return sorted(self.timelines)
 
+    def matrix(self, name: ContentName):
+        """``Addrs(d, t)`` for ``name`` as a columnar membership matrix.
+
+        Delegates to (and shares the memo of)
+        :meth:`repro.content.AddressTimeline.as_matrix`.
+        """
+        return self.timelines[name].as_matrix()
+
+    def matrices(self):
+        """``(name, AddrsMatrix)`` pairs for every name, sorted by name."""
+        return [(name, self.matrix(name)) for name in self.names()]
+
     def daily_event_counts(self) -> Dict[ContentName, float]:
         """Average mobility events per day, per name (Fig. 11a series)."""
         out = {}

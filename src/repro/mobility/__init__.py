@@ -1,13 +1,20 @@
 """Device network-mobility: record types, behavioural model, synthetic
 NomadLog workload generation, and the Fig. 6/7/9 statistics."""
 
-from .device import AccessNetwork, UserClass, UserProfile, simulate_user_day
+from .device import (
+    AccessNetwork,
+    UserClass,
+    UserProfile,
+    simulate_user_day,
+    simulate_user_days,
+)
 from .events import (
     HOURS_PER_DAY,
     DaySegment,
     MobilityEvent,
     NetworkLocation,
     UserDay,
+    events_as_columns,
 )
 from .stats import (
     DayStats,
@@ -37,11 +44,13 @@ __all__ = [
     "DaySegment",
     "UserDay",
     "MobilityEvent",
+    "events_as_columns",
     "HOURS_PER_DAY",
     "AccessNetwork",
     "UserClass",
     "UserProfile",
     "simulate_user_day",
+    "simulate_user_days",
     "MobilityWorkload",
     "MobilityWorkloadConfig",
     "generate_workload",

@@ -38,7 +38,13 @@ from typing import List, Optional
 from ..net import IPv4Prefix
 from .events import HOURS_PER_DAY, DaySegment, NetworkLocation, UserDay
 
-__all__ = ["UserClass", "AccessNetwork", "UserProfile", "simulate_user_day"]
+__all__ = [
+    "UserClass",
+    "AccessNetwork",
+    "UserProfile",
+    "simulate_user_day",
+    "simulate_user_days",
+]
 
 
 class UserClass(enum.Enum):
@@ -222,6 +228,24 @@ def simulate_user_day(
     }
     segments = builders[cls](profile, rng)
     return UserDay(user_id=profile.user_id, day=day, segments=_normalize(segments))
+
+
+def simulate_user_days(
+    profile: UserProfile, num_days: int, rng: random.Random
+) -> List[UserDay]:
+    """Simulate ``num_days`` consecutive days for one profile.
+
+    The batch entry point the workload generator (and the columnar
+    pipeline behind it) drives: one call per user instead of one per
+    user-day. Draws flow through ``rng`` in exactly the same order as
+    ``num_days`` successive :func:`simulate_user_day` calls — day
+    ``d`` is a weekend iff ``d % 7 in (5, 6)`` — so traces generated
+    either way are identical for a given seed.
+    """
+    return [
+        simulate_user_day(profile, day, rng, weekend=day % 7 in (5, 6))
+        for day in range(num_days)
+    ]
 
 
 def _homebody_day(profile: UserProfile, rng: random.Random) -> List[DaySegment]:

@@ -11,7 +11,7 @@ WiFi to LTE while sitting still is mobile.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Iterable, List
 
 from ..net import IPv4Address, IPv4Prefix
 
@@ -20,6 +20,7 @@ __all__ = [
     "DaySegment",
     "UserDay",
     "MobilityEvent",
+    "events_as_columns",
     "HOURS_PER_DAY",
 ]
 
@@ -119,3 +120,17 @@ class MobilityEvent:
     def changes_as(self) -> bool:
         """True if the origin AS changed."""
         return self.old.asn != self.new.asn
+
+
+def events_as_columns(events: Iterable["MobilityEvent"]):
+    """Batch ``events`` into a columnar table.
+
+    Returns a :class:`repro.workload.DeviceEventColumns` whose
+    ``as_columns()`` exposes zero-copy time/user/from_as/to_as arrays
+    and whose iteration/`to_events()` lazily rebuilds the exact object
+    events — the backward-compatible view contract. Imported lazily so
+    this record-type module stays importable without touching numpy.
+    """
+    from ..workload import DeviceEventColumns
+
+    return DeviceEventColumns.from_events(events)

@@ -29,8 +29,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..topology import ASTopology, Tier
-from .device import AccessNetwork, UserClass, UserProfile, simulate_user_day
-from .events import MobilityEvent, UserDay
+from .device import AccessNetwork, UserClass, UserProfile, simulate_user_days
+from .events import MobilityEvent, UserDay, events_as_columns
 
 __all__ = [
     "MobilityWorkloadConfig",
@@ -106,6 +106,7 @@ class MobilityWorkload:
         self._by_user: Dict[str, List[UserDay]] = {}
         for ud in user_days:
             self._by_user.setdefault(ud.user_id, []).append(ud)
+        self._columns = None
 
     def days_of(self, user_id: str) -> List[UserDay]:
         """All simulated days of one user, in day order."""
@@ -117,6 +118,22 @@ class MobilityWorkload:
         for ud in self.user_days:
             events.extend(ud.transitions())
         return events
+
+    def as_columns(self):
+        """Every mobility event as one columnar batch.
+
+        The :class:`~repro.workload.DeviceEventColumns` equivalent of
+        :meth:`all_transitions` (same events, same order), built once
+        and memoized — the zero-copy input the vectorized evaluators
+        reduce over. Object events remain available as lazy views on
+        the returned table.
+        """
+        columns = getattr(self, "_columns", None)
+        if columns is None:
+            columns = self._columns = events_as_columns(
+                self.all_transitions()
+            )
+        return columns
 
     def transitions_on_day(self, day: int) -> List[MobilityEvent]:
         """All mobility events that occurred on ``day``."""
@@ -271,7 +288,5 @@ def generate_workload(
 
     user_days: List[UserDay] = []
     for profile in profiles:
-        for day in range(cfg.num_days):
-            weekend = day % 7 in (5, 6)
-            user_days.append(simulate_user_day(profile, day, rng, weekend=weekend))
+        user_days.extend(simulate_user_days(profile, cfg.num_days, rng))
     return MobilityWorkload(profiles, user_days, topology)

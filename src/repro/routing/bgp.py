@@ -326,6 +326,25 @@ class VantagePoint:
         """The FIB entry: the top-ranked RIB route for ``prefix``."""
         return best_route(self.candidate_routes(oracle, prefix))
 
+    def next_hop_table(self, oracle: RoutingOracle, prefixes) -> "list":
+        """FIB next hops for a batch of prefixes, as an int64 array.
+
+        Entry ``i`` is the next-hop ASN of :meth:`fib_best` for
+        ``prefixes[i]``, or ``-1`` when the collector holds no route —
+        the dense LUT the vectorized evaluators gather through instead
+        of calling :meth:`fib_best` per event.
+        """
+        from ..workload import require_numpy
+
+        np = require_numpy()
+        table = np.full(len(prefixes), -1, dtype=np.int64)
+        for i, prefix in enumerate(prefixes):
+            best = self.fib_best(oracle, prefix)
+            if best is not None:
+                table[i] = best.next_hop
+        obs.incr("vantage.next_hop_table.prefixes", len(prefixes))
+        return table
+
     def best_next_hop_for_address(
         self, oracle: RoutingOracle, address: IPv4Address
     ) -> Optional[int]:

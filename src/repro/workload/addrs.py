@@ -1,0 +1,88 @@
+"""Columnar ``Addrs(d, t)`` — one name's address timeline as a matrix.
+
+The content methodology (§3.3, §7.1) is built on ``Addrs(d, t)``, the
+set of addresses a name resolves to at each measurement hour. The
+object form (:class:`repro.content.AddressTimeline`) stores change
+points as ``(hour, frozenset)`` pairs; this module re-expresses the
+same information as a boolean *membership matrix* over the name's
+address universe — rows are change points, columns are the distinct
+addresses ever observed — which is what lets the update-cost
+evaluators reduce a whole timeline per router with a handful of numpy
+operations instead of a per-event Python replay.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from . import require_numpy
+
+np = require_numpy()
+
+__all__ = ["AddrsMatrix"]
+
+
+class AddrsMatrix:
+    """One name's ``Addrs(d, t)`` timeline in columnar form.
+
+    ``membership[i, j]`` is True when address ``addrs[j]`` is in the
+    set at change point ``i``; row 0 is the initial set and rows
+    ``1..k`` correspond one-to-one (in time order) to the timeline's
+    mobility events. ``addrs`` is sorted, so the matrix for a given
+    timeline is canonical.
+    """
+
+    def __init__(
+        self,
+        name,
+        hours: "np.ndarray",
+        addrs: Tuple,
+        membership: "np.ndarray",
+    ):
+        if membership.shape != (len(hours), len(addrs)):
+            raise ValueError(
+                f"membership shape {membership.shape} != "
+                f"({len(hours)}, {len(addrs)})"
+            )
+        self.name = name
+        self.hours = hours
+        self.addrs = tuple(addrs)
+        self.membership = membership
+
+    @classmethod
+    def from_timeline(cls, timeline) -> "AddrsMatrix":
+        """Build the matrix for one ``AddressTimeline``."""
+        points = timeline.change_points()
+        addrs = sorted(timeline.union_all())
+        index = {addr: j for j, addr in enumerate(addrs)}
+        hours = np.array([h for h, _ in points], dtype=np.int64)
+        membership = np.zeros((len(points), len(addrs)), dtype=bool)
+        for i, (_, addr_set) in enumerate(points):
+            for addr in addr_set:
+                membership[i, index[addr]] = True
+        return cls(timeline.name, hours, tuple(addrs), membership)
+
+    @property
+    def num_events(self) -> int:
+        """Mobility events in the timeline (rows minus the initial set)."""
+        return len(self.hours) - 1
+
+    @property
+    def num_addrs(self) -> int:
+        """Distinct addresses ever observed for the name."""
+        return len(self.addrs)
+
+    def as_columns(self) -> Tuple["np.ndarray", "np.ndarray"]:
+        """Zero-copy ``(hours, membership)`` views."""
+        return self.hours, self.membership
+
+    def set_at_row(self, row: int) -> frozenset:
+        """The object-form address set at change point ``row``."""
+        present = np.nonzero(self.membership[row])[0]
+        return frozenset(self.addrs[j] for j in present.tolist())
+
+    def __repr__(self) -> str:
+        return (
+            f"AddrsMatrix({self.name!r}, {self.num_events} events, "
+            f"{self.num_addrs} addrs)"
+        )

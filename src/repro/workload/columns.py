@@ -1,0 +1,191 @@
+"""The device-mobility event table: one structured array, lazy views.
+
+:class:`DeviceEventColumns` holds every field of a
+:class:`~repro.mobility.MobilityEvent` — time, user, old/new address,
+covering prefix, and origin AS — as columns of one numpy structured
+array. The evaluators reduce over the event axis without materializing
+a single Python object; the object API remains available as lazy views
+(:meth:`DeviceEventColumns.event`, iteration, :meth:`to_events`) that
+reconstruct the *exact* original events, which the hypothesis
+round-trip test pins down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Sequence, Tuple
+
+from . import require_numpy
+
+np = require_numpy()
+
+__all__ = ["DeviceEventColumns", "EventColumns", "EVENT_DTYPE"]
+
+#: One row per mobility event. ``user`` indexes the interned user-id
+#: table; addresses and prefix networks are the raw 32-bit values the
+#: :mod:`repro.net` types wrap, so views rebuild them losslessly.
+EVENT_DTYPE = np.dtype(
+    [
+        ("user", np.int32),
+        ("day", np.int32),
+        ("hour", np.float64),
+        ("old_ip", np.uint32),
+        ("old_net", np.uint32),
+        ("old_len", np.uint8),
+        ("old_asn", np.int64),
+        ("new_ip", np.uint32),
+        ("new_net", np.uint32),
+        ("new_len", np.uint8),
+        ("new_asn", np.int64),
+    ]
+)
+
+
+class EventColumns(NamedTuple):
+    """Zero-copy column views over one event table (the batch API)."""
+
+    time: "np.ndarray"  # event hour within its day (float64)
+    day: "np.ndarray"  # day index (int32)
+    user: "np.ndarray"  # index into DeviceEventColumns.users (int32)
+    from_as: "np.ndarray"  # origin AS before the move (int64)
+    to_as: "np.ndarray"  # origin AS after the move (int64)
+    from_ip: "np.ndarray"  # 32-bit address value before the move
+    to_ip: "np.ndarray"  # 32-bit address value after the move
+
+
+class DeviceEventColumns:
+    """A batch of device mobility events in columnar form.
+
+    Rows preserve the order of the event list the table was built
+    from, so scalar replay of :meth:`to_events` and vectorized
+    reduction over the columns see the same sequence — the property
+    the bit-identical-digests guarantee rests on.
+    """
+
+    #: Bumped when :data:`EVENT_DTYPE` or the interning scheme changes,
+    #: so content-addressed cache entries can never deliver an
+    #: incompatible layout to newer code.
+    LAYOUT_VERSION = 1
+
+    def __init__(self, table: "np.ndarray", users: Tuple[str, ...]):
+        if table.dtype != EVENT_DTYPE:
+            raise ValueError(
+                f"event table dtype mismatch: {table.dtype} != {EVENT_DTYPE}"
+            )
+        self.table = table
+        self.users = tuple(users)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_events(cls, events) -> "DeviceEventColumns":
+        """Build the table from an iterable of ``MobilityEvent``."""
+        events = list(events)
+        table = np.empty(len(events), dtype=EVENT_DTYPE)
+        user_index = {}
+        users: List[str] = []
+        for i, event in enumerate(events):
+            user = user_index.get(event.user_id)
+            if user is None:
+                user = user_index[event.user_id] = len(users)
+                users.append(event.user_id)
+            old, new = event.old, event.new
+            table[i] = (
+                user,
+                event.day,
+                event.hour,
+                old.ip.value,
+                old.prefix.network,
+                old.prefix.length,
+                old.asn,
+                new.ip.value,
+                new.prefix.network,
+                new.prefix.length,
+                new.asn,
+            )
+        return cls(table, tuple(users))
+
+    @classmethod
+    def empty(cls) -> "DeviceEventColumns":
+        """A zero-event table."""
+        return cls(np.empty(0, dtype=EVENT_DTYPE), ())
+
+    # -- batch accessors ----------------------------------------------
+
+    def as_columns(self) -> EventColumns:
+        """Zero-copy views of the core columns (no objects built)."""
+        t = self.table
+        return EventColumns(
+            time=t["hour"],
+            day=t["day"],
+            user=t["user"],
+            from_as=t["old_asn"],
+            to_as=t["new_asn"],
+            from_ip=t["old_ip"],
+            to_ip=t["new_ip"],
+        )
+
+    def days(self) -> "np.ndarray":
+        """Sorted distinct day indices with at least one event."""
+        return np.unique(self.table["day"])
+
+    def day_slice(self, day: int) -> "DeviceEventColumns":
+        """The sub-table of events on ``day`` (row order preserved)."""
+        return DeviceEventColumns(
+            self.table[self.table["day"] == day], self.users
+        )
+
+    # -- object views (lazy) -------------------------------------------
+
+    def event(self, index: int):
+        """Materialize row ``index`` as the original ``MobilityEvent``."""
+        from ..mobility.events import MobilityEvent, NetworkLocation
+        from ..net import IPv4Address, IPv4Prefix
+
+        row = self.table[index]
+        return MobilityEvent(
+            user_id=self.users[int(row["user"])],
+            day=int(row["day"]),
+            hour=float(row["hour"]),
+            old=NetworkLocation(
+                ip=IPv4Address(int(row["old_ip"])),
+                prefix=IPv4Prefix(int(row["old_net"]), int(row["old_len"])),
+                asn=int(row["old_asn"]),
+            ),
+            new=NetworkLocation(
+                ip=IPv4Address(int(row["new_ip"])),
+                prefix=IPv4Prefix(int(row["new_net"]), int(row["new_len"])),
+                asn=int(row["new_asn"]),
+            ),
+        )
+
+    def to_events(self) -> List:
+        """The full object event list this table round-trips to."""
+        return [self.event(i) for i in range(len(self.table))]
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __iter__(self) -> Iterator:
+        for i in range(len(self.table)):
+            yield self.event(i)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return DeviceEventColumns(self.table[index], self.users)
+        return self.event(int(index))
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceEventColumns({len(self.table)} events, "
+            f"{len(self.users)} users)"
+        )
+
+
+def unique_with_inverse(values: Sequence) -> Tuple["np.ndarray", "np.ndarray"]:
+    """``np.unique(..., return_inverse=True)`` with a flat inverse.
+
+    numpy 2.x returns the inverse with the input's shape; 1.x returns
+    it flattened. The columnar evaluators index with it, so normalize.
+    """
+    uniq, inverse = np.unique(np.asarray(values), return_inverse=True)
+    return uniq, inverse.reshape(-1)

@@ -1,0 +1,184 @@
+"""Golden parity tests: vectorized evaluators vs the REPRO_SCALAR oracle.
+
+The columnar data plane's contract is *bit-identical* results: the
+vectorized device/content evaluators and ``per_day_update_rates`` must
+produce exactly the reports — and therefore exactly the ledger series
+digests — that the original per-event scalar loops produce. These tests
+run both paths in one process (flipping ``REPRO_SCALAR`` via
+monkeypatch) and compare everything, including digests.
+"""
+
+import pytest
+
+from repro.core import (
+    ContentUpdateCostEvaluator,
+    DeviceUpdateCostEvaluator,
+    ForwardingStrategy,
+    per_day_update_rates,
+)
+from repro.mobility import MobilityEvent
+from repro.net import parse_address
+from repro.obs.history import digest_series
+from repro.routing import RoutingOracle
+from repro.workload import SCALAR_ENV, DeviceEventColumns, scalar_mode
+
+from tests.test_core_evaluator import (
+    L6,
+    L6B,
+    L7,
+    content_internet,
+    ev,
+    loc,
+    measurement,
+    timeline,
+    vantage,
+)
+
+#: An unannounced address: exercises the missing-covering-prefix path.
+L_DARK = loc("192.168.1.1", "192.168.0.0/16", 999)
+
+
+def device_events():
+    return [
+        ev(L6, L7, day=0),
+        ev(L6, L6B, day=0),
+        ev(L7, L6, day=1),
+        ev(L6B, L7, day=1),
+        MobilityEvent("u2", 2, 3.0, L7, L6),
+        ev(L6, L_DARK, day=2),
+        ev(L_DARK, L7, day=3),
+    ]
+
+
+def report_digest(report):
+    return digest_series(
+        "report",
+        ("router", "rate", "updates", "events"),
+        [[r, report.rates[r], report.updates[r], report.num_events]
+         for r in report.rates],
+    )
+
+
+def two_routers():
+    oracle = RoutingOracle(content_internet())
+    return [vantage("vp1"), vantage("vp2")], oracle
+
+
+def content_measurement():
+    return measurement([
+        timeline(
+            "a.com",
+            [(0, ["10.6.0.1", "10.7.0.1"]), (2, ["10.6.0.1"]),
+             (5, ["10.6.0.5"]), (7, ["10.7.0.2", "10.6.0.5"]),
+             (11, ["10.7.0.2"]), (13, ["10.6.0.1", "10.7.0.1"])],
+        ),
+        timeline(
+            "b.com",
+            [(0, ["10.6.0.1", "10.6.0.3"]), (4, ["10.6.0.2"]),
+             (9, ["10.7.0.5"]), (15, ["10.6.0.2"])],
+        ),
+        # A name with no events at all.
+        timeline("c.com", [(0, ["10.6.0.8"])]),
+        # A name whose addresses are never routed.
+        timeline("d.com", [(0, ["192.168.0.1"]), (6, ["192.168.0.2"])]),
+    ])
+
+
+class TestScalarModeSwitch:
+    def test_env_values(self, monkeypatch):
+        monkeypatch.delenv(SCALAR_ENV, raising=False)
+        assert not scalar_mode()
+        monkeypatch.setenv(SCALAR_ENV, "0")
+        assert not scalar_mode()
+        monkeypatch.setenv(SCALAR_ENV, "1")
+        assert scalar_mode()
+
+
+class TestDeviceParity:
+    def test_reports_identical(self, monkeypatch):
+        routers, oracle = two_routers()
+        monkeypatch.setenv(SCALAR_ENV, "1")
+        scalar = DeviceUpdateCostEvaluator(routers, oracle).evaluate(
+            device_events()
+        )
+        monkeypatch.delenv(SCALAR_ENV)
+        vector = DeviceUpdateCostEvaluator(routers, oracle).evaluate(
+            device_events()
+        )
+        assert vector.rates == scalar.rates
+        assert vector.updates == scalar.updates
+        assert vector.num_events == scalar.num_events
+        assert list(vector.rates) == list(scalar.rates)  # dict order too
+        assert report_digest(vector) == report_digest(scalar)
+
+    def test_columns_input_matches_list_input(self, monkeypatch):
+        routers, oracle = two_routers()
+        monkeypatch.delenv(SCALAR_ENV, raising=False)
+        evaluator = DeviceUpdateCostEvaluator(routers, oracle)
+        from_list = evaluator.evaluate(device_events())
+        from_cols = evaluator.evaluate(
+            DeviceEventColumns.from_events(device_events())
+        )
+        assert report_digest(from_list) == report_digest(from_cols)
+
+    def test_scalar_accepts_columns(self, monkeypatch):
+        routers, oracle = two_routers()
+        columns = DeviceEventColumns.from_events(device_events())
+        monkeypatch.setenv(SCALAR_ENV, "1")
+        scalar = DeviceUpdateCostEvaluator(routers, oracle).evaluate(columns)
+        monkeypatch.delenv(SCALAR_ENV)
+        vector = DeviceUpdateCostEvaluator(routers, oracle).evaluate(columns)
+        assert report_digest(scalar) == report_digest(vector)
+
+    def test_empty_events(self, monkeypatch):
+        routers, oracle = two_routers()
+        monkeypatch.delenv(SCALAR_ENV, raising=False)
+        report = DeviceUpdateCostEvaluator(routers, oracle).evaluate([])
+        assert report.num_events == 0
+        assert set(report.rates.values()) == {0.0}
+
+
+class TestPerDayParity:
+    def test_series_identical(self, monkeypatch):
+        routers, oracle = two_routers()
+        monkeypatch.setenv(SCALAR_ENV, "1")
+        scalar = per_day_update_rates(
+            DeviceUpdateCostEvaluator(routers, oracle), device_events()
+        )
+        monkeypatch.delenv(SCALAR_ENV)
+        vector = per_day_update_rates(
+            DeviceUpdateCostEvaluator(routers, oracle), device_events()
+        )
+        assert vector == scalar
+        assert list(vector) == list(scalar)
+        digest = lambda s: digest_series(
+            "per_day", ("router", "rates"),
+            [[r, rates] for r, rates in s.items()],
+        )
+        assert digest(vector) == digest(scalar)
+
+    def test_empty(self, monkeypatch):
+        routers, oracle = two_routers()
+        monkeypatch.delenv(SCALAR_ENV, raising=False)
+        evaluator = DeviceUpdateCostEvaluator(routers, oracle)
+        assert per_day_update_rates(evaluator, []) == {}
+
+
+class TestContentParity:
+    @pytest.mark.parametrize("strategy", list(ForwardingStrategy))
+    def test_reports_identical(self, strategy, monkeypatch):
+        routers, oracle = two_routers()
+        meas = content_measurement()
+        monkeypatch.setenv(SCALAR_ENV, "1")
+        scalar = ContentUpdateCostEvaluator(routers, oracle).evaluate(
+            meas, strategy
+        )
+        monkeypatch.delenv(SCALAR_ENV)
+        vector = ContentUpdateCostEvaluator(routers, oracle).evaluate(
+            meas, strategy
+        )
+        assert vector.rates == scalar.rates
+        assert vector.updates == scalar.updates
+        assert vector.num_events == scalar.num_events
+        assert list(vector.rates) == list(scalar.rates)
+        assert report_digest(vector) == report_digest(scalar)

@@ -1,0 +1,80 @@
+"""Import sanity for the pinned numpy dependency (pyproject: numpy>=1.22).
+
+The columnar data plane is numpy-backed; these tests pin down that a
+missing or prehistoric numpy fails *loudly*, with a message that names
+the floor and the pip command, instead of degrading into attribute
+errors deep inside an evaluator.
+"""
+
+import sys
+
+import pytest
+
+import repro
+from repro.workload import (
+    MIN_NUMPY_VERSION,
+    numpy_version_ok,
+    require_numpy,
+)
+
+
+def test_require_numpy_returns_numpy():
+    import numpy
+
+    assert require_numpy() is numpy
+
+
+def test_installed_numpy_meets_floor():
+    import numpy
+
+    assert numpy_version_ok(numpy.__version__)
+
+
+@pytest.mark.parametrize(
+    "version,ok",
+    [
+        ("1.21.6", False),
+        ("1.16.0", False),
+        ("0.9", False),
+        ("1.22.0", True),
+        ("1.26.4", True),
+        ("2.0.0", True),
+        ("2.4.6", True),
+        # Unparseable tokens are accepted (dev builds, vendored forks).
+        ("2.1.0.dev0+git123", True),
+        ("main", True),
+    ],
+)
+def test_numpy_version_ok(version, ok):
+    assert numpy_version_ok(version) is ok
+
+
+def test_old_numpy_fails_loudly(monkeypatch):
+    import numpy
+
+    monkeypatch.setattr(numpy, "__version__", "1.16.0")
+    with pytest.raises(ImportError) as excinfo:
+        require_numpy()
+    floor = ".".join(str(p) for p in MIN_NUMPY_VERSION)
+    message = str(excinfo.value)
+    assert f"numpy>={floor}" in message
+    assert "pip install" in message
+    assert "1.16.0" in message
+
+
+def test_missing_numpy_fails_loudly(monkeypatch):
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    with pytest.raises(ImportError) as excinfo:
+        require_numpy()
+    message = str(excinfo.value)
+    assert "numpy>=1.22" in message
+    assert "pip install" in message
+
+
+def test_version_is_single_sourced():
+    # pyproject.toml declares dynamic = ["version"] reading this attr.
+    assert repro.__version__ == "1.2.0"
+    text = open("pyproject.toml").read()
+    assert 'dynamic = ["version"]' in text
+    assert "repro.__version__" in text
+    assert 'version = "' not in text.split("[tool.setuptools.dynamic]")[0]

@@ -1,0 +1,171 @@
+"""Tests for the columnar workload core (repro.workload)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.content import AddressTimeline
+from repro.mobility import MobilityEvent, NetworkLocation, events_as_columns
+from repro.net import ContentName, IPv4Address, IPv4Prefix, parse_address
+from repro.workload import AddrsMatrix, DeviceEventColumns, EventColumns
+from repro.workload.columns import EVENT_DTYPE, unique_with_inverse
+
+
+@st.composite
+def locations(draw):
+    length = draw(st.integers(min_value=8, max_value=30))
+    network = draw(st.integers(min_value=0, max_value=(1 << length) - 1))
+    network <<= 32 - length
+    offset = draw(st.integers(min_value=0, max_value=(1 << (32 - length)) - 1))
+    asn = draw(st.integers(min_value=1, max_value=(1 << 31) - 1))
+    return NetworkLocation(
+        ip=IPv4Address(network + offset),
+        prefix=IPv4Prefix(network, length),
+        asn=asn,
+    )
+
+
+@st.composite
+def mobility_events(draw):
+    return MobilityEvent(
+        user_id=draw(st.text(min_size=1, max_size=8)),
+        day=draw(st.integers(min_value=0, max_value=365)),
+        hour=draw(
+            st.floats(min_value=0.0, max_value=23.999, allow_nan=False)
+        ),
+        old=draw(locations()),
+        new=draw(locations()),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(mobility_events(), max_size=30))
+    def test_to_events_is_exact(self, events):
+        columns = DeviceEventColumns.from_events(events)
+        assert columns.to_events() == events
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(mobility_events(), max_size=20))
+    def test_iteration_and_indexing_match(self, events):
+        columns = DeviceEventColumns.from_events(events)
+        assert len(columns) == len(events)
+        assert list(columns) == events
+        for i, event in enumerate(events):
+            assert columns[i] == event
+            assert columns.event(i) == event
+
+    def test_events_as_columns_helper(self):
+        a = NetworkLocation(
+            parse_address("10.0.0.1"), IPv4Prefix(10 << 24, 8), 65000
+        )
+        b = NetworkLocation(
+            parse_address("10.0.0.2"), IPv4Prefix(10 << 24, 8), 65001
+        )
+        event = MobilityEvent("u", 3, 7.5, a, b)
+        columns = events_as_columns([event])
+        assert isinstance(columns, DeviceEventColumns)
+        assert columns.to_events() == [event]
+
+
+class TestBatchAccessors:
+    def _columns(self):
+        a = NetworkLocation(
+            parse_address("10.0.0.1"), IPv4Prefix(10 << 24, 8), 100
+        )
+        b = NetworkLocation(
+            parse_address("11.0.0.1"), IPv4Prefix(11 << 24, 8), 200
+        )
+        events = [
+            MobilityEvent("alice", 0, 1.0, a, b),
+            MobilityEvent("bob", 0, 2.0, b, a),
+            MobilityEvent("alice", 1, 3.0, a, b),
+        ]
+        return events, DeviceEventColumns.from_events(events)
+
+    def test_as_columns_values(self):
+        events, columns = self._columns()
+        cols = columns.as_columns()
+        assert isinstance(cols, EventColumns)
+        assert cols.time.tolist() == [1.0, 2.0, 3.0]
+        assert cols.day.tolist() == [0, 0, 1]
+        assert cols.from_as.tolist() == [100, 200, 100]
+        assert cols.to_as.tolist() == [200, 100, 200]
+        assert [columns.users[u] for u in cols.user] == [
+            "alice", "bob", "alice",
+        ]
+
+    def test_as_columns_is_zero_copy(self):
+        _, columns = self._columns()
+        cols = columns.as_columns()
+        for view in cols:
+            assert view.base is columns.table
+
+    def test_days_and_day_slice(self):
+        events, columns = self._columns()
+        assert columns.days().tolist() == [0, 1]
+        day0 = columns.day_slice(0)
+        assert day0.to_events() == [e for e in events if e.day == 0]
+
+    def test_slicing_returns_columns(self):
+        events, columns = self._columns()
+        tail = columns[1:]
+        assert isinstance(tail, DeviceEventColumns)
+        assert tail.to_events() == events[1:]
+
+    def test_empty(self):
+        columns = DeviceEventColumns.empty()
+        assert len(columns) == 0
+        assert columns.to_events() == []
+        assert columns.days().tolist() == []
+
+    def test_dtype_enforced(self):
+        with pytest.raises(ValueError):
+            DeviceEventColumns(np.zeros(3, dtype=np.int64), ())
+        assert DeviceEventColumns.empty().table.dtype == EVENT_DTYPE
+
+
+class TestAddrsMatrix:
+    def _timeline(self):
+        name = ContentName.from_domain("a.com")
+        changes = [
+            (0, frozenset({parse_address("10.6.0.1")})),
+            (5, frozenset({parse_address("10.6.0.1"),
+                           parse_address("10.7.0.1")})),
+            (9, frozenset({parse_address("10.7.0.1")})),
+        ]
+        return AddressTimeline(name, total_hours=24, changes=changes)
+
+    def test_from_timeline_shape_and_counts(self):
+        tl = self._timeline()
+        matrix = AddrsMatrix.from_timeline(tl)
+        assert matrix.num_events == tl.num_changes() == 2
+        assert matrix.num_addrs == len(tl.union_all()) == 2
+        hours, membership = matrix.as_columns()
+        assert hours.tolist() == [0, 5, 9]
+        assert membership.shape == (3, 2)
+
+    def test_rows_round_trip_to_sets(self):
+        tl = self._timeline()
+        matrix = AddrsMatrix.from_timeline(tl)
+        for row, (hour, _) in enumerate(tl.change_points()):
+            assert matrix.set_at_row(row) == tl.set_at(hour)
+
+    def test_timeline_memoizes_matrix(self):
+        tl = self._timeline()
+        assert tl.as_matrix() is tl.as_matrix()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            AddrsMatrix(
+                "x", np.array([0]), (parse_address("10.6.0.1"),),
+                np.zeros((2, 1), dtype=bool),
+            )
+
+
+def test_unique_with_inverse_is_flat():
+    uniq, inverse = unique_with_inverse(np.array([3, 1, 3, 2]))
+    assert uniq.tolist() == [1, 2, 3]
+    assert inverse.shape == (4,)
+    assert uniq[inverse].tolist() == [3, 1, 3, 2]
