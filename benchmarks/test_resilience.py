@@ -1,0 +1,65 @@
+"""Bench: the resilience layer — what robustness costs when idle.
+
+Pins the overhead acceptance properties of the resilience machinery:
+
+* the checksummed cache container adds bounded overhead to store/load
+  round trips (integrity is not allowed to dominate the cache's win);
+* a run with deadlines armed (routed through the pooled watchdog path)
+  completes and stays in the same cost regime as the plain path;
+* a chaos run (worker kills + cache corruption) still converges to the
+  same digests as a clean run — the recovery paths pay for themselves.
+"""
+
+import shutil
+import tempfile
+
+from conftest import run_once
+
+from repro.engine import ArtifactCache, CHAOS_ENV, run_experiments
+from repro.experiments import active_scale
+
+#: Standalone experiments cheap enough to re-run under chaos.
+NAMES = ["table1", "compact-routing", "envelope"]
+
+
+def test_checksummed_cache_round_trip(benchmark):
+    root = tempfile.mkdtemp(prefix="repro-bench-integrity-")
+    try:
+        cache = ArtifactCache(root)
+        payload = {"rows": [[i, i * 1.5, str(i)] for i in range(20000)]}
+        key = cache.key("bench-artifact", n=len(payload["rows"]))
+        cache.store(key, payload)
+
+        def round_trip():
+            cache.store(key, payload)
+            return cache.load(key)
+
+        loaded = run_once(benchmark, round_trip)
+        assert loaded == payload  # checksum verified on every read
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_deadline_armed_run_completes(benchmark):
+    scale = active_scale()
+    # A deadline no experiment approaches: measures the watchdog path's
+    # overhead (pool routing + polling), not timeouts.
+    records = run_once(
+        benchmark, run_experiments, NAMES, scale, jobs=2,
+        timeout_s=3600,
+    )
+    assert all(r.ok for r in records), [r.error for r in records]
+    assert all(r.attempts == 1 for r in records)
+
+
+def test_chaos_run_converges_to_clean_digests(benchmark, monkeypatch):
+    scale = active_scale()
+    clean = run_experiments(NAMES, scale)
+    monkeypatch.setenv(CHAOS_ENV, "kill:0.3,corrupt:0.3,seed:4")
+    chaotic = run_once(
+        benchmark, run_experiments, NAMES, scale, jobs=2,
+        timeout_s=3600,
+    )
+    assert all(r.ok for r in chaotic), [(r.name, r.error) for r in chaotic]
+    for clean_r, chaos_r in zip(clean, chaotic):
+        assert clean_r.series_digests == chaos_r.series_digests

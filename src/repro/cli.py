@@ -29,7 +29,20 @@ paper-target values — to ``ledger.jsonl``. ``check`` scores the
 latest entry against the paper targets declared by the experiment
 modules (pass/drift/regress; nonzero exit on regression), and
 ``compare`` diffs two entries (wall-time deltas, counter deltas,
-series-digest mismatches).
+series-digest mismatches), flagging records that completed via the
+retry or resume recovery paths.
+
+Runs are *resilient*: ``--timeout-s`` arms a per-experiment deadline
+(overridden per experiment by a module-level ``TIMEOUT_S``) enforced
+by a parent-side watchdog that kills hung workers and re-dispatches
+with capped backoff; a ledgered run also journals each completed
+experiment to ``journal-<run id>.jsonl`` next to the ledger, so a
+killed run is resumed with ``run --resume <run-id|last>`` — completed
+experiments are skipped and the stitched ledger entry carries digests
+byte-identical to an uninterrupted run. ``REPRO_CHAOS``
+(``kill:P,hang:P,corrupt:P[,seed:N]``) injects worker and cache
+faults to prove those paths; ``REPRO_CACHE_MAX_MB`` bounds the
+artifact cache with LRU eviction.
 
 Experiments come from the :mod:`repro.engine` registry — each
 ``exp_*`` module registers itself — and run through the engine's
@@ -49,12 +62,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from . import __version__, obs
 from .engine import (
+    CHAOS_ENV,
     ArtifactCache,
+    ChaosConfig,
+    RunJournal,
+    RunRecord,
     all_specs,
     experiment_names,
     get_spec,
     load_registry,
+    run_config_hash,
     run_experiments,
+    stitch_records,
 )
 from .experiments import DEFAULT_SCALE, SMALL_SCALE, World
 from .experiments.report import format_band, format_delta, render_table
@@ -112,6 +131,21 @@ def _jobs_type(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"jobs must be positive, got {value}"
+        )
+    return value
+
+
+def _timeout_type(text: str) -> float:
+    """argparse type for ``--timeout-s``: a positive number of seconds."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"timeout must be a number of seconds, got {text!r}"
+        )
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"timeout must be positive, got {value:g}"
         )
     return value
 
@@ -187,6 +221,25 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="ledger_dir",
         help=f"append the run manifest to DIR/ledger.jsonl "
         f"(default: ${obs.LEDGER_DIR_ENV})",
+    )
+    run_parser.add_argument(
+        "--timeout-s",
+        metavar="SECONDS",
+        type=_timeout_type,
+        default=None,
+        dest="timeout_s",
+        help="per-experiment soft deadline: hung workers are killed "
+        "and re-dispatched with capped backoff (experiment modules "
+        "may override via TIMEOUT_S)",
+    )
+    run_parser.add_argument(
+        "--resume",
+        metavar="RUN",
+        default=None,
+        dest="resume",
+        help="resume an interrupted run from its journal ('last' or a "
+        "run id); journal-completed experiments are skipped and the "
+        "stitched ledger entry matches an uninterrupted run",
     )
 
     check_parser = sub.add_parser(
@@ -328,22 +381,101 @@ def _ledger_for(ledger_dir: Optional[str]) -> Optional[obs.RunLedger]:
     return obs.RunLedger.from_env()
 
 
+def _resume_journal(
+    names: Sequence[str], scale, resume: str, ledger, err
+):
+    """Resolve ``--resume REF`` into (journal, completed records).
+
+    Returns ``(journal, completed)`` or ``(None, exit_code)`` after
+    writing a friendly error: unknown run id, no journal dir, or a
+    journal whose config (scale/seed/experiment set) does not match
+    this invocation.
+    """
+    if ledger is None:
+        err.write(
+            "repro run: --resume needs a run journal — set "
+            f"{obs.LEDGER_DIR_ENV} or pass --ledger-dir\n"
+        )
+        return None, 2
+    try:
+        journal = RunJournal.find(ledger.root, resume)
+    except KeyError as exc:
+        err.write(f"repro run: cannot resume: {exc.args[0]}\n")
+        return None, 2
+    expected = run_config_hash(
+        scale.label, getattr(scale, "seed", None), names
+    )
+    if journal.config_hash != expected:
+        header = journal.header
+        err.write(
+            f"repro run: cannot resume {journal.run_id}: it ran "
+            f"scale={header.get('scale')} seed={header.get('seed')} "
+            f"over {len(header.get('names', []))} experiment(s), but "
+            f"this invocation is scale={scale.label} "
+            f"seed={getattr(scale, 'seed', None)} over "
+            f"{len(names)} — resume must replay the same run\n"
+        )
+        return None, 2
+    completed = {
+        name: RunRecord.from_dict(payload, resumed=True)
+        for name, payload in journal.completed().items()
+    }
+    return journal, completed
+
+
 def _run(
     names: Sequence[str], scale_label: str, out=None,
     seed: Optional[int] = None, jobs: int = 1,
     output_format: str = "text", err=None,
     profile: bool = False, metrics_out: Optional[str] = None,
     trace_out: Optional[str] = None, ledger_dir: Optional[str] = None,
+    timeout_s: Optional[float] = None, resume: Optional[str] = None,
 ) -> int:
     """Run ``names`` through the engine; returns a process exit code."""
     out = out if out is not None else sys.stdout
     err = err if err is not None else sys.stderr
     scale = _scale_for(scale_label, seed)
+    try:
+        ChaosConfig.from_env()  # fail fast on a malformed chaos spec
+    except ValueError as exc:
+        err.write(f"repro run: bad {CHAOS_ENV} spec: {exc}\n")
+        return 2
+
+    ledger = _ledger_for(ledger_dir)
+    journal: Optional[RunJournal] = None
+    completed: Dict[str, RunRecord] = {}
+    resumed_from: Optional[str] = None
+    run_id: Optional[str] = None
+    if resume is not None:
+        journal, resolved = _resume_journal(names, scale, resume, ledger,
+                                            err)
+        if journal is None:
+            return resolved
+        completed = resolved
+        resumed_from = journal.run_id
+        run_id = obs.new_run_id()
+        err.write(
+            f"[resume {journal.run_id}: {len(completed)}/{len(names)} "
+            f"experiment(s) journaled complete, "
+            f"{len(names) - len(completed)} to run]\n"
+        )
+    elif ledger is not None:
+        run_id = obs.new_run_id()
+        journal = RunJournal.create(
+            ledger.root, run_id, scale_label=scale.label,
+            seed=getattr(scale, "seed", None), names=names,
+            version=__version__,
+        )
+    to_run = [name for name in names if name not in completed]
+
     started = perf_counter()
     records = run_experiments(
-        names, scale, jobs=jobs, cache=ArtifactCache.from_env()
+        to_run, scale, jobs=jobs, cache=ArtifactCache.from_env(),
+        timeout_s=timeout_s,
+        on_record=journal.record if journal is not None else None,
     )
     elapsed = perf_counter() - started
+    records = stitch_records(names, completed, records)
     failed = [record for record in records if not record.ok]
 
     if metrics_out:
@@ -357,13 +489,13 @@ def _run(
             label=f"repro run (scale={scale.label}, jobs={jobs})",
         )
 
-    ledger = _ledger_for(ledger_dir)
     ledger_line = ""
     if ledger is not None:
         entry = ledger.append(obs.build_entry(
             records, scale_label=scale.label,
             seed=getattr(scale, "seed", None), jobs=jobs,
             elapsed_s=elapsed, version=__version__,
+            run_id=run_id, resumed_from=resumed_from,
         ))
         ledger_line = f"[ledger: {entry['run_id']} -> {ledger.path}]\n"
 
@@ -500,16 +632,43 @@ def _compare(run_a: str, run_b: str, ledger_dir: Optional[str],
         err.write(f"repro compare: {exc.args[0]}\n")
         return 2
 
+    def _entry_line(label: str, entry: Dict) -> str:
+        line = (
+            f"  {label}: scale={entry.get('scale')} "
+            f"seed={entry.get('seed')} jobs={entry.get('jobs')} "
+            f"wall={entry.get('wall_s')}s "
+            f"git={str(entry.get('git_sha'))[:12]}"
+        )
+        if entry.get("resumed_from"):
+            line += f" (resumed from {entry['resumed_from']})"
+        return line + "\n"
+
     out.write(
         f"repro compare: {a.get('run_id')} (A) vs "
         f"{b.get('run_id')} (B)\n"
-        f"  A: scale={a.get('scale')} seed={a.get('seed')} "
-        f"jobs={a.get('jobs')} wall={a.get('wall_s')}s "
-        f"git={str(a.get('git_sha'))[:12]}\n"
-        f"  B: scale={b.get('scale')} seed={b.get('seed')} "
-        f"jobs={b.get('jobs')} wall={b.get('wall_s')}s "
-        f"git={str(b.get('git_sha'))[:12]}\n\n"
+        + _entry_line("A", a) + _entry_line("B", b) + "\n"
     )
+
+    def _recovery(exp_a: Optional[Dict], exp_b: Optional[Dict]) -> str:
+        """Flag records that took a recovery path, per side.
+
+        ``retried×N`` = the worker was killed/hung and the experiment
+        survived via re-dispatch (N total attempts); ``resumed`` = the
+        record was restored from a run journal, not recomputed. Either
+        means the wall time is not comparable at face value.
+        """
+        notes = []
+        for label, exp in (("A", exp_a), ("B", exp_b)):
+            if not exp:
+                continue
+            side = []
+            if exp.get("attempts", 1) > 1:
+                side.append(f"retried×{exp['attempts']}")
+            if exp.get("resumed"):
+                side.append("resumed")
+            if side:
+                notes.append(f"{label}:{'+'.join(side)}")
+        return " ".join(notes) or "-"
 
     exps_a, exps_b = a.get("experiments", {}), b.get("experiments", {})
     rows, mismatched = [], []
@@ -517,7 +676,8 @@ def _compare(run_a: str, run_b: str, ledger_dir: Optional[str],
         exp_a, exp_b = exps_a.get(name), exps_b.get(name)
         if exp_a is None or exp_b is None:
             rows.append([name, "-", "-", "-",
-                         "only in B" if exp_a is None else "only in A"])
+                         "only in B" if exp_a is None else "only in A",
+                         _recovery(exp_a, exp_b)])
             continue
         digests_a = exp_a.get("series_digests", {})
         digests_b = exp_b.get("series_digests", {})
@@ -530,9 +690,11 @@ def _compare(run_a: str, run_b: str, ledger_dir: Optional[str],
             format_delta(exp_b.get("wall_s", 0.0),
                          exp_a.get("wall_s"), "s"),
             "same" if same else "DIFFERENT",
+            _recovery(exp_a, exp_b),
         ])
     out.write(render_table(
-        ["experiment", "wall A", "wall B", "delta", "series"], rows,
+        ["experiment", "wall A", "wall B", "delta", "series",
+         "recovery"], rows,
     ) + "\n")
 
     counters_a = a.get("totals", {}).get("counters", {})
@@ -580,7 +742,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             selected, args.scale, seed=args.seed, jobs=args.jobs,
             output_format=args.output_format, profile=args.profile,
             metrics_out=args.metrics_out, trace_out=args.trace_out,
-            ledger_dir=args.ledger_dir,
+            ledger_dir=args.ledger_dir, timeout_s=args.timeout_s,
+            resume=args.resume,
         )
     if args.command == "check":
         return _check(args.ledger_dir)

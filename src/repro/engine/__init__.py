@@ -1,20 +1,34 @@
-"""Experiment run engine: registry, parallel runner, artifact cache.
+"""Experiment run engine: registry, resilient runner, artifact cache.
 
-Three layers, consumed together by the CLI, the CSV exporter, and the
+Five layers, consumed together by the CLI, the CSV exporter, and the
 benches:
 
 * :mod:`.registry` — declarative :class:`ExperimentSpec` records, one
   per paper artifact, populated by the ``@register`` decorator on each
   ``exp_*`` module's ``run`` function;
 * :mod:`.runner` — executes selected specs with per-experiment error
-  isolation and optional process-level parallelism, returning
-  structured :class:`RunRecord` results;
-* :mod:`.cache` — a content-addressed on-disk :class:`ArtifactCache`
-  for the expensive shared substrate (topology, routing oracle,
-  workloads, content measurements).
+  isolation, optional process-level parallelism, deadline/watchdog
+  enforcement, and crashed-worker re-dispatch, returning structured
+  :class:`RunRecord` results;
+* :mod:`.cache` — a content-addressed, integrity-checksummed on-disk
+  :class:`ArtifactCache` for the expensive shared substrate (topology,
+  routing oracle, workloads, content measurements), with an LRU size
+  budget (``REPRO_CACHE_MAX_MB``);
+* :mod:`.resilience` — the per-run :class:`RunJournal` behind
+  ``repro run --resume`` and the engine's
+  :data:`ENGINE_RETRY_POLICY`;
+* :mod:`.chaos` — the ``REPRO_CHAOS`` fault injector that proves the
+  recovery paths end-to-end.
 """
 
-from .cache import CACHE_DIR_ENV, GENERATOR_VERSION, ArtifactCache
+from .cache import (
+    CACHE_DIR_ENV,
+    CACHE_MAX_MB_ENV,
+    ENTRY_VERSION,
+    GENERATOR_VERSION,
+    ArtifactCache,
+)
+from .chaos import CHAOS_ENV, ChaosConfig
 from .registry import (
     ExperimentSpec,
     Series,
@@ -25,20 +39,43 @@ from .registry import (
     register,
     unregister,
 )
-from .runner import RunRecord, run_experiments
+from .resilience import (
+    ENGINE_RETRY_POLICY,
+    RunJournal,
+    run_config_hash,
+    stitch_records,
+)
+from .runner import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    RunRecord,
+    run_experiments,
+)
 
 __all__ = [
     "ArtifactCache",
     "CACHE_DIR_ENV",
+    "CACHE_MAX_MB_ENV",
+    "CHAOS_ENV",
+    "ChaosConfig",
+    "ENGINE_RETRY_POLICY",
+    "ENTRY_VERSION",
     "GENERATOR_VERSION",
     "ExperimentSpec",
-    "Series",
+    "RunJournal",
     "RunRecord",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "Series",
     "register",
     "unregister",
     "get_spec",
     "all_specs",
     "experiment_names",
     "load_registry",
+    "run_config_hash",
     "run_experiments",
+    "stitch_records",
 ]

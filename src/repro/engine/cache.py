@@ -12,13 +12,27 @@ generator version, and the sorted build parameters. Bump
 :data:`GENERATOR_VERSION` whenever a generator's output changes so old
 cache entries can never leak into new code.
 
+Entries are *integrity-checked*: every file starts with a versioned
+header carrying a SHA-256 checksum of the pickled payload, verified on
+every read. A bit-flipped, truncated, or torn entry — which raw
+``pickle.load`` might silently decode into wrong numbers — becomes a
+counted ``cache.corrupt`` miss that is unlinked and rebuilt. Wrong
+science is not a failure mode the cache is allowed to have.
+
 Writes are atomic (temp file + :func:`os.replace`), so concurrent
 workers racing to populate the same key are safe — the last writer
-wins and every reader sees a complete pickle.
+wins and every reader sees a complete entry. A write that fails
+because the cache directory is unwritable or the disk is full degrades
+gracefully: one warning, a ``cache.unwritable`` counter, and the run
+continues uncached instead of surfacing OSError into the experiment
+record.
 
 The cache directory defaults to ``~/.cache/repro`` and is overridden
 with the ``REPRO_CACHE_DIR`` environment variable; setting it to
-``off``, ``none``, or ``0`` disables caching entirely.
+``off``, ``none``, or ``0`` disables caching entirely. Setting
+``REPRO_CACHE_MAX_MB`` bounds the directory's total size: after each
+store, least-recently-used entries (hits refresh recency) are evicted
+until the budget holds, so long campaigns cannot fill the disk.
 """
 
 from __future__ import annotations
@@ -28,33 +42,56 @@ import json
 import os
 import pickle
 import tempfile
-from typing import Any, Callable, Optional
+import warnings
+from typing import Any, Callable, Dict, Optional
 
 from .. import obs
+from .chaos import ChaosConfig
 
-__all__ = ["ArtifactCache", "GENERATOR_VERSION", "CACHE_DIR_ENV"]
+__all__ = [
+    "ArtifactCache",
+    "GENERATOR_VERSION",
+    "ENTRY_VERSION",
+    "CACHE_DIR_ENV",
+    "CACHE_MAX_MB_ENV",
+]
 
 #: Bump when any substrate generator changes its output.
 #: 2: artifact keys carry the topology generator parameters and warm
 #:    oracles pickle a route-dirtiness counter.
-GENERATOR_VERSION = 2
+#: 3: checksummed entry container (pre-3 raw-pickle files are never
+#:    read back as valid entries).
+GENERATOR_VERSION = 3
+
+#: On-disk entry container version (header format, not payload).
+ENTRY_VERSION = 3
 
 #: Environment variable naming the cache directory (or disabling it).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable bounding the cache's total on-disk size in MiB
+#: (unset or non-positive = unbounded).
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
 _DISABLED_VALUES = {"off", "none", "0", ""}
+
+#: Every entry starts with this magic + a JSON header line.
+_MAGIC = b"repro-cache/3\n"
 
 #: Sentinel distinguishing "no cache entry" from a legitimately cached
 #: ``None`` value. Never escapes this module.
 _MISS = object()
 
+#: Sentinel for "resolve the size budget from the environment".
+_FROM_ENV = object()
+
 #: Everything a stale or truncated pickle can raise. Beyond the obvious
 #: decode errors, a pickle referencing a class that has since moved or
 #: been deleted raises ImportError/ModuleNotFoundError or
 #: AttributeError, and a truncated or bit-rotted stream can surface as
-#: ValueError (incl. UnicodeDecodeError), IndexError, or MemoryError
-#: (absurd length prefixes). All of them mean "this entry is garbage",
-#: never "the caller did something wrong".
+#: ValueError (incl. UnicodeDecodeError), IndexError, KeyError, or
+#: MemoryError (absurd length prefixes). All of them mean "this entry
+#: is garbage", never "the caller did something wrong".
 _CORRUPT_ERRORS = (
     OSError,
     pickle.UnpicklingError,
@@ -63,17 +100,82 @@ _CORRUPT_ERRORS = (
     ImportError,
     ValueError,
     IndexError,
+    KeyError,
     MemoryError,
 )
 
 
-class ArtifactCache:
-    """Pickle store keyed by artifact name + build parameters."""
+def _max_bytes_from_env() -> Optional[int]:
+    raw = os.environ.get(CACHE_MAX_MB_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        max_mb = float(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-numeric {CACHE_MAX_MB_ENV}={raw!r}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    if max_mb <= 0:
+        return None
+    return int(max_mb * 1024 * 1024)
 
-    def __init__(self, root: str):
+
+def _encode_entry(obj: Any) -> bytes:
+    """Serialize ``obj`` into the checksummed entry container."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    header = json.dumps(
+        {
+            "entry_version": ENTRY_VERSION,
+            "generator_version": GENERATOR_VERSION,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "size": len(payload),
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    return _MAGIC + header + b"\n" + payload
+
+
+def _decode_entry(blob: bytes) -> Any:
+    """Verify and deserialize one entry; raises on any integrity fault."""
+    if not blob.startswith(_MAGIC):
+        raise ValueError("not a repro cache entry (legacy or foreign file)")
+    header_end = blob.index(b"\n", len(_MAGIC))
+    header = json.loads(blob[len(_MAGIC):header_end].decode("utf-8"))
+    if header.get("entry_version") != ENTRY_VERSION:
+        raise ValueError(f"unknown entry version {header.get('entry_version')!r}")
+    payload = blob[header_end + 1:]
+    if len(payload) != header.get("size"):
+        raise ValueError(
+            f"payload truncated: {len(payload)} of {header.get('size')} bytes"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.get("sha256"):
+        raise ValueError("payload checksum mismatch (bit rot or torn write)")
+    return pickle.loads(payload)
+
+
+class ArtifactCache:
+    """Checksummed pickle store keyed by artifact name + build params."""
+
+    def __init__(
+        self,
+        root: str,
+        max_bytes: Any = _FROM_ENV,
+        chaos: Optional[ChaosConfig] = None,
+    ):
         self.root = root
         self.hits = 0
         self.misses = 0
+        #: Total-size budget for the LRU sweep (None = unbounded).
+        self.max_bytes: Optional[int] = (
+            _max_bytes_from_env() if max_bytes is _FROM_ENV else max_bytes
+        )
+        self._chaos = chaos if chaos is not None else ChaosConfig.from_env()
+        self._chaos_writes: Dict[str, int] = {}
+        self._warned_unwritable = False
 
     @classmethod
     def from_env(cls) -> Optional["ArtifactCache"]:
@@ -101,8 +203,8 @@ class ArtifactCache:
     def load(self, key: str) -> Optional[Any]:
         """The cached object for ``key``, or None on a miss.
 
-        A corrupt, truncated, or stale entry (e.g. written by an
-        incompatible Python, or pickling a class that has since moved)
+        A corrupt, truncated, checksum-failing, or stale entry (e.g.
+        written by old code, or pickling a class that has since moved)
         counts as a miss: it is counted under the ``cache.corrupt``
         metric and unlinked so the next :meth:`store` starts clean.
         """
@@ -113,12 +215,12 @@ class ArtifactCache:
         """The cached object for ``key``, or :data:`_MISS`."""
         path = self._path(key)
         try:
-            handle = open(path, "rb")
+            with open(path, "rb") as handle:
+                blob = handle.read()
         except OSError:
             return _MISS
         try:
-            with handle:
-                return pickle.load(handle)
+            obj = _decode_entry(blob)
         except _CORRUPT_ERRORS:
             obs.incr("cache.corrupt")
             try:
@@ -126,21 +228,104 @@ class ArtifactCache:
             except OSError:
                 pass
             return _MISS
-
-    def store(self, key: str, obj: Any) -> str:
-        """Atomically persist ``obj`` under ``key``; returns the path."""
-        os.makedirs(self.root, exist_ok=True)
-        path = self._path(key)
-        fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
+            os.utime(path)  # refresh recency for the LRU sweep
+        except OSError:
+            pass
+        return obj
+
+    def _warn_unwritable(self, exc: OSError) -> None:
+        obs.incr("cache.unwritable")
+        if self._warned_unwritable:
+            return
+        self._warned_unwritable = True
+        warnings.warn(
+            f"artifact cache {self.root!r} is unwritable ({exc}); "
+            f"continuing uncached",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def store(self, key: str, obj: Any) -> Optional[str]:
+        """Atomically persist ``obj`` under ``key``; returns the path.
+
+        An unwritable directory or a disk that fills mid-write is not
+        an experiment failure: the error is swallowed (warned once,
+        counted as ``cache.unwritable``) and None is returned — the
+        caller already holds ``obj`` and simply runs uncached.
+        """
+        path = self._path(key)
+        tmp_path = None
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(_encode_entry(obj))
             os.replace(tmp_path, path)
-        except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
-            raise
+            tmp_path = None
+        except OSError as exc:
+            self._warn_unwritable(exc)
+            return None
+        finally:
+            if tmp_path is not None and os.path.exists(tmp_path):
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+        self._maybe_chaos_corrupt(key, path)
+        self._sweep(keep=path)
         return path
+
+    def _maybe_chaos_corrupt(self, key: str, path: str) -> None:
+        """Chaos hook: truncate the entry just written (torn write)."""
+        if self._chaos is None or not self._chaos.corrupt:
+            return
+        sequence = self._chaos_writes.get(key, 0)
+        self._chaos_writes[key] = sequence + 1
+        if not self._chaos.should_corrupt(key, sequence):
+            return
+        try:
+            size = os.path.getsize(path)
+            with open(path, "r+b") as handle:
+                handle.truncate(max(len(_MAGIC), size // 2))
+            obs.incr("chaos.cache_corrupt")
+        except OSError:
+            pass
+
+    def _sweep(self, keep: Optional[str] = None) -> None:
+        """Evict least-recently-used entries past :attr:`max_bytes`."""
+        if self.max_bytes is None:
+            return
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return
+        entries = []
+        total = 0
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        entries.sort()  # oldest mtime first
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and os.path.abspath(path) == os.path.abspath(keep):
+                continue  # never evict the entry we just paid to write
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            obs.incr("cache.evicted")
 
     def get_or_build(
         self, artifact: str, builder: Callable[[], Any], **params: Any

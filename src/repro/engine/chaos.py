@@ -1,0 +1,165 @@
+"""The engine chaos harness: prove every recovery path, on demand.
+
+The resilience machinery — deadline watchdog, crash re-dispatch, cache
+checksums — is only trustworthy if something actually exercises it.
+This module injects the three failure modes the engine claims to
+survive, controlled by the ``REPRO_CHAOS`` environment variable::
+
+    REPRO_CHAOS="kill:0.1,hang:0.05,corrupt:0.1,seed:7"
+
+* ``kill:P`` — with probability P a worker SIGKILLs itself before
+  running its experiment (simulates OOM kills and segfaults);
+* ``hang:P`` — with probability P a worker sleeps past the
+  experiment's deadline before proceeding (simulates a stalled
+  worker; the parent's watchdog must detect and re-dispatch);
+* ``corrupt:P`` — with probability P a cache write is truncated after
+  landing on disk (simulates bit rot / torn writes; the cache's
+  payload checksum must turn it into a counted miss, never wrong
+  science);
+* ``seed:N`` — decision seed (default 0).
+
+Every decision is a pure function of ``(seed, failure kind, target,
+attempt)``: a chaos run replays identically, and a strike that fires
+on attempt ``k`` is an independent draw on attempt ``k+1`` — so with
+P < 1 a retried experiment eventually gets through, which is exactly
+the property the CI chaos job asserts (all experiments ``ok``, series
+digests byte-identical to a clean run).
+
+Worker kill/hang strikes fire only in engine worker processes (the
+runner passes each worker its attempt number); cache corruption fires
+wherever a chaos-armed :class:`~repro.engine.cache.ArtifactCache`
+writes. ``ChaosConfig.from_env()`` returns ``None`` when ``REPRO_CHAOS``
+is unset, so the zero-chaos path costs nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import obs
+
+__all__ = ["CHAOS_ENV", "ChaosConfig"]
+
+#: Environment variable holding the chaos spec ("" / "off" / "none" /
+#: "0" disable it, mirroring REPRO_CACHE_DIR).
+CHAOS_ENV = "REPRO_CHAOS"
+
+_DISABLED_VALUES = {"", "off", "none", "0"}
+
+_KNOWN_KEYS = ("kill", "hang", "corrupt", "seed")
+
+#: How long a chaos hang sleeps when the experiment has no deadline:
+#: bounded, so a hang can delay but never wedge an un-timeout-ed run.
+HANG_NO_DEADLINE_S = 3.0
+
+#: Margin slept past the deadline on a hang strike — comfortably over
+#: the watchdog's poll interval, so the parent always notices.
+HANG_DEADLINE_MARGIN_S = 2.0
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed ``REPRO_CHAOS`` spec; all probabilities in ``[0, 1]``."""
+
+    kill: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosConfig":
+        """Parse ``"kill:0.1,hang:0.05,corrupt:0.1,seed:7"``.
+
+        Raises :class:`ValueError` with a friendly message on unknown
+        keys, malformed tokens, or out-of-range probabilities.
+        """
+        values = {}
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            key, sep, raw = token.partition(":")
+            key = key.strip().lower()
+            if not sep or key not in _KNOWN_KEYS:
+                raise ValueError(
+                    f"bad chaos token {token!r} — expected "
+                    f"'<kind>:<value>' with kind one of "
+                    f"{', '.join(_KNOWN_KEYS)}"
+                )
+            if key in values:
+                raise ValueError(f"duplicate chaos key {key!r}")
+            try:
+                if key == "seed":
+                    values[key] = int(raw, 10)
+                else:
+                    values[key] = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"bad chaos value for {key!r}: {raw!r}"
+                ) from None
+        for key in ("kill", "hang", "corrupt"):
+            probability = values.get(key, 0.0)
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"chaos probability {key}:{probability:g} outside "
+                    f"[0, 1]"
+                )
+        return cls(**values)
+
+    @classmethod
+    def from_env(cls) -> Optional["ChaosConfig"]:
+        """The config selected by ``REPRO_CHAOS`` (None = chaos off)."""
+        value = os.environ.get(CHAOS_ENV, "").strip()
+        if value.lower() in _DISABLED_VALUES:
+            return None
+        return cls.parse(value)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.kill or self.hang or self.corrupt)
+
+    def _decide(self, probability: float, *tokens) -> bool:
+        """Deterministic draw: hash ``(seed, tokens)`` against ``probability``."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        payload = json.dumps([self.seed, *tokens], sort_keys=True)
+        digest = hashlib.sha256(payload.encode("utf-8")).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return draw < probability
+
+    def should_kill(self, name: str, attempt: int) -> bool:
+        return self._decide(self.kill, "kill", name, attempt)
+
+    def should_hang(self, name: str, attempt: int) -> bool:
+        return self._decide(self.hang, "hang", name, attempt)
+
+    def should_corrupt(self, key: str, sequence: int) -> bool:
+        return self._decide(self.corrupt, "corrupt", key, sequence)
+
+    def strike(
+        self, name: str, attempt: int, timeout_s: Optional[float] = None
+    ) -> None:
+        """Maybe hang, then maybe die — called from engine workers.
+
+        A hang sleeps past ``timeout_s`` (the experiment's deadline) so
+        the parent watchdog fires; without a deadline the sleep is
+        bounded at :data:`HANG_NO_DEADLINE_S`. A kill is a real
+        ``SIGKILL`` to this process — no cleanup, exactly like the OOM
+        killer.
+        """
+        if self.should_hang(name, attempt):
+            obs.incr("chaos.hang")
+            if timeout_s is not None:
+                time.sleep(timeout_s + HANG_DEADLINE_MARGIN_S)
+            else:
+                time.sleep(HANG_NO_DEADLINE_S)
+        if self.should_kill(name, attempt):
+            os.kill(os.getpid(), signal.SIGKILL)

@@ -77,6 +77,31 @@ class ExperimentSpec:
             return []
         return list(series_fn(result))
 
+    def timeout_s(self) -> Optional[float]:
+        """The module's declared per-experiment deadline, if any.
+
+        Experiment modules opt in by defining a module-level
+        ``TIMEOUT_S`` (seconds, positive); it overrides the CLI's
+        ``run --timeout-s`` for that experiment. Returns None when the
+        module declares nothing.
+        """
+        declared = getattr(self._module(), "TIMEOUT_S", None)
+        if declared is None:
+            return None
+        try:
+            value = float(declared)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"experiment {self.name!r} declares a non-numeric "
+                f"TIMEOUT_S: {declared!r}"
+            ) from None
+        if value <= 0:
+            raise ValueError(
+                f"experiment {self.name!r} declares a non-positive "
+                f"TIMEOUT_S: {value!r}"
+            )
+        return value
+
     def targets(self) -> List[Any]:
         """The module's declared paper targets (may be empty).
 

@@ -1,0 +1,271 @@
+"""Crash-safe resumable runs: the per-run journal and engine retry policy.
+
+A campaign-scale ``repro run`` is hours long and thousands of cells
+wide; the process dying at 90% must not cost the first 90%. This
+module provides the pieces the runner and CLI thread together:
+
+* :class:`RunJournal` — an append-only JSONL file next to the ledger
+  (``<ledger dir>/journal-<run id>.jsonl``). The first line records
+  the run's identity (run id, config hash, scale, seed, experiment
+  names); one line per experiment is appended — flushed and fsynced —
+  the moment its record completes. A SIGKILL mid-run leaves a valid
+  journal (an interrupted final line is skipped on read, like the
+  ledger's).
+* :func:`run_config_hash` — the fingerprint that decides whether a
+  journal is resumable by the current invocation: same scale, same
+  seed, same experiment set. ``repro run --resume <run-id|last>``
+  refuses a mismatch instead of stitching incompatible runs.
+* :func:`stitch_records` — merge journal-completed records with fresh
+  ones back into request order, so a resumed run's ledger entry is
+  shaped — and digest-for-digest identical — to an uninterrupted run.
+* :data:`ENGINE_RETRY_POLICY` — the :class:`repro.faults.retry.RetryPolicy`
+  the runner consults for crashed/hung-worker re-dispatch, replacing
+  the engine's old hand-rolled one-shot retry. Backoff jitter is drawn
+  from a seeded RNG, so a chaos run replays identically.
+
+Everything here is engine-side plumbing: experiments never see the
+journal, and a journal-completed record is bit-identical to the record
+the original run produced (it is the same JSON, round-tripped).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..faults.retry import RetryPolicy
+
+__all__ = [
+    "ENGINE_RETRY_POLICY",
+    "JOURNAL_SCHEMA",
+    "RunJournal",
+    "run_config_hash",
+    "stitch_records",
+]
+
+#: Schema tag stamped into every journal header.
+JOURNAL_SCHEMA = "repro.journal/v1"
+
+_JOURNAL_PREFIX = "journal-"
+_JOURNAL_SUFFIX = ".jsonl"
+
+#: Re-dispatch policy for crashed and hung workers: up to 4 attempts
+#: per experiment with short capped exponential backoff between rounds.
+#: The jitter keeps a herd of re-dispatches from re-colliding, and is
+#: drawn from a seeded RNG in the runner so runs replay exactly.
+ENGINE_RETRY_POLICY = RetryPolicy(
+    initial_timeout=0.1,
+    backoff_factor=2.0,
+    max_timeout=2.0,
+    max_attempts=4,
+    jitter_fraction=0.25,
+)
+
+
+def run_config_hash(
+    scale_label: str, seed: Optional[int], names: Sequence[str]
+) -> str:
+    """Fingerprint of what a run *is*: scale, seed, experiment set.
+
+    Two invocations with the same hash compute the same records (the
+    experiments are pure functions of ``(scale, seed)``), so a journal
+    from one can safely satisfy the other.
+    """
+    payload = json.dumps(
+        {"scale": scale_label, "seed": seed, "names": sorted(names)},
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def stitch_records(
+    names: Sequence[str],
+    completed: Dict[str, Any],
+    fresh: Iterable[Any],
+) -> List[Any]:
+    """Merge resumed + fresh records back into request order.
+
+    ``completed`` maps experiment name to a journal-restored record;
+    ``fresh`` are this process's records (any order; matched by
+    ``.name``). Every name must be covered by exactly one source.
+    """
+    fresh_by_name = {record.name: record for record in fresh}
+    out = []
+    for name in names:
+        if name in completed and name in fresh_by_name:
+            raise ValueError(f"experiment {name!r} both resumed and re-run")
+        record = completed.get(name) or fresh_by_name.get(name)
+        if record is None:
+            raise ValueError(f"no record for experiment {name!r}")
+        out.append(record)
+    return out
+
+
+class RunJournal:
+    """Append-only per-run completion log, written as records land."""
+
+    def __init__(self, path: str, header: Dict[str, Any]):
+        self.path = path
+        self.header = header
+
+    # -- creation / lookup -------------------------------------------------
+
+    @classmethod
+    def _path_for(cls, root: str, run_id: str) -> str:
+        return os.path.join(
+            root, f"{_JOURNAL_PREFIX}{run_id}{_JOURNAL_SUFFIX}"
+        )
+
+    @classmethod
+    def create(
+        cls,
+        root: str,
+        run_id: str,
+        *,
+        scale_label: str,
+        seed: Optional[int],
+        names: Sequence[str],
+        version: str = "",
+    ) -> "RunJournal":
+        """Start a new journal under ``root``; writes the header line."""
+        header = {
+            "type": "start",
+            "schema": JOURNAL_SCHEMA,
+            "run_id": run_id,
+            "config_hash": run_config_hash(scale_label, seed, names),
+            "scale": scale_label,
+            "seed": seed,
+            "names": list(names),
+            "version": version,
+        }
+        os.makedirs(root, exist_ok=True)
+        journal = cls(cls._path_for(root, run_id), header)
+        journal._append(header)
+        return journal
+
+    @classmethod
+    def known_run_ids(cls, root: str) -> List[str]:
+        """Journaled run ids under ``root``, oldest first.
+
+        Run ids start with a UTC timestamp, so the lexical sort is the
+        chronological one.
+        """
+        try:
+            entries = os.listdir(root)
+        except OSError:
+            return []
+        ids = [
+            name[len(_JOURNAL_PREFIX):-len(_JOURNAL_SUFFIX)]
+            for name in entries
+            if name.startswith(_JOURNAL_PREFIX)
+            and name.endswith(_JOURNAL_SUFFIX)
+        ]
+        return sorted(ids)
+
+    @classmethod
+    def find(cls, root: str, ref: str) -> "RunJournal":
+        """Open an existing journal by run id or ``"last"``.
+
+        Raises :class:`KeyError` (with the known run ids, for a
+        friendly CLI error) when nothing matches or the journal file
+        has no readable header.
+        """
+        known = cls.known_run_ids(root)
+        if ref in ("last", "latest", "-1"):
+            if not known:
+                raise KeyError(f"no journals under {root!r}")
+            ref = known[-1]
+        if ref not in known:
+            recent = ", ".join(known[-5:]) or "none"
+            raise KeyError(
+                f"no journal for run {ref!r} under {root!r} "
+                f"(recent: {recent})"
+            )
+        path = cls._path_for(root, ref)
+        header = None
+        for line in cls._lines(path):
+            if line.get("type") == "start":
+                header = line
+                break
+        if header is None:
+            raise KeyError(f"journal {path!r} has no readable header")
+        return cls(path, header)
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def run_id(self) -> str:
+        return str(self.header.get("run_id", ""))
+
+    @property
+    def config_hash(self) -> str:
+        return str(self.header.get("config_hash", ""))
+
+    # -- writing -----------------------------------------------------------
+
+    def _append(self, payload: Dict[str, Any]) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def record(self, record: Any) -> None:
+        """Journal one completed experiment record (flush + fsync).
+
+        ``record`` is duck-typed: anything with a ``to_dict()`` (the
+        engine's :class:`~repro.engine.runner.RunRecord`). Called by
+        the runner the moment each record is final, so a crash loses at
+        most the experiment in flight.
+        """
+        self._append({"type": "record", "record": record.to_dict()})
+
+    # -- reading -----------------------------------------------------------
+
+    @staticmethod
+    def _lines(path: str) -> List[Dict[str, Any]]:
+        """Parsed JSONL lines; truncated/corrupt lines are skipped."""
+        if not os.path.exists(path):
+            return []
+        out: List[Dict[str, Any]] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    continue  # crash mid-append: skip, don't raise
+                if isinstance(payload, dict):
+                    out.append(payload)
+        return out
+
+    def record_dicts(self) -> List[Dict[str, Any]]:
+        """All journaled record payloads, oldest first."""
+        return [
+            line["record"]
+            for line in self._lines(self.path)
+            if line.get("type") == "record"
+            and isinstance(line.get("record"), dict)
+        ]
+
+    def completed(self) -> Dict[str, Dict[str, Any]]:
+        """Name -> record dict for every *successful* completion.
+
+        Only ``ok`` records count: errored and timed-out experiments
+        are re-run on resume (that is the point of resuming). The last
+        entry per name wins, so a journal extended by a resumed run
+        stays consistent.
+        """
+        done: Dict[str, Dict[str, Any]] = {}
+        for payload in self.record_dicts():
+            name = payload.get("name")
+            if not isinstance(name, str):
+                continue
+            if payload.get("status") == "ok":
+                done[name] = payload
+            else:
+                done.pop(name, None)
+        return done

@@ -15,25 +15,63 @@ substrate. Every experiment is a deterministic pure function of
 ``(scale, seed)``, so records come back identical regardless of job
 count or completion order — results are re-sorted into request order
 before returning.
+
+The pooled path is *resilient*: a parent-side watchdog enforces
+per-experiment deadlines (``timeout_s``, overridden per experiment by
+a module-level ``TIMEOUT_S``), detects hung or killed workers,
+terminates the poisoned pool, and re-dispatches the affected
+experiments under the engine's :class:`repro.faults.retry.RetryPolicy`
+(:data:`~repro.engine.resilience.ENGINE_RETRY_POLICY` — capped
+attempts, seeded-jitter backoff). An experiment that exhausts its
+attempts comes back as a single ``STATUS_TIMEOUT`` or ``STATUS_ERROR``
+record; the rest of the run is never aborted. Because deadline
+enforcement needs a killable worker, a run with any deadline set is
+routed through the pool even at ``jobs=1`` (records are identical
+either way). The ``REPRO_CHAOS`` harness
+(:mod:`repro.engine.chaos`) injects worker kills and hangs precisely
+to prove these paths in CI.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import random
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from time import perf_counter, time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from time import monotonic, perf_counter, sleep, time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..faults.retry import RetryPolicy
 from .cache import ArtifactCache
+from .chaos import ChaosConfig
 from .registry import get_spec
+from .resilience import ENGINE_RETRY_POLICY
 
-__all__ = ["RunRecord", "run_experiments"]
+__all__ = [
+    "RunRecord",
+    "run_experiments",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_TIMEOUT",
+]
 
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
+#: An experiment that exceeded its deadline on every allowed attempt.
+STATUS_TIMEOUT = "timeout"
+
+#: Watchdog poll interval: how often the parent checks deadlines while
+#: waiting on worker futures.
+_POLL_S = 0.05
+
+#: Upper bound on the between-round backoff sleep, whatever the policy
+#: ladder says — the engine retries to make progress, not to idle.
+_MAX_BACKOFF_SLEEP_S = 5.0
 
 
 @dataclass(frozen=True)
@@ -41,7 +79,7 @@ class RunRecord:
     """The structured outcome of one experiment run."""
 
     name: str
-    status: str  # STATUS_OK or STATUS_ERROR
+    status: str  # STATUS_OK, STATUS_ERROR, or STATUS_TIMEOUT
     wall_time_s: float
     output: str = ""  # formatted experiment text (ok runs)
     error: str = ""  # traceback (failed runs)
@@ -63,6 +101,12 @@ class RunRecord:
     #: Observed paper-target values (``target_values()`` of modules
     #: declaring ``PAPER_TARGETS``), scored by ``repro check``.
     observed: Dict[str, float] = field(default_factory=dict)
+    #: Dispatch attempts this record cost (1 = first try; >1 means the
+    #: experiment survived worker crashes/hangs and was re-dispatched).
+    attempts: int = 1
+    #: True when the record was restored from a run journal by
+    #: ``repro run --resume`` rather than computed by this process.
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -74,7 +118,7 @@ class RunRecord:
         return self.wall_time_s
 
     def to_dict(self) -> Dict[str, Any]:
-        """A JSON-ready mapping (used by ``repro run --format json``)."""
+        """A JSON-ready mapping (``--format json``, the run journal)."""
         return {
             "name": self.name,
             "status": self.status,
@@ -85,7 +129,33 @@ class RunRecord:
             "metrics": self.metrics,
             "series_digests": self.series_digests,
             "observed": self.observed,
+            "attempts": self.attempts,
+            "resumed": self.resumed,
         }
+
+    @classmethod
+    def from_dict(
+        cls, payload: Dict[str, Any], *, resumed: bool = False
+    ) -> "RunRecord":
+        """Rebuild a record journaled by :meth:`to_dict`.
+
+        ``resumed=True`` marks the record as journal-restored (set by
+        ``repro run --resume``); digests, output, and observations ride
+        through byte-identical.
+        """
+        return cls(
+            name=payload["name"],
+            status=payload.get("status", STATUS_ERROR),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            output=payload.get("output", ""),
+            error=payload.get("error", ""),
+            started_at=float(payload.get("started_at", 0.0)),
+            metrics=payload.get("metrics") or {},
+            series_digests=payload.get("series_digests") or {},
+            observed=payload.get("observed") or {},
+            attempts=int(payload.get("attempts", 1)),
+            resumed=resumed or bool(payload.get("resumed", False)),
+        )
 
 
 def _world_class():
@@ -157,27 +227,294 @@ def _execute(name: str, scale, cache: Optional[ArtifactCache]) -> RunRecord:
 
 
 def _execute_in_worker(
-    name: str, scale, cache_root: Optional[str]
+    name: str,
+    scale,
+    cache_root: Optional[str],
+    attempt: int = 0,
+    timeout_s: Optional[float] = None,
 ) -> RunRecord:
-    """Top-level (picklable) entry point for pool workers."""
+    """Top-level (picklable) entry point for pool workers.
+
+    ``attempt`` is the 0-based dispatch attempt for this experiment —
+    the chaos harness keys its kill/hang decisions on it, so a strike
+    on attempt ``k`` is an independent draw on attempt ``k+1`` and a
+    retried experiment eventually gets through.
+    """
     from repro.engine.registry import load_registry
 
     load_registry()
-    cache = ArtifactCache(cache_root) if cache_root else None
+    chaos = ChaosConfig.from_env()
+    if chaos is not None:
+        chaos.strike(name, attempt, timeout_s)
+    cache = ArtifactCache(cache_root, chaos=chaos) if cache_root else None
     return _execute(name, scale, cache)
 
 
-def _lost_worker_record(name: str, exc: BaseException) -> RunRecord:
-    """An error record for an experiment whose worker process died."""
+def _lost_worker_record(name: str, attempts: int) -> RunRecord:
+    """An error record for an experiment whose workers kept dying."""
     return RunRecord(
         name=name,
         status=STATUS_ERROR,
         wall_time_s=0.0,
+        started_at=time(),
         error=(
             f"worker process died before returning a result for {name!r} "
-            f"(OOM kill, segfault, or hard exit): {exc!r}"
+            f"(OOM kill, segfault, or hard exit) on all {attempts} "
+            f"dispatch attempt(s)"
+        ),
+        attempts=attempts,
+    )
+
+
+def _timeout_record(
+    name: str, deadline_s: Optional[float], attempts: int
+) -> RunRecord:
+    """The ``STATUS_TIMEOUT`` record for a deadline-exhausted experiment."""
+    return RunRecord(
+        name=name,
+        status=STATUS_TIMEOUT,
+        wall_time_s=float(deadline_s or 0.0),
+        started_at=time(),
+        error=(
+            f"experiment {name!r} exceeded its {deadline_s:g}s deadline "
+            f"on all {attempts} dispatch attempt(s); worker(s) "
+            f"terminated by the watchdog"
+        ),
+        attempts=attempts,
+    )
+
+
+def _pool_error_record(name: str, exc: BaseException) -> RunRecord:
+    """An error record for a pool-level (non-experiment) failure."""
+    return RunRecord(
+        name=name,
+        status=STATUS_ERROR,
+        wall_time_s=0.0,
+        started_at=time(),
+        error=(
+            f"worker pool failed to return a result for {name!r}: "
+            + "".join(traceback.format_exception_only(type(exc), exc)).strip()
         ),
     )
+
+
+def _kill_pool(pool: ProcessPoolExecutor, force: bool) -> None:
+    """Tear a pool down; ``force`` SIGKILLs workers (hung or poisoned).
+
+    ``shutdown(wait=True)`` on a pool with a worker stuck in an
+    uninterruptible sleep would hang the parent forever — the watchdog
+    path must kill the worker processes directly before shutting the
+    executor's plumbing down.
+    """
+    if not force:
+        pool.shutdown(wait=True)
+        return
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in processes:
+        try:
+            proc.kill()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for proc in processes:
+        try:
+            proc.join(timeout=1.0)
+        except Exception:
+            pass
+
+
+def _run_pooled(
+    names: Sequence[str],
+    scale,
+    cache_root: Optional[str],
+    jobs: int,
+    deadlines: Dict[str, Optional[float]],
+    policy: RetryPolicy,
+    on_record: Optional[Callable[[RunRecord], None]],
+) -> List[RunRecord]:
+    """The resilient pooled scheduler: sliding window + watchdog.
+
+    At most ``jobs`` experiments are in flight, each dispatched to a
+    free worker the moment one is available, so an experiment's
+    deadline clock starts when it is actually handed to a worker.
+
+    Clean work shares one pool (worker processes amortize World
+    construction across experiments). Recovery is *quarantined*: once
+    an experiment is charged with a failure — its worker died, or it
+    blew its deadline — it is re-dispatched into its own single-worker
+    pool after a seeded-jitter backoff, so a repeat offender only ever
+    breaks itself. When the shared pool breaks, the executor cannot say
+    which task killed it, so every in-flight task is charged once and
+    quarantined: the true killer keeps dying alone and exhausts its
+    ``policy.max_attempts``; the innocents complete on their isolated
+    retry. When a deadline trips in the shared pool, the hung worker
+    can only be reclaimed by killing the pool — overdue experiments
+    are charged, in-flight bystanders are requeued uncharged.
+    """
+    n = len(names)
+    records: List[Optional[RunRecord]] = [None] * n
+    charged = [0] * n  # failures attributed to each experiment
+    rng = random.Random(f"repro-runner:{getattr(scale, 'seed', None)}")
+    shared_pending = deque(range(n))
+    quarantine: List[Tuple[float, int]] = []  # (ready_at, index)
+    #: future -> (index, absolute deadline, owning pool, dedicated?)
+    in_flight: Dict[Any, Tuple[int, Optional[float], Any, bool]] = {}
+    shared_pool: Optional[ProcessPoolExecutor] = None
+
+    def finalize(index: int, record: RunRecord) -> None:
+        records[index] = record
+        if on_record is not None:
+            on_record(record)
+
+    def charge(index: int, kind: str) -> None:
+        """Attribute one failure; finalize or schedule a backoff retry."""
+        charged[index] += 1
+        obs.incr("runner.retry.attempts")
+        if charged[index] >= policy.max_attempts:
+            if kind == "timeout":
+                obs.incr("runner.timeout")
+                finalize(index, _timeout_record(
+                    names[index], deadlines.get(names[index]),
+                    charged[index],
+                ))
+            else:
+                obs.incr("runner.worker_retry_lost")
+                finalize(index, _lost_worker_record(
+                    names[index], charged[index]
+                ))
+            return
+        delay = min(
+            policy.timeout(charged[index] - 1, rng), _MAX_BACKOFF_SLEEP_S
+        )
+        obs.incr("runner.retry.backoff_s", round(delay, 3))
+        quarantine.append((monotonic() + delay, index))
+
+    def submit(pool: ProcessPoolExecutor, index: int, dedicated: bool):
+        name = names[index]
+        limit = deadlines.get(name)
+        future = pool.submit(
+            _execute_in_worker, name, scale, cache_root,
+            charged[index], limit,
+        )
+        in_flight[future] = (
+            index,
+            monotonic() + limit if limit is not None else None,
+            pool,
+            dedicated,
+        )
+
+    def drop_shared_pool() -> None:
+        nonlocal shared_pool
+        if shared_pool is not None:
+            _kill_pool(shared_pool, force=True)
+            shared_pool = None
+
+    while shared_pending or quarantine or in_flight:
+        # Dispatch quarantined retries first (recovery is the priority),
+        # then fresh shared work, keeping at most ``jobs`` in flight.
+        now = monotonic()
+        while len(in_flight) < jobs and quarantine:
+            ready = next(
+                (i for i, (at, _) in enumerate(quarantine) if at <= now),
+                None,
+            )
+            if ready is None:
+                break
+            _, index = quarantine.pop(ready)
+            submit(ProcessPoolExecutor(max_workers=1), index,
+                   dedicated=True)
+        while len(in_flight) < jobs and shared_pending:
+            if shared_pool is None:
+                shared_pool = ProcessPoolExecutor(
+                    max_workers=min(jobs, len(shared_pending))
+                )
+            index = shared_pending.popleft()
+            try:
+                submit(shared_pool, index, dedicated=False)
+            except BrokenProcessPool:
+                # Broke between our last drain and this submit; the
+                # dead pool's futures surface below, this task just
+                # waits for the replacement pool.
+                shared_pending.appendleft(index)
+                break
+        if not in_flight:
+            sleep(_POLL_S)  # waiting out a backoff window
+            continue
+
+        done, _ = futures_wait(
+            list(in_flight), timeout=_POLL_S, return_when=FIRST_COMPLETED
+        )
+        shared_broken = False
+        for future in done:
+            index, _, pool, dedicated = in_flight.pop(future)
+            try:
+                record = future.result()
+            except BrokenProcessPool:
+                obs.incr("runner.worker_lost")
+                charge(index, "lost")
+                if dedicated:
+                    _kill_pool(pool, force=True)
+                else:
+                    shared_broken = True
+            except Exception as exc:
+                finalize(index, _pool_error_record(names[index], exc))
+                if dedicated:
+                    _kill_pool(pool, force=True)
+            else:
+                if charged[index]:
+                    obs.incr("runner.retry.recovered")
+                finalize(index, dataclasses.replace(
+                    record, attempts=charged[index] + 1
+                ))
+                if dedicated:
+                    pool.shutdown(wait=False)
+        if shared_broken:
+            # Every task in the shared pool died with it; none can be
+            # told apart from the killer, so all are charged once and
+            # will retry in quarantine.
+            for future in [
+                f for f, (_, _, _, dedicated) in in_flight.items()
+                if not dedicated
+            ]:
+                index, _, _, _ = in_flight.pop(future)
+                obs.incr("runner.worker_lost")
+                charge(index, "lost")
+            drop_shared_pool()
+
+        now = monotonic()
+        overdue = [
+            future
+            for future, (_, deadline, _, _) in in_flight.items()
+            if deadline is not None and now > deadline
+        ]
+        if overdue:
+            shared_overdue = False
+            for future in overdue:
+                index, _, pool, dedicated = in_flight.pop(future)
+                obs.incr("runner.deadline_exceeded")
+                charge(index, "timeout")
+                if dedicated:
+                    _kill_pool(pool, force=True)
+                else:
+                    shared_overdue = True
+            if shared_overdue:
+                # Reclaiming a hung shared worker means killing the
+                # shared pool; bystanders are requeued uncharged.
+                for future in [
+                    f for f, (_, _, _, dedicated) in in_flight.items()
+                    if not dedicated
+                ]:
+                    index, _, _, _ = in_flight.pop(future)
+                    shared_pending.append(index)
+                drop_shared_pool()
+
+    if shared_pool is not None:
+        shared_pool.shutdown(wait=True)
+    assert all(record is not None for record in records)
+    return records  # type: ignore[return-value]
 
 
 def run_experiments(
@@ -185,6 +522,10 @@ def run_experiments(
     scale,
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
+    *,
+    timeout_s: Optional[float] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    on_record: Optional[Callable[[RunRecord], None]] = None,
 ) -> List[RunRecord]:
     """Run ``names`` at ``scale``; one :class:`RunRecord` each, in order.
 
@@ -193,50 +534,48 @@ def run_experiments(
     the expensive substrate through the filesystem instead of each
     rebuilding it.
 
+    ``timeout_s`` is the per-experiment soft deadline; an experiment
+    module's ``TIMEOUT_S`` overrides it for that experiment. Deadline
+    enforcement needs a killable worker, so any run with a deadline is
+    routed through the pool (even at ``jobs=1``) — experiments are
+    pure functions of ``(scale, seed)``, so records are identical.
+
     Failure isolation is per experiment even when a worker process
-    *dies* (OOM kill, segfault, hard ``os._exit``): a broken pool
-    poisons every result still in flight, so each affected experiment
-    is retried once in its own fresh single-worker pool — innocent
-    victims of someone else's crash complete normally, and only the
-    experiment that actually kills its worker again comes back as a
-    ``STATUS_ERROR`` record.
+    *dies* (OOM kill, segfault, hard ``os._exit``) or *hangs*: the
+    watchdog terminates the poisoned pool and re-dispatches the
+    affected experiments under ``retry_policy`` (default
+    :data:`~repro.engine.resilience.ENGINE_RETRY_POLICY`) with capped
+    attempts and seeded-jitter backoff. Only an experiment that fails
+    every attempt comes back ``STATUS_ERROR`` (kept dying) or
+    ``STATUS_TIMEOUT`` (kept hanging).
+
+    ``on_record`` is invoked with each record the moment it is final —
+    the run journal hooks in here, making interrupted runs resumable.
 
     Each returned record carries the :mod:`repro.obs` snapshot of its
     own run; the snapshots are also merged into this process's current
     metrics registry so callers see run-wide totals.
     """
+    deadlines: Dict[str, Optional[float]] = {}
     for name in names:
-        get_spec(name)  # fail fast on unknown names, before any work
-    if jobs <= 1 or len(names) <= 1:
-        records: List[Optional[RunRecord]] = [
-            _execute(name, scale, cache) for name in names
-        ]
-    else:
+        spec = get_spec(name)  # fail fast on unknown names
+        declared = spec.timeout_s()  # fail fast on bad TIMEOUT_S too
+        deadlines[name] = declared if declared is not None else timeout_s
+    policy = retry_policy if retry_policy is not None else ENGINE_RETRY_POLICY
+    any_deadline = any(limit is not None for limit in deadlines.values())
+    if names and ((jobs > 1 and len(names) > 1) or any_deadline):
         cache_root = cache.root if cache is not None else None
-        records = [None] * len(names)
-        lost: List[int] = []
-        with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
-            futures = [
-                pool.submit(_execute_in_worker, name, scale, cache_root)
-                for name in names
-            ]
-            for index, future in enumerate(futures):
-                try:
-                    records[index] = future.result()
-                except BrokenProcessPool:
-                    lost.append(index)
-        for index in lost:
-            name = names[index]
-            obs.incr("runner.worker_lost")
-            try:
-                with ProcessPoolExecutor(max_workers=1) as retry_pool:
-                    records[index] = retry_pool.submit(
-                        _execute_in_worker, name, scale, cache_root
-                    ).result()
-                obs.incr("runner.worker_retry_ok")
-            except BrokenProcessPool as exc:
-                records[index] = _lost_worker_record(name, exc)
-                obs.incr("runner.worker_retry_lost")
+        records: List[RunRecord] = _run_pooled(
+            names, scale, cache_root, max(1, jobs), deadlines, policy,
+            on_record,
+        )
+    else:
+        records = []
+        for name in names:
+            record = _execute(name, scale, cache)
+            if on_record is not None:
+                on_record(record)
+            records.append(record)
     parent = obs.metrics()
     for record in records:
         parent.merge(record.metrics)

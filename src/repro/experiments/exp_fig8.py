@@ -21,7 +21,12 @@ from .asciichart import render_bar_chart
 from .report import banner, render_table
 
 __all__ = ["Fig8Result", "run", "format_result", "series",
-           "PAPER_TARGETS", "target_values"]
+           "PAPER_TARGETS", "TIMEOUT_S", "target_values"]
+
+#: Per-experiment deadline (overrides ``run --timeout-s``): evaluating
+#: every mobility event against all 12 routers is the suite's heaviest
+#: single pass at paper scale, but 15 minutes means it hung, not worked.
+TIMEOUT_S = 900
 
 #: The synthetic workload reproduces the paper's *shape* (a handful of
 #: high-degree collectors near ~max, a long low tail) with a hotter

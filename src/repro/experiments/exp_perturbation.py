@@ -20,7 +20,14 @@ from ..mobility import MobilityWorkloadConfig, generate_workload
 from .context import World
 from .report import banner, render_table
 
-__all__ = ["PerturbationResult", "run", "format_result", "series"]
+__all__ = ["PerturbationResult", "run", "format_result", "series",
+           "TIMEOUT_S"]
+
+#: Per-experiment deadline (overrides ``run --timeout-s``): this sweep
+#: re-generates the mobility workload and re-runs the Fig. 8 evaluation
+#: at every perturbation scale — the longest multi-pass experiment — so
+#: it gets the suite's widest deadline before the watchdog calls it hung.
+TIMEOUT_S = 900
 
 
 @dataclass

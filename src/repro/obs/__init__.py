@@ -36,6 +36,7 @@ from .history import (
     build_entry,
     digest_series,
     git_sha,
+    new_run_id,
 )
 from .metrics import (
     Metrics,
@@ -65,6 +66,7 @@ __all__ = [
     "build_entry",
     "digest_series",
     "git_sha",
+    "new_run_id",
     "PaperTarget",
     "TargetScore",
     "score_entry",

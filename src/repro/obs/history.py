@@ -46,6 +46,7 @@ __all__ = [
     "build_entry",
     "digest_series",
     "git_sha",
+    "new_run_id",
 ]
 
 #: Environment variable naming the ledger directory ("" / "0" / "off" /
@@ -92,6 +93,20 @@ def git_sha() -> Optional[str]:
     return os.environ.get("GITHUB_SHA") or None
 
 
+def new_run_id(now: Optional[float] = None) -> str:
+    """A fresh run id: UTC timestamp prefix + random suffix.
+
+    Minted at run *start* (so the run journal and the eventual ledger
+    entry share one id); the timestamp prefix keeps lexical order
+    chronological.
+    """
+    now = time.time() if now is None else now
+    return (
+        time.strftime("%Y%m%dT%H%M%SZ", time.gmtime(now))
+        + "-" + uuid.uuid4().hex[:8]
+    )
+
+
 def build_entry(
     records: Iterable[Any],
     *,
@@ -101,6 +116,8 @@ def build_entry(
     elapsed_s: float,
     version: str = "",
     command: str = "run",
+    run_id: Optional[str] = None,
+    resumed_from: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One ledger manifest for a finished run.
 
@@ -108,6 +125,13 @@ def build_entry(
     The merged metrics totals keep counters, gauges, and timers but
     drop the raw span trees — those are the trace exporter's payload
     (``run --trace-out``) and would bloat an append-forever file.
+
+    ``run_id`` lets the caller reuse the id minted for the run journal;
+    ``resumed_from`` marks an entry stitched by ``run --resume`` with
+    the journal it resumed. Per-experiment ``attempts`` (>1 = survived
+    worker crashes/hangs via re-dispatch) and ``resumed`` (restored
+    from a journal, not recomputed) ride along so ``repro compare``
+    can flag records that took the recovery paths.
     """
     records = list(records)
     totals = merge_snapshots(
@@ -122,12 +146,14 @@ def build_entry(
             "started_at": round(getattr(record, "started_at", 0.0), 3),
             "series_digests": dict(getattr(record, "series_digests", {})),
             "observed": dict(getattr(record, "observed", {})),
+            "attempts": int(getattr(record, "attempts", 1)),
+            "resumed": bool(getattr(record, "resumed", False)),
         }
     now = time.time()
     return {
         "schema": LEDGER_SCHEMA,
-        "run_id": time.strftime("%Y%m%dT%H%M%SZ", time.gmtime(now))
-        + "-" + uuid.uuid4().hex[:8],
+        "run_id": run_id if run_id else new_run_id(now),
+        "resumed_from": resumed_from,
         "command": command,
         "started_at": round(now - elapsed_s, 3),
         "wall_s": round(elapsed_s, 3),

@@ -335,3 +335,123 @@ class TestLedgerCli:
             assert isinstance(event["ts"], (int, float))
             assert isinstance(event["dur"], (int, float))
             assert event["pid"] == 1
+
+
+class TestResilienceCli:
+    """repro run --timeout-s / --resume / REPRO_CHAOS validation."""
+
+    @pytest.fixture()
+    def no_cache(self, monkeypatch):
+        from repro.engine import CACHE_DIR_ENV
+
+        monkeypatch.setenv(CACHE_DIR_ENV, "off")
+
+    @pytest.mark.parametrize("value", ["abc", "0", "-3"])
+    def test_bad_timeout_rejected(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "table1", "--timeout-s", value])
+        assert excinfo.value.code == 2
+        assert "timeout must be" in capsys.readouterr().err
+
+    def test_bad_chaos_spec_rejected(self, capsys, monkeypatch):
+        from repro.engine import CHAOS_ENV
+
+        monkeypatch.setenv(CHAOS_ENV, "explode:0.5")
+        assert main(["run", "table1", "--scale", "small"]) == 2
+        err = capsys.readouterr().err
+        assert "bad REPRO_CHAOS spec" in err
+        assert "explode" in err
+
+    def test_resume_without_ledger_rejected(self, capsys, monkeypatch,
+                                            no_cache):
+        from repro.obs import LEDGER_DIR_ENV
+
+        monkeypatch.delenv(LEDGER_DIR_ENV, raising=False)
+        assert main(["run", "table1", "--scale", "small",
+                     "--resume", "last"]) == 2
+        err = capsys.readouterr().err
+        assert "--resume needs a run journal" in err
+
+    def test_resume_unknown_run_rejected(self, tmp_path, capsys,
+                                         no_cache):
+        assert main(["run", "table1", "--scale", "small",
+                     "--ledger-dir", str(tmp_path / "ledger")]) == 0
+        capsys.readouterr()
+        assert main(["run", "table1", "--scale", "small",
+                     "--ledger-dir", str(tmp_path / "ledger"),
+                     "--resume", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot resume" in err
+        assert "recent:" in err  # lists the known run ids
+
+    def test_resume_config_mismatch_rejected(self, tmp_path, capsys,
+                                             no_cache):
+        assert main(["run", "envelope", "--scale", "small",
+                     "--ledger-dir", str(tmp_path / "ledger")]) == 0
+        capsys.readouterr()
+        # Same journal, different experiment set: refused, not stitched.
+        assert main(["run", "table1", "--scale", "small",
+                     "--ledger-dir", str(tmp_path / "ledger"),
+                     "--resume", "last"]) == 2
+        assert "resume must replay the same run" in \
+            capsys.readouterr().err
+
+    def test_run_resume_round_trip(self, tmp_path, capsys, no_cache):
+        import json as jsonlib
+
+        ledger_dir = tmp_path / "ledger"
+        assert main(["run", "envelope", "--scale", "small",
+                     "--ledger-dir", str(ledger_dir)]) == 0
+        first = capsys.readouterr()
+        assert list(ledger_dir.glob("journal-*.jsonl"))
+        assert main(["run", "envelope", "--scale", "small",
+                     "--ledger-dir", str(ledger_dir),
+                     "--resume", "last"]) == 0
+        second = capsys.readouterr()
+        assert "[resume " in second.err
+        assert "1/1 experiment(s) journaled complete" in second.err
+        # The resumed entry reproduces the original digests exactly and
+        # names the journal it resumed.
+        lines = (ledger_dir / "ledger.jsonl").read_text().splitlines()
+        entry_a, entry_b = (jsonlib.loads(line) for line in lines)
+        assert entry_b["resumed_from"] == entry_a["run_id"]
+        assert entry_b["experiments"]["envelope"]["series_digests"] == \
+            entry_a["experiments"]["envelope"]["series_digests"]
+        assert entry_b["experiments"]["envelope"]["resumed"] is True
+        assert "Back-of-the-envelope" in first.out
+        assert "Back-of-the-envelope" in second.out
+
+    def test_compare_flags_recovery_paths(self, tmp_path, capsys,
+                                          no_cache):
+        ledger_dir = tmp_path / "ledger"
+        assert main(["run", "envelope", "--scale", "small",
+                     "--ledger-dir", str(ledger_dir)]) == 0
+        assert main(["run", "envelope", "--scale", "small",
+                     "--ledger-dir", str(ledger_dir),
+                     "--resume", "last"]) == 0
+        capsys.readouterr()
+        assert main(["compare", "-2", "-1", "--ledger-dir",
+                     str(ledger_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "recovery" in out  # the new column
+        assert "B:resumed" in out
+        assert "resumed from" in out  # entry header note
+
+    def test_timeout_s_run_is_ledger_identical_to_serial(
+        self, tmp_path, capsys, no_cache
+    ):
+        import json as jsonlib
+
+        ledger_dir = tmp_path / "ledger"
+        # A generous deadline routes the run through the pooled path
+        # even at jobs=1; the digests must not notice.
+        assert main(["run", "envelope", "--scale", "small",
+                     "--ledger-dir", str(ledger_dir)]) == 0
+        assert main(["run", "envelope", "--scale", "small",
+                     "--timeout-s", "300",
+                     "--ledger-dir", str(ledger_dir)]) == 0
+        capsys.readouterr()
+        lines = (ledger_dir / "ledger.jsonl").read_text().splitlines()
+        entry_a, entry_b = (jsonlib.loads(line) for line in lines)
+        assert entry_a["experiments"]["envelope"]["series_digests"] == \
+            entry_b["experiments"]["envelope"]["series_digests"]

@@ -308,7 +308,11 @@ class TestRunner:
             "name": "x", "status": "ok", "wall_time_s": 1.235,
             "started_at": 0.0, "output": "text", "error": "",
             "metrics": {}, "series_digests": {}, "observed": {},
+            "attempts": 1, "resumed": False,
         }
+        # to_dict rounds wall times; the round trip is exact modulo that.
+        rebuilt = RunRecord.from_dict(record.to_dict())
+        assert rebuilt.to_dict() == record.to_dict()
 
     def test_unknown_name_fails_fast(self):
         with pytest.raises(KeyError):
