@@ -302,12 +302,18 @@ def _span_self_s(node) -> float:
     return max(0.0, node.get("self_s", fallback))
 
 
-def _profile_report(records) -> str:
+def _profile_report(records, driver=None) -> str:
     """The ``--profile`` text: phases, slowest spans, counters, gauges.
 
     Spans report both inclusive (``total``) and exclusive (``self``)
     time, and the slowest-span table ranks by exclusive time — a
     parent is never blamed for work its children did.
+
+    ``driver`` is the parent process's own metrics snapshot — the
+    shared-memory World export (``shm.export``), segment lifecycle
+    counters (``shm.segments.created``/``.unlinked``, ``shm.leaked``)
+    and the ``shm.segments.open`` gauge live there, not in any worker
+    record, so they get their own section.
     """
     lines = ["", "== profile: per-experiment phases =="]
     for record in records:
@@ -352,10 +358,48 @@ def _profile_report(records) -> str:
         lines += ["", "== gauges =="]
         for name, value in sorted(totals["gauges"].items()):
             lines.append(f"    {name:<34} {value:g}")
+
+    if driver:
+        # The driver registry also absorbs every worker snapshot
+        # (run_experiments merges them for run-wide totals), so report
+        # only the driver-exclusive residue: counters beyond the
+        # worker-merged totals, and timers/gauges whose names no
+        # worker record produced (shm.export, shm.segments.*, ...).
+        counters = {
+            name: value - totals["counters"].get(name, 0)
+            for name, value in driver.get("counters", {}).items()
+            if value - totals["counters"].get(name, 0)
+        }
+        timers = {
+            name: timer
+            for name, timer in driver.get("timers", {}).items()
+            if name not in totals["timers"]
+        }
+        gauges = {
+            name: value
+            for name, value in driver.get("gauges", {}).items()
+            if name not in totals["gauges"]
+        }
+        if counters or timers or gauges:
+            lines += ["", "== driver process (shm export, cache) =="]
+            for name, timer in sorted(
+                timers.items(), key=lambda item: -item[1]["total_s"]
+            )[:8]:
+                self_s = timer.get("self_s", timer["total_s"])
+                lines.append(
+                    f"    {name:<34} {timer['count']:>4}x  "
+                    f"{timer['total_s']:9.3f}s total "
+                    f"{self_s:9.3f}s self"
+                )
+            for name, value in sorted(counters.items()):
+                lines.append(f"    {name:<34} {value:g}")
+            for name, value in sorted(gauges.items()):
+                lines.append(f"    {name:<34} {value:g}  (gauge)")
     return "\n".join(lines) + "\n"
 
 
-def _metrics_payload(records, scale, jobs: int, elapsed: float) -> Dict:
+def _metrics_payload(records, scale, jobs: int, elapsed: float,
+                     driver=None) -> Dict:
     """The ``--metrics-out`` JSON document."""
     return {
         "schema": "repro.obs/v1",
@@ -371,6 +415,7 @@ def _metrics_payload(records, scale, jobs: int, elapsed: float) -> Dict:
             for record in records
         },
         "totals": obs.merge_snapshots(record.metrics for record in records),
+        "driver": driver,
     }
 
 
@@ -469,18 +514,28 @@ def _run(
     to_run = [name for name in names if name not in completed]
 
     started = perf_counter()
+    obs.reset_metrics()  # clean driver-side registry for this run
     records = run_experiments(
         to_run, scale, jobs=jobs, cache=ArtifactCache.from_env(),
         timeout_s=timeout_s,
         on_record=journal.record if journal is not None else None,
     )
     elapsed = perf_counter() - started
+    driver = obs.metrics().snapshot()
+    leaked = driver.get("counters", {}).get("shm.leaked", 0)
+    open_segments = driver.get("gauges", {}).get("shm.segments.open", 0)
+    if leaked or open_segments:
+        err.write(
+            f"repro run: WARNING: shared-memory leak detected at "
+            f"shutdown (leaked={leaked:g}, open={open_segments:g})\n"
+        )
     records = stitch_records(names, completed, records)
     failed = [record for record in records if not record.ok]
 
     if metrics_out:
         with open(metrics_out, "w", encoding="utf-8") as handle:
-            json.dump(_metrics_payload(records, scale, jobs, elapsed),
+            json.dump(_metrics_payload(records, scale, jobs, elapsed,
+                                       driver=driver),
                       handle, indent=2, sort_keys=True)
             handle.write("\n")
     if trace_out:
@@ -503,7 +558,7 @@ def _run(
         if ledger_line:  # keep stdout valid JSON
             err.write(ledger_line)
         if profile:  # keep stdout valid JSON; the report goes to stderr
-            err.write(_profile_report(records))
+            err.write(_profile_report(records, driver=driver))
         out.write(json.dumps({
             "scale": scale.label,
             "jobs": jobs,
@@ -520,7 +575,7 @@ def _run(
             err.write(f"repro: experiment {record.name!r} failed:\n"
                       f"{record.error}\n")
     if profile:
-        out.write(_profile_report(records))
+        out.write(_profile_report(records, driver=driver))
     summary = (f"\n[{len(records)} experiment(s), scale={scale.label}, "
                f"{elapsed:.0f}s]\n")
     if failed:

@@ -52,6 +52,7 @@ __all__ = [
     "ArtifactCache",
     "GENERATOR_VERSION",
     "ENTRY_VERSION",
+    "ARRAY_SUFFIX",
     "CACHE_DIR_ENV",
     "CACHE_MAX_MB_ENV",
 ]
@@ -61,7 +62,10 @@ __all__ = [
 #:    oracles pickle a route-dirtiness counter.
 #: 3: checksummed entry container (pre-3 raw-pickle files are never
 #:    read back as valid entries).
-GENERATOR_VERSION = 3
+#: 4: array-native control plane — warm artifacts add the flat-buffer
+#:    array layout (CSR topology, route tables, event columns) that
+#:    warm runs memory-map instead of unpickling.
+GENERATOR_VERSION = 4
 
 #: On-disk entry container version (header format, not payload).
 ENTRY_VERSION = 3
@@ -77,6 +81,12 @@ _DISABLED_VALUES = {"off", "none", "0", ""}
 
 #: Every entry starts with this magic + a JSON header line.
 _MAGIC = b"repro-cache/3\n"
+
+#: Array-artifact container magic (flat numpy buffers, mmap-able).
+_ARRAY_MAGIC = b"repro-arrays/1\n"
+
+#: File suffix of array-artifact entries (same key space as ``.pkl``).
+ARRAY_SUFFIX = ".arr"
 
 #: Sentinel distinguishing "no cache entry" from a legitimately cached
 #: ``None`` value. Never escapes this module.
@@ -157,8 +167,35 @@ def _decode_entry(blob: bytes) -> Any:
     return pickle.loads(payload)
 
 
+def _encode_dtype(dtype) -> Any:
+    """A JSON-safe dtype description (structured dtypes keep ``descr``)."""
+    if dtype.fields is not None:
+        return dtype.descr
+    return dtype.str
+
+
+def _decode_dtype(spec: Any):
+    """Rebuild a dtype from :func:`_encode_dtype`'s description."""
+    from ..workload import require_numpy
+
+    np = require_numpy()
+    if isinstance(spec, list):
+        return np.dtype([tuple(field) for field in spec])
+    return np.dtype(spec)
+
+
 class ArtifactCache:
-    """Checksummed pickle store keyed by artifact name + build params."""
+    """Checksummed pickle store keyed by artifact name + build params.
+
+    Beyond pickles, the cache holds *array artifacts*: named flat numpy
+    buffers in a single checksummed container that warm runs
+    memory-map (:meth:`load_arrays`) instead of unpickling — the
+    on-disk half of the array-native control plane. Array entries
+    share the key space, the LRU sweep, the chaos-corruption hook, and
+    the corrupt-entry accounting of their pickle siblings; a
+    generator-version mismatch is a *counted* miss
+    (``cache.version_mismatch``), never a crash.
+    """
 
     def __init__(
         self,
@@ -276,6 +313,154 @@ class ArtifactCache:
         self._sweep(keep=path)
         return path
 
+    # -- array artifacts (flat numpy buffers, memory-mapped) ------------
+
+    def _array_path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}{ARRAY_SUFFIX}")
+
+    def store_arrays(
+        self,
+        key: str,
+        arrays: Dict[str, Any],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Optional[str]:
+        """Atomically persist named numpy buffers under ``key``.
+
+        The container is one JSON header (buffer names, dtypes, shapes,
+        offsets, and a SHA-256 over the whole data region) followed by
+        the raw buffer bytes, so :meth:`load_arrays` can hand back
+        zero-copy memory-mapped views. Failure handling matches
+        :meth:`store`: unwritable means warn once and run uncached.
+        """
+        from ..workload import require_numpy
+
+        np = require_numpy()
+        chunks = []
+        specs = []
+        offset = 0
+        for name in sorted(arrays):
+            buf = np.ascontiguousarray(arrays[name])
+            raw = buf.tobytes()
+            specs.append(
+                {
+                    "name": name,
+                    "dtype": _encode_dtype(buf.dtype),
+                    "shape": list(buf.shape),
+                    "offset": offset,
+                    "nbytes": len(raw),
+                }
+            )
+            chunks.append(raw)
+            offset += len(raw)
+        data = b"".join(chunks)
+        header = json.dumps(
+            {
+                "entry_version": ENTRY_VERSION,
+                "generator_version": GENERATOR_VERSION,
+                "meta": meta or {},
+                "buffers": specs,
+                "data_size": len(data),
+                "sha256": hashlib.sha256(data).hexdigest(),
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        path = self._array_path(key)
+        tmp_path = None
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_ARRAY_MAGIC + header + b"\n" + data)
+            os.replace(tmp_path, path)
+            tmp_path = None
+        except OSError as exc:
+            self._warn_unwritable(exc)
+            return None
+        finally:
+            if tmp_path is not None and os.path.exists(tmp_path):
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+        obs.incr("cache.arrays.stored")
+        self._maybe_chaos_corrupt(key, path)
+        self._sweep(keep=path)
+        return path
+
+    def load_arrays(self, key: str) -> Optional[tuple]:
+        """``(buffers, meta)`` for an array artifact, or None on a miss.
+
+        ``buffers`` maps each name to a read-only memory-mapped view —
+        no unpickle, no copy; the checksum of the data region is
+        verified first (one sequential read that doubles as page-cache
+        warming). A corrupt or truncated entry is a ``cache.corrupt``
+        miss; an entry written by a different :data:`GENERATOR_VERSION`
+        is a ``cache.version_mismatch`` miss. Both unlink the file.
+        """
+        from ..workload import require_numpy
+
+        path = self._array_path(key)
+        try:
+            with open(path, "rb") as handle:
+                magic = handle.read(len(_ARRAY_MAGIC))
+                if magic != _ARRAY_MAGIC:
+                    raise ValueError("not a repro array artifact")
+                header_line = handle.readline()
+            header = json.loads(header_line.decode("utf-8"))
+            if header.get("entry_version") != ENTRY_VERSION:
+                raise ValueError(
+                    f"unknown entry version {header.get('entry_version')!r}"
+                )
+        except OSError:
+            return None
+        except _CORRUPT_ERRORS:
+            return self._drop_corrupt(path)
+        if header.get("generator_version") != GENERATOR_VERSION:
+            # Stale generator: old arrays must never feed new code, but
+            # a version bump is an expected miss, not an integrity
+            # fault — counted separately so tests can pin it.
+            obs.incr("cache.version_mismatch")
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        np = require_numpy()
+        data_start = len(_ARRAY_MAGIC) + len(header_line)
+        try:
+            raw = np.memmap(path, mode="r", dtype=np.uint8,
+                            offset=data_start)
+            if len(raw) != header.get("data_size"):
+                raise ValueError(
+                    f"data truncated: {len(raw)} of "
+                    f"{header.get('data_size')} bytes"
+                )
+            if hashlib.sha256(raw).hexdigest() != header.get("sha256"):
+                raise ValueError("data checksum mismatch")
+            buffers = {}
+            for spec in header["buffers"]:
+                dtype = _decode_dtype(spec["dtype"])
+                view = raw[spec["offset"]: spec["offset"] + spec["nbytes"]]
+                buffers[spec["name"]] = view.view(dtype).reshape(
+                    spec["shape"]
+                )
+        except _CORRUPT_ERRORS:
+            return self._drop_corrupt(path)
+        try:
+            os.utime(path)  # refresh recency for the LRU sweep
+        except OSError:
+            pass
+        obs.incr("cache.arrays.mmap")
+        return buffers, header.get("meta", {})
+
+    def _drop_corrupt(self, path: str) -> None:
+        obs.incr("cache.corrupt")
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+
     def _maybe_chaos_corrupt(self, key: str, path: str) -> None:
         """Chaos hook: truncate the entry just written (torn write)."""
         if self._chaos is None or not self._chaos.corrupt:
@@ -303,7 +488,7 @@ class ArtifactCache:
         entries = []
         total = 0
         for name in names:
-            if not name.endswith(".pkl"):
+            if not name.endswith((".pkl", ARRAY_SUFFIX)):
                 continue
             path = os.path.join(self.root, name)
             try:

@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..faults.retry import RetryPolicy
+from . import shm as shm_world
 from .cache import ArtifactCache
 from .chaos import ChaosConfig
 from .registry import get_spec
@@ -191,6 +192,11 @@ def _execute(name: str, scale, cache: Optional[ArtifactCache]) -> RunRecord:
     collector = obs.Metrics()
     try:
         with obs.using(collector):
+            if shm_world.attached() is not None:
+                # Recorded per experiment (pool-initializer time has no
+                # collector to ship back): this execution ran against
+                # the parent's shared-memory World, not a private copy.
+                obs.incr("shm.worker.attached")
             spec = get_spec(name)
             world = _world_for(scale, cache) if spec.needs_world else None
             with collector.span(f"experiment.{name}"):
@@ -334,6 +340,7 @@ def _run_pooled(
     deadlines: Dict[str, Optional[float]],
     policy: RetryPolicy,
     on_record: Optional[Callable[[RunRecord], None]],
+    manifest: Optional[shm_world.WorldManifest] = None,
 ) -> List[RunRecord]:
     """The resilient pooled scheduler: sliding window + watchdog.
 
@@ -363,6 +370,17 @@ def _run_pooled(
     #: future -> (index, absolute deadline, owning pool, dedicated?)
     in_flight: Dict[Any, Tuple[int, Optional[float], Any, bool]] = {}
     shared_pool: Optional[ProcessPoolExecutor] = None
+
+    def make_pool(max_workers: int) -> ProcessPoolExecutor:
+        # Every pool — shared and quarantine alike — attaches its
+        # workers to the exported World segment; the initializer
+        # swallows every failure, so a missing/stale segment degrades
+        # to the cache path instead of breaking the pool.
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=shm_world.attach_shared_world,
+            initargs=(manifest,),
+        )
 
     def finalize(index: int, record: RunRecord) -> None:
         records[index] = record
@@ -424,12 +442,11 @@ def _run_pooled(
             if ready is None:
                 break
             _, index = quarantine.pop(ready)
-            submit(ProcessPoolExecutor(max_workers=1), index,
-                   dedicated=True)
+            submit(make_pool(1), index, dedicated=True)
         while len(in_flight) < jobs and shared_pending:
             if shared_pool is None:
-                shared_pool = ProcessPoolExecutor(
-                    max_workers=min(jobs, len(shared_pending))
+                shared_pool = make_pool(
+                    min(jobs, len(shared_pending))
                 )
             index = shared_pending.popleft()
             try:
@@ -565,10 +582,23 @@ def run_experiments(
     any_deadline = any(limit is not None for limit in deadlines.values())
     if names and ((jobs > 1 and len(names) > 1) or any_deadline):
         cache_root = cache.root if cache is not None else None
-        records: List[RunRecord] = _run_pooled(
-            names, scale, cache_root, max(1, jobs), deadlines, policy,
-            on_record,
+        # Export the World once, parent-side, so workers attach to one
+        # shared-memory substrate instead of each unpickling their own
+        # (no-op in scalar mode or when nothing needs a world). The
+        # finally guarantees the segment is unlinked on every exit
+        # path — clean completion, ^C, watchdog kills, chaos kills.
+        manifest = (
+            shm_world.export_world(scale, cache)
+            if any(get_spec(name).needs_world for name in names)
+            else None
         )
+        try:
+            records: List[RunRecord] = _run_pooled(
+                names, scale, cache_root, max(1, jobs), deadlines, policy,
+                on_record, manifest,
+            )
+        finally:
+            shm_world.cleanup(manifest)
     else:
         records = []
         for name in names:

@@ -82,6 +82,15 @@ SMALL_SCALE = ExperimentScale(
 )
 
 
+def _array_mode() -> bool:
+    """True when array fast paths (shm, mmap artifacts) may serve."""
+    try:
+        from ..workload import scalar_mode
+    except ImportError:  # numpy-free environment: scalar only
+        return False
+    return not scalar_mode()
+
+
 def active_scale() -> ExperimentScale:
     """The scale selected via the ``REPRO_SCALE`` environment variable.
 
@@ -175,6 +184,19 @@ class World:
         """
         if self.cache is None or self._oracle is None:
             return
+        if _array_mode() and self._oracle.table_dirty > 0:
+            # The array control plane's tables persist as a flat-buffer
+            # artifact warm runs memory-map — no unpickle on reload.
+            buffers = self._oracle.export_route_tables()
+            if buffers is not None:
+                with obs.span("world.oracle_tables_store"):
+                    self.cache.store_arrays(
+                        self.cache.key(
+                            "oracle-tables", **self._topology_params()
+                        ),
+                        buffers,
+                    )
+                obs.incr("oracle.tables_stored")
         if self._oracle.dirty_routes == 0:
             obs.incr("oracle.warm_store_skipped")
             return
@@ -202,6 +224,8 @@ class World:
         """Policy routing over the topology."""
         if self._oracle is None:
             with obs.span("world.oracle"):
+                if self._adopt_shared_oracle():
+                    return self._oracle
                 warm = (
                     self.cache.load(
                         self.cache.key("oracle-warm",
@@ -213,7 +237,53 @@ class World:
                 obs.incr("oracle.warm_load" if warm is not None
                          else "oracle.cold_start")
                 self._oracle = warm or RoutingOracle(self.topology)
+                self._adopt_table_artifact()
         return self._oracle
+
+    def _adopt_shared_oracle(self) -> bool:
+        """Build the oracle over the parent's shared route tables.
+
+        In a pool worker attached to an exported World segment, the
+        oracle needs no warm pickle and no route computation: the CSR
+        topology and every destination's table are zero-copy views —
+        ``routes_to`` just materializes path tuples on demand.
+        """
+        if not _array_mode():
+            return False
+        try:
+            from ..engine import shm as shm_world
+            from ..routing.frontier import CSRTopology
+
+            tables = shm_world.attached_route_tables(self.scale)
+            if tables is None:
+                return False
+            csr_buffers = shm_world.attached_csr_buffers(self.scale)
+            oracle = RoutingOracle(self.topology)
+            oracle.import_route_tables(
+                tables,
+                csr=(CSRTopology(csr_buffers) if csr_buffers else None),
+            )
+        except Exception:
+            return False
+        obs.incr("oracle.shm_tables")
+        self._oracle = oracle
+        return True
+
+    def _adopt_table_artifact(self) -> None:
+        """Memory-map previously persisted array route tables, if any."""
+        if not _array_mode() or self.cache is None:
+            return
+        loaded = self.cache.load_arrays(
+            self.cache.key("oracle-tables", **self._topology_params())
+        )
+        if loaded is None:
+            return
+        buffers, _meta = loaded
+        try:
+            self._oracle.import_route_tables(buffers)
+        except Exception:
+            return
+        obs.incr("oracle.tables_mmap")
 
     @property
     def routeviews(self) -> List[VantagePoint]:
@@ -278,15 +348,61 @@ class World:
         if self._event_columns is None:
             from ..workload import DeviceEventColumns
 
-            self._event_columns = self._artifact(
-                "event-columns",
-                lambda: self.workload.as_columns(),
+            from ..engine import shm as shm_world
+
+            shared = shm_world.attached_event_columns(self.scale)
+            if shared is not None:
+                obs.incr("world.event_columns.shared")
+                self._event_columns = shared
+                return self._event_columns
+            params = dict(
                 num_users=self.scale.num_users,
                 num_days=self.scale.device_days,
                 seed=self.scale.seed,
                 layout=DeviceEventColumns.LAYOUT_VERSION,
             )
+            if _array_mode() and self.cache is not None:
+                self._event_columns = self._event_columns_arrays(
+                    DeviceEventColumns, params
+                )
+            else:
+                if self.cache is not None:
+                    obs.incr("world.event_columns.pickle_path")
+                self._event_columns = self._artifact(
+                    "event-columns",
+                    lambda: self.workload.as_columns(),
+                    **params,
+                )
         return self._event_columns
+
+    def _event_columns_arrays(self, columns_cls, params):
+        """The event table as an array artifact: mmap hit or build+store.
+
+        Replaces the pickle entry for this artifact in array mode — a
+        warm run maps the structured table straight off disk instead of
+        unpickling an object graph.
+        """
+        key = self.cache.key("event-columns", **params)
+        with obs.span("world.event-columns"):
+            loaded = self.cache.load_arrays(key)
+            if loaded is not None:
+                buffers, meta = loaded
+                try:
+                    columns = columns_cls(
+                        buffers["table"], tuple(meta["users"])
+                    )
+                    obs.incr("world.event_columns.mmap")
+                    return columns
+                except Exception:
+                    pass  # malformed entry: rebuild below
+            with obs.span("world.build.event-columns"):
+                columns = self.workload.as_columns()
+            self.cache.store_arrays(
+                key,
+                {"table": columns.table},
+                meta={"users": list(columns.users)},
+            )
+            return columns
 
     def alternate_workload(self, num_users: int, seed: int) -> MobilityWorkload:
         """A second workload (the §6.2.2 IMAP-style sensitivity input)."""

@@ -31,12 +31,89 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
+from .. import obs
 from ..faults import LINK, ROUTER, FaultSchedule, MessageLossModel, RetryPolicy
 from ..topology import Graph
 
 __all__ = ["MobilityOutage", "FaultyMobilityOutage", "ConvergenceSimulator"]
 
 Node = Hashable
+
+
+def _array_mode() -> bool:
+    """True when the vectorized probe engine should serve this call."""
+    try:
+        from ..workload import scalar_mode
+    except ImportError:  # numpy-free environment: scalar only
+        return False
+    return not scalar_mode()
+
+
+class _ConvArrays:
+    """Array mirror of one simulator's graph: indices, adjacency, LUTs.
+
+    Nodes are numbered in the simulator's deterministic ``_nodes``
+    order. The dense adjacency matrix drives batched multi-source BFS
+    (toy/intradomain graphs are small, so ``(S, n) @ (n, n)`` beats a
+    per-source dict flood by orders of magnitude); per-target hop rows
+    and next-hop columns are cached exactly like the scalar caches.
+    """
+
+    def __init__(self, sim: "ConvergenceSimulator"):
+        from ..workload import require_numpy
+
+        np = require_numpy()
+        self._np = np
+        self._sim = sim
+        nodes = sim._nodes
+        self.n = len(nodes)
+        self.index: Dict[Node, int] = {node: i for i, node in enumerate(nodes)}
+        adj = np.zeros((self.n, self.n), dtype=np.uint8)
+        for i, node in enumerate(nodes):
+            for nbr in sim._graph.neighbors(node):
+                adj[i, self.index[nbr]] = 1
+        self.adj = adj
+        self._hops: Dict[Node, "np.ndarray"] = {}
+        self._nh_cols: Dict[Node, "np.ndarray"] = {}
+
+    def hop_rows(self, targets) -> list:
+        """Hop counts from each target to every node (-1 unreachable).
+
+        All missing targets flood together: one boolean frontier matrix
+        stepped by matmul — the vectorized multi-source BFS.
+        """
+        np = self._np
+        missing = [t for t in targets if t not in self._hops]
+        if missing:
+            rows = np.full((len(missing), self.n), -1, dtype=np.int32)
+            frontier = np.zeros((len(missing), self.n), dtype=bool)
+            for s, t in enumerate(missing):
+                frontier[s, self.index[t]] = True
+            seen = frontier.copy()
+            rows[frontier] = 0
+            hops = 0
+            while frontier.any():
+                hops += 1
+                nxt = (frontier.astype(np.uint8) @ self.adj) > 0
+                nxt &= ~seen
+                rows[nxt] = hops
+                seen |= nxt
+                frontier = nxt
+            for s, t in enumerate(missing):
+                self._hops[t] = rows[s]
+        return [self._hops[t] for t in targets]
+
+    def nh_col(self, target: Node) -> "np.ndarray":
+        """Each node's next hop toward ``target``, as node indices."""
+        col = self._nh_cols.get(target)
+        if col is None:
+            np, sim = self._np, self._sim
+            col = np.array(
+                [self.index[sim._nh(node)[target]] for node in sim._nodes],
+                dtype=np.int64,
+            )
+            self._nh_cols[target] = col
+        return col
 
 #: Default retransmit timers for lossy update propagation: first retry
 #: after one hop-delay, doubling, capped at 8 hop-delays.
@@ -88,18 +165,34 @@ class ConvergenceSimulator:
         self._delay = per_hop_delay
         self._nodes = sorted(graph.nodes(), key=repr)
         self._next_hops: Dict[Node, Dict[Node, Node]] = {}
+        self._conv_arrays: Optional[_ConvArrays] = None
 
     def _nh(self, router: Node) -> Dict[Node, Node]:
         if router not in self._next_hops:
             self._next_hops[router] = self._graph.next_hops_fast(router)
         return self._next_hops[router]
 
+    def _arrays(self) -> _ConvArrays:
+        if self._conv_arrays is None:
+            self._conv_arrays = _ConvArrays(self)
+        return self._conv_arrays
+
     def update_arrival_times(self, new_router: Node) -> Dict[Node, float]:
         """When each router learns of the endpoint's new attachment.
 
         The announcement floods outward from the new attachment router;
         a router at hop distance h processes it at ``h * per_hop_delay``.
+        In array mode the flood is a multi-source BFS row (cached and
+        shareable across every event with this attachment point).
         """
+        if _array_mode():
+            arrays = self._arrays()
+            hops = arrays.hop_rows([new_router])[0]
+            return {
+                node: int(hops[i]) * self._delay
+                for i, node in enumerate(self._nodes)
+                if hops[i] >= 0
+            }
         return {
             node: hops * self._delay
             for node, hops in self._graph.bfs_distances(new_router).items()
@@ -151,6 +244,10 @@ class ConvergenceSimulator:
         until convergence; the outage is the span from the move to the
         last failed probe + step (0 if no probe ever fails).
         """
+        if _array_mode():
+            return self._simulate_event_array(
+                old_router, new_router, probe_step
+            )
         arrivals = self.update_arrival_times(new_router)
         convergence = max(arrivals.values())
         outage: Dict[Node, float] = {}
@@ -174,18 +271,97 @@ class ConvergenceSimulator:
             outage_by_source=outage,
         )
 
+    def _probe_grid(self, convergence: float, probe_step: float) -> list:
+        """The probe instants, by the same accumulation the scalar loop
+        uses — the grid must be float-identical, not ``arange``-close."""
+        ts = []
+        t = 0.0
+        while t <= convergence + probe_step:
+            ts.append(t)
+            t += probe_step
+        return ts
+
+    def _simulate_event_array(
+        self, old_router: Node, new_router: Node, probe_step: float
+    ) -> MobilityOutage:
+        """Array path of :meth:`simulate_event`: all (probe, source)
+        cells at once.
+
+        The forwarding state at probe time t is a functional graph
+        F[t]; a probe from ``source`` succeeds iff iterating F[t]
+        reaches the new attachment (a revisit means a stale/fresh loop,
+        a self-loop a blackhole — exactly the scalar walk's failure
+        modes). Reachability-to-new over all cells is one monotone
+        fixpoint instead of n walks per probe instant.
+        """
+        from ..workload import require_numpy
+
+        np = require_numpy()
+        arrays = self._arrays()
+        hops = arrays.hop_rows([new_router])[0]
+        arr = np.where(
+            hops >= 0, hops.astype(np.float64) * self._delay, np.inf
+        )
+        convergence = max(
+            int(hops[i]) * self._delay
+            for i in range(arrays.n)
+            if hops[i] >= 0
+        )
+        ts = self._probe_grid(convergence, probe_step)
+        tsv = np.array(ts, dtype=np.float64)
+        nh_new = arrays.nh_col(new_router)
+        nh_old = arrays.nh_col(old_router)
+        updated = arr[None, :] <= tsv[:, None]
+        F = np.where(updated, nh_new[None, :], nh_old[None, :])
+        good = np.zeros((len(ts), arrays.n), dtype=bool)
+        good[:, arrays.index[new_router]] = True
+        while True:
+            grown = good | np.take_along_axis(good, F, axis=1)
+            if (grown == good).all():
+                break
+            good = grown
+        failed = ~good
+        ever = failed.any(axis=0)
+        last = (len(ts) - 1) - np.argmax(failed[::-1, :], axis=0)
+        out = np.where(ever, tsv[last] + probe_step, 0.0)
+        out[arrays.index[new_router]] = 0.0
+        outage = {
+            node: float(out[i]) for i, node in enumerate(self._nodes)
+        }
+        return MobilityOutage(
+            old_router=old_router,
+            new_router=new_router,
+            convergence_time=convergence,
+            outage_by_source=outage,
+        )
+
     def expected_outage(
         self, events: int, rng: random.Random
     ) -> Tuple[float, float]:
-        """(mean, max) outage over random mobility events."""
-        total = 0.0
-        worst = 0.0
-        count = 0
+        """(mean, max) outage over random mobility events.
+
+        The endpoint draws always come first, in the exact scalar
+        order, so the rng stream is mode-independent; in array mode the
+        unique new attachments then flood together (one batched
+        multi-source BFS) before the per-event probes run.
+        """
+        pairs = []
         for _ in range(events):
             old = rng.choice(self._nodes)
             new = rng.choice(self._nodes)
             if old == new:
                 continue
+            pairs.append((old, new))
+        if pairs and _array_mode():
+            with obs.span("convergence.batch.arrivals"):
+                self._arrays().hop_rows(
+                    sorted({new for _, new in pairs}, key=repr)
+                )
+            obs.incr("convergence.batch.events", len(pairs))
+        total = 0.0
+        worst = 0.0
+        count = 0
+        for old, new in pairs:
             result = self.simulate_event(old, new)
             total += result.mean_outage()
             worst = max(worst, result.max_outage())
@@ -318,6 +494,18 @@ class ConvergenceSimulator:
             new_router, loss, retransmit, rng, faults
         )
         convergence = max(arrivals.values())
+        if _array_mode():
+            outage = self._probe_outages_under_faults_array(
+                old_router, new_router, arrivals, faults,
+                convergence, probe_step,
+            )
+            return FaultyMobilityOutage(
+                old_router=old_router,
+                new_router=new_router,
+                convergence_time=convergence,
+                outage_by_source=outage,
+                retransmissions=retransmissions,
+            )
         outage: Dict[Node, float] = {}
         for source in self._nodes:
             if source == new_router:
@@ -341,6 +529,71 @@ class ConvergenceSimulator:
             outage_by_source=outage,
             retransmissions=retransmissions,
         )
+
+    def _probe_outages_under_faults_array(
+        self,
+        old_router: Node,
+        new_router: Node,
+        arrivals: Dict[Node, float],
+        faults: FaultSchedule,
+        convergence: float,
+        probe_step: float,
+    ) -> Dict[Node, float]:
+        """Array path of the fault-aware probe phase.
+
+        Fault state is time-varying, so each probe instant evaluates
+        the schedule once per node (router up? outgoing link up?) and
+        then resolves all sources with one reachability fixpoint —
+        instead of re-walking the path from every source. The failure
+        conditions and their outcomes match
+        :meth:`deliver_under_faults` case for case: a down router kills
+        a probe even at the new attachment, a self-loop is the old
+        attachment's blackhole, a revisit is a stale/fresh loop.
+        """
+        from ..workload import require_numpy
+
+        np = require_numpy()
+        arrays = self._arrays()
+        n = arrays.n
+        nodes = self._nodes
+        arr = np.full(n, np.inf)
+        for node, when in arrivals.items():
+            arr[arrays.index[node]] = when
+        nh_new = arrays.nh_col(new_router)
+        nh_old = arrays.nh_col(old_router)
+        new_idx = arrays.index[new_router]
+        self_idx = np.arange(n, dtype=np.int64)
+        ts = self._probe_grid(convergence, probe_step)
+        last = np.full(n, -1, dtype=np.int64)
+        for ti, t in enumerate(ts):
+            router_down = np.fromiter(
+                (faults.is_down(ROUTER, node, t) for node in nodes),
+                dtype=bool,
+                count=n,
+            )
+            F = np.where(arr <= t, nh_new, nh_old)
+            link_down = np.fromiter(
+                (
+                    faults.is_down(LINK, (node, nodes[F[i]]), t)
+                    for i, node in enumerate(nodes)
+                ),
+                dtype=bool,
+                count=n,
+            )
+            base = np.zeros(n, dtype=bool)
+            base[new_idx] = not router_down[new_idx]
+            eligible = ~router_down & (F != self_idx) & ~link_down
+            good = base.copy()
+            while True:
+                grown = base | (eligible & good[F])
+                if (grown == good).all():
+                    break
+                good = grown
+            last[~good] = ti
+        tsv = np.array(ts, dtype=np.float64)
+        out = np.where(last >= 0, tsv[np.maximum(last, 0)] + probe_step, 0.0)
+        out[new_idx] = 0.0
+        return {node: float(out[i]) for i, node in enumerate(nodes)}
 
     def expected_outage_under_faults(
         self,

@@ -61,6 +61,19 @@ class PathType(enum.Enum):
 _EXPORTABLE_UPWARD = (PathType.ORIGIN, PathType.CUSTOMER)
 
 
+def _array_mode() -> bool:
+    """True when the frontier-batched array control plane should serve.
+
+    ``REPRO_SCALAR=1`` (or a numpy-free interpreter) routes everything
+    through the per-destination dict reference implementation instead.
+    """
+    try:
+        from ..workload import scalar_mode
+    except ImportError:  # numpy-free environment: scalar only
+        return False
+    return not scalar_mode()
+
+
 @dataclass(frozen=True)
 class BestPath:
     """An AS's best route to some destination AS."""
@@ -92,6 +105,9 @@ class RoutingOracle:
         #: last :meth:`mark_clean` — i.e. routes a warm-cache snapshot
         #: does not yet hold.
         self._dirty = 0
+        #: Lazily built array control plane (never pickled: its tables
+        #: may be memory-mapped artifacts or shared-memory views).
+        self._frontier = None
 
     @property
     def topology(self) -> ASTopology:
@@ -115,15 +131,65 @@ class RoutingOracle:
     def __getstate__(self):
         # A pickled oracle *is* the snapshot, so it carries no dirt —
         # rehydrated copies must not re-persist routes they were loaded
-        # with.
+        # with. The array control plane is dropped for the same reason
+        # (and because its tables may be mmap/shared-memory views that
+        # must not be serialized): a rehydrated oracle rebuilds or
+        # re-imports its tables, starting clean.
         state = dict(self.__dict__)
         state["_dirty"] = 0
+        state["_frontier"] = None
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
-        # Pre-dirtiness pickles (older cache entries) lack the field.
+        # Pre-dirtiness pickles (older cache entries) lack the fields.
         self.__dict__.setdefault("_dirty", 0)
+        self.__dict__.setdefault("_frontier", None)
+
+    def frontier_engine(self):
+        """The array control plane for this topology (built on demand)."""
+        engine = self._frontier
+        if engine is None:
+            from .frontier import FrontierEngine
+
+            engine = FrontierEngine(self._topo)
+            self._frontier = engine
+        return engine
+
+    @property
+    def table_dirty(self) -> int:
+        """Array route tables computed since the last export/import."""
+        engine = self._frontier
+        return 0 if engine is None else engine.dirty
+
+    def adopt_csr(self, csr) -> None:
+        """Seed the array control plane with a pre-built CSR topology
+        (e.g. a shared-memory view), skipping the encode pass."""
+        if self._frontier is None:
+            from .frontier import FrontierEngine
+
+            self._frontier = FrontierEngine(self._topo, csr=csr)
+
+    def export_route_tables(self):
+        """Cached array tables as flat buffers (None when empty).
+
+        Marks the engine clean: the caller is persisting the snapshot.
+        """
+        engine = self._frontier
+        if engine is None:
+            return None
+        buffers = engine.export_tables()
+        if buffers is not None:
+            engine.dirty = 0
+        return buffers
+
+    def import_route_tables(self, buffers, csr=None) -> None:
+        """Adopt previously exported array tables (warm artifact / shm)."""
+        if self._frontier is None:
+            from .frontier import FrontierEngine
+
+            self._frontier = FrontierEngine(self._topo, csr=csr)
+        self._frontier.import_tables(buffers)
 
     def routes_to(self, dest_asn: int) -> Dict[int, BestPath]:
         """Best path from every AS to ``dest_asn`` (absent = unreachable)."""
@@ -132,7 +198,14 @@ class RoutingOracle:
             return cached
         if dest_asn not in self._topo.ases:
             raise KeyError(f"unknown destination AS{dest_asn}")
-        result = self._compute(dest_asn)
+        if _array_mode():
+            from .frontier import materialize_routes
+
+            engine = self.frontier_engine()
+            ptype, plen, parent, _entry = engine.table_for(dest_asn)
+            result = materialize_routes(engine.csr, ptype, plen, parent)
+        else:
+            result = self._compute(dest_asn)
         self._cache[dest_asn] = result
         self._dirty += 1
         obs.incr("oracle.demand_computations")
@@ -140,6 +213,17 @@ class RoutingOracle:
         # worker grows its own cache; aggregate memory is the sum).
         obs.gauge("oracle.route_cache.size", len(self._cache))
         return result
+
+    def routes_to_many(self, dest_asns):
+        """Best-route tables for many destinations as stacked arrays.
+
+        The bulk control-plane API: returns a
+        :class:`~repro.routing.frontier.RouteTableBatch` whose rows the
+        vectorized evaluators and :meth:`VantagePoint.next_hop_table`
+        gather through directly. ``batch.materialize(dest)`` rebuilds
+        the exact per-destination dict :meth:`routes_to` returns.
+        """
+        return self.frontier_engine().batch(dest_asns)
 
     def best_path(self, source_asn: int, dest_asn: int) -> Optional[BestPath]:
         """The best policy path from ``source_asn`` to ``dest_asn``."""
@@ -336,6 +420,13 @@ class VantagePoint:
         """
         from ..workload import require_numpy
 
+        if _array_mode():
+            from .frontier import next_hop_table_batch
+
+            with obs.span("routing.batch.next_hop_table"):
+                table = next_hop_table_batch(self, oracle, prefixes)
+            obs.incr("vantage.next_hop_table.prefixes", len(prefixes))
+            return table
         np = require_numpy()
         table = np.full(len(prefixes), -1, dtype=np.int64)
         for i, prefix in enumerate(prefixes):

@@ -1,0 +1,592 @@
+"""Array-native control plane: frontier-batched BGP over CSR arrays.
+
+The scalar oracle (:meth:`repro.routing.bgp.RoutingOracle._compute`)
+walks Python dicts per destination; at paper scale that BFS dominates
+every cold run. This module re-expresses the same three-stage
+Gao-Rexford propagation as frontier-batched operations over integer
+arrays: the AS graph lives in CSR form (:class:`CSRTopology`), each
+destination's best-route table is three parallel vectors — path type,
+path length, and parent (next AS toward the destination) — and every
+propagation level is one scatter-min instead of a dict loop.
+
+Bit-identical parity with the scalar oracle rests on three provable
+tiebreak reductions:
+
+* **Stage 1 (customer routes up provider links).** All candidates at
+  one BFS level have equal length, so the lexicographic path tiebreak
+  compares ``(provider,) + path(child)`` across children — and those
+  tuples differ first at the child ASN. The winning parent is simply
+  the minimum child ASN in the frontier: a scatter-min.
+* **Stage 2 (one peer hop).** An AS without a customer route takes the
+  peer minimizing ``(held path length, peer ASN)`` — one composite-key
+  scatter-min.
+* **Stage 3 (provider routes down customer links).** Unit-weight
+  multi-source Dijkstra is level-synchronous BFS on total path length;
+  equal-length candidates from distinct parents differ first at the
+  parent ASN, so the winner is the minimum parent ASN in the level.
+  The scalar loop-prevention test (``asn in path[1:]``) is provably
+  redundant — every AS on a finalized path is already routed.
+
+Full :class:`~repro.routing.bgp.BestPath` tuples are reconstructed by
+following parent chains in path-length order, so the dict API and all
+its consumers (iPlane, RIB dumps) are unchanged.
+
+The module also vectorizes the §6.2.1 FIB derivation: a table-driven
+CRC-32 reproduces :func:`~repro.routing.ranking.synthetic_med` over
+whole prefix batches, and :func:`next_hop_table_batch` ranks all
+(prefix, neighbor) candidates with one composite-integer argmin —
+including the selective-announcement filter, which needs the *entry
+AS* (the penultimate ASN on each path), carried as a fourth per-
+destination vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..topology import ASTopology, Relationship
+from ..workload import require_numpy
+
+np = require_numpy()
+
+__all__ = [
+    "CSRTopology",
+    "FrontierEngine",
+    "RouteTableBatch",
+    "crc32_u64",
+    "synthetic_med_batch",
+    "next_hop_table_batch",
+]
+
+#: Integer path-type codes (match PathType preference order: lower is
+#: learned "earlier" in the three-stage sweep).
+UNREACHED = -1
+ORIGIN = 0
+CUSTOMER = 1
+PEER = 2
+PROVIDER = 3
+
+#: Preference order of the relationship rule (mirrors ranking._REL_RANK).
+_REL_RANK = {
+    Relationship.CUSTOMER: 0,
+    Relationship.PEER: 1,
+    Relationship.PROVIDER: 2,
+}
+
+
+def _expand(indptr, indices, rows):
+    """Gather the CSR rows ``rows``: ``(sources, targets)`` edge lists.
+
+    ``sources[i]`` is the row each ``targets[i]`` neighbor came from;
+    rows with no neighbors contribute nothing.
+    """
+    counts = indptr[rows + 1] - indptr[rows]
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=indices.dtype)
+        return empty, empty
+    starts = np.repeat(indptr[rows], counts)
+    within = np.arange(total, dtype=indptr.dtype) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return np.repeat(rows, counts), indices[starts + within]
+
+
+class CSRTopology:
+    """The AS graph's three relation sets as CSR integer arrays.
+
+    Node ids are indices into the sorted ASN vector, so ascending index
+    order *is* ascending ASN order — which is what lets every "lowest
+    ASN" tiebreak become a plain integer minimum. Neighbor lists are
+    sorted, matching the deterministic iteration order of the scalar
+    oracle.
+    """
+
+    #: Buffer names in the flat export (shared memory / array artifacts).
+    BUFFER_NAMES = (
+        "asns",
+        "prov_indptr", "prov_indices",
+        "cust_indptr", "cust_indices",
+        "peer_indptr", "peer_indices",
+    )
+
+    def __init__(self, buffers: Dict[str, "np.ndarray"]):
+        self.asns = buffers["asns"]
+        self.prov_indptr = buffers["prov_indptr"]
+        self.prov_indices = buffers["prov_indices"]
+        self.cust_indptr = buffers["cust_indptr"]
+        self.cust_indices = buffers["cust_indices"]
+        self.peer_indptr = buffers["peer_indptr"]
+        self.peer_indices = buffers["peer_indices"]
+        self.n = len(self.asns)
+        #: ASNs as plain Python ints, for tuple-building hot loops.
+        self.asn_list: List[int] = [int(a) for a in self.asns]
+
+    @classmethod
+    def from_topology(cls, topology: ASTopology) -> "CSRTopology":
+        asns = np.array(sorted(topology.ases), dtype=np.int64)
+        index = {int(a): i for i, a in enumerate(asns)}
+
+        def csr(neighbor_sets):
+            indptr = np.zeros(len(asns) + 1, dtype=np.int64)
+            chunks = []
+            for i, asn in enumerate(asns):
+                nbrs = sorted(neighbor_sets(int(asn)))
+                indptr[i + 1] = indptr[i] + len(nbrs)
+                chunks.append(np.array([index[b] for b in nbrs],
+                                       dtype=np.int32))
+            indices = (np.concatenate(chunks) if chunks
+                       else np.empty(0, dtype=np.int32))
+            return indptr, indices
+
+        ases = topology.ases
+        prov_indptr, prov_indices = csr(lambda a: ases[a].providers)
+        cust_indptr, cust_indices = csr(lambda a: ases[a].customers)
+        peer_indptr, peer_indices = csr(lambda a: ases[a].peers)
+        return cls({
+            "asns": asns,
+            "prov_indptr": prov_indptr, "prov_indices": prov_indices,
+            "cust_indptr": cust_indptr, "cust_indices": cust_indices,
+            "peer_indptr": peer_indptr, "peer_indices": peer_indices,
+        })
+
+    def to_buffers(self) -> Dict[str, "np.ndarray"]:
+        """The flat numpy buffers this CSR round-trips through."""
+        return {name: getattr(self, name) for name in self.BUFFER_NAMES}
+
+    def index_of(self, asn: int) -> int:
+        """The node index of ``asn`` (raises KeyError if unknown)."""
+        i = int(np.searchsorted(self.asns, asn))
+        if i >= self.n or int(self.asns[i]) != asn:
+            raise KeyError(f"unknown AS{asn}")
+        return i
+
+    def indices_of(self, asns: Sequence[int]) -> "np.ndarray":
+        """Node indices for a batch of ASNs (all must exist)."""
+        values = np.asarray(asns, dtype=np.int64)
+        idx = np.searchsorted(self.asns, values)
+        if (idx >= self.n).any() or (self.asns[np.minimum(idx, self.n - 1)]
+                                     != values).any():
+            missing = values[(idx >= self.n)
+                             | (self.asns[np.minimum(idx, self.n - 1)]
+                                != values)]
+            raise KeyError(f"unknown AS{int(missing[0])}")
+        return idx.astype(np.int32)
+
+
+def compute_route_arrays(csr: CSRTopology, dest_idx: int):
+    """One destination's best-route table as four parallel vectors.
+
+    Returns ``(ptype, plen, parent, entry)``: path-type code, path
+    length in ASNs, the next node toward the destination, and the
+    entry node (the penultimate ASN on the path, -1 at the origin) —
+    everything the evaluators and FIB derivation gather through.
+    """
+    n = csr.n
+    ptype = np.full(n, UNREACHED, dtype=np.int8)
+    plen = np.zeros(n, dtype=np.int32)
+    parent = np.full(n, -1, dtype=np.int32)
+    ptype[dest_idx] = ORIGIN
+    plen[dest_idx] = 1
+
+    # Stage 1 — customer routes up provider links, one frontier per
+    # BFS level; the winning parent is the minimum child node id.
+    frontier = np.array([dest_idx], dtype=np.int32)
+    level = 1
+    while frontier.size:
+        children, provs = _expand(csr.prov_indptr, csr.prov_indices, frontier)
+        fresh = ptype[provs] < 0
+        children, provs = children[fresh], provs[fresh]
+        if children.size == 0:
+            break
+        best = np.full(n, n, dtype=np.int64)
+        np.minimum.at(best, provs, children.astype(np.int64))
+        newly = np.unique(provs)
+        level += 1
+        ptype[newly] = CUSTOMER
+        plen[newly] = level
+        parent[newly] = best[newly].astype(np.int32)
+        frontier = newly.astype(np.int32)
+
+    # Stage 2 — one peering hop off any origin/customer-route holder;
+    # composite (held length, peer id) scatter-min.
+    unreached = np.nonzero(ptype < 0)[0].astype(np.int32)
+    if unreached.size:
+        srcs, peers = _expand(csr.peer_indptr, csr.peer_indices, unreached)
+        held = (ptype[peers] >= 0) & (ptype[peers] <= CUSTOMER)
+        srcs, peers = srcs[held], peers[held]
+        if srcs.size:
+            big = np.int64(n + 2) * np.int64(n + 2)
+            key = plen[peers].astype(np.int64) * (n + 2) + peers
+            best = np.full(n, big, dtype=np.int64)
+            np.minimum.at(best, srcs, key)
+            got = unreached[best[unreached] < big]
+            ptype[got] = PEER
+            parent[got] = (best[got] % (n + 2)).astype(np.int32)
+            plen[got] = (best[got] // (n + 2) + 1).astype(np.int32)
+
+    # Stage 3 — provider routes down customer links: level-synchronous
+    # BFS on total path length (multi-source Dijkstra, unit weights);
+    # the winning parent at a level is the minimum parent node id.
+    reached = ptype >= 0
+    if not reached.all() and reached.any():
+        max_len = int(plen[reached].max())
+        length = 1
+        while length <= max_len:
+            frontier = np.nonzero((ptype >= 0) & (plen == length))[0]
+            if frontier.size:
+                parents, custs = _expand(
+                    csr.cust_indptr, csr.cust_indices,
+                    frontier.astype(np.int32),
+                )
+                fresh = ptype[custs] < 0
+                parents, custs = parents[fresh], custs[fresh]
+                if custs.size:
+                    best = np.full(n, n, dtype=np.int64)
+                    np.minimum.at(best, custs, parents.astype(np.int64))
+                    newly = np.unique(custs)
+                    ptype[newly] = PROVIDER
+                    plen[newly] = length + 1
+                    parent[newly] = best[newly].astype(np.int32)
+                    max_len = max(max_len, length + 1)
+            length += 1
+
+    # Entry nodes: parent path length is always plen-1, so one pass in
+    # ascending length order resolves every chain.
+    entry = np.full(n, -1, dtype=np.int32)
+    routed = ptype >= 0
+    if routed.any():
+        for length in range(2, int(plen[routed].max()) + 1):
+            idxs = np.nonzero(routed & (plen == length))[0]
+            if idxs.size:
+                entry[idxs] = np.where(
+                    parent[idxs] == dest_idx, idxs, entry[parent[idxs]]
+                ).astype(np.int32)
+    return ptype, plen, parent, entry
+
+
+class RouteTableBatch:
+    """Best-route tables for many destinations, stacked ``(D, N)``.
+
+    Row ``d`` holds destination ``dests[d]``'s table over all ASes in
+    node-index (= ascending ASN) order: ``ptype``/``plen``/``parent``/
+    ``entry`` exactly as :func:`compute_route_arrays` lays them out.
+    """
+
+    def __init__(self, csr: CSRTopology, dests, ptype, plen, parent, entry):
+        self.csr = csr
+        self.dests = dests
+        self.ptype = ptype
+        self.plen = plen
+        self.parent = parent
+        self.entry = entry
+
+    def __len__(self) -> int:
+        return len(self.dests)
+
+    def row(self, dest_asn: int) -> int:
+        """The row index of ``dest_asn`` (raises KeyError if absent)."""
+        hit = np.nonzero(self.dests == dest_asn)[0]
+        if hit.size == 0:
+            raise KeyError(f"destination AS{dest_asn} not in batch")
+        return int(hit[0])
+
+    def materialize(self, dest_asn: int):
+        """Row ``dest_asn`` as the scalar-oracle ``{asn: BestPath}`` dict."""
+        d = self.row(dest_asn)
+        return materialize_routes(
+            self.csr, self.ptype[d], self.plen[d], self.parent[d],
+        )
+
+
+#: ptype code -> PathType, resolved lazily (bgp imports this module).
+_PATH_TYPES = None
+
+
+def _path_types():
+    global _PATH_TYPES
+    if _PATH_TYPES is None:
+        from .bgp import PathType
+
+        _PATH_TYPES = {
+            ORIGIN: PathType.ORIGIN,
+            CUSTOMER: PathType.CUSTOMER,
+            PEER: PathType.PEER,
+            PROVIDER: PathType.PROVIDER,
+        }
+    return _PATH_TYPES
+
+
+def materialize_routes(csr: CSRTopology, ptype, plen, parent):
+    """Rebuild the scalar oracle's ``{asn: BestPath}`` dict from arrays.
+
+    Parent chains are followed in ascending path-length order so every
+    path tuple extends an already-built parent tuple (paths share
+    structure, so this is O(N) tuples, not O(N^2) ASNs).
+    """
+    from .bgp import BestPath
+
+    types = _path_types()
+    asn_list = csr.asn_list
+    paths: List[Optional[Tuple[int, ...]]] = [None] * csr.n
+    info: Dict[int, "BestPath"] = {}
+    order = np.argsort(plen, kind="stable")
+    routed = order[ptype[order] >= 0]
+    for i in routed.tolist():
+        p = parent[i]
+        path = ((asn_list[i],) if p < 0
+                else (asn_list[i],) + paths[p])  # type: ignore[operator]
+        paths[i] = path
+        info[asn_list[i]] = BestPath(path, types[int(ptype[i])])
+    return info
+
+
+class FrontierEngine:
+    """Per-topology array-route state: CSR encoding + table cache.
+
+    One engine hangs off each :class:`~repro.routing.bgp.RoutingOracle`
+    (outside its pickled state — tables are cheap to recompute and may
+    be memory-mapped or shared-memory views). ``dirty`` counts tables
+    computed since the last :meth:`export_tables`/:meth:`import_tables`,
+    mirroring the oracle's dict-cache dirtiness.
+    """
+
+    def __init__(self, topology: ASTopology,
+                 csr: Optional[CSRTopology] = None):
+        with obs.span("routing.batch.csr_build"):
+            self.csr = csr if csr is not None else CSRTopology.from_topology(
+                topology
+            )
+        self._tables: Dict[int, Tuple] = {}
+        self.dirty = 0
+
+    @property
+    def table_cache_size(self) -> int:
+        return len(self._tables)
+
+    def table_for(self, dest_asn: int) -> Tuple:
+        """``(ptype, plen, parent, entry)`` for one destination."""
+        cached = self._tables.get(dest_asn)
+        if cached is not None:
+            return cached
+        table = compute_route_arrays(self.csr, self.csr.index_of(dest_asn))
+        self._tables[dest_asn] = table
+        self.dirty += 1
+        return table
+
+    def batch(self, dests: Iterable[int]) -> RouteTableBatch:
+        """Stacked tables for ``dests`` (computing any missing ones)."""
+        dests = [int(d) for d in dests]
+        missing = [d for d in dests if d not in self._tables]
+        if missing:
+            with obs.span("routing.batch.compute"):
+                for d in missing:
+                    self.table_for(d)
+            obs.incr("routing.batch.dests", len(missing))
+        rows = [self._tables[d] for d in dests]
+        return RouteTableBatch(
+            self.csr,
+            np.array(dests, dtype=np.int64),
+            np.stack([r[0] for r in rows]) if rows else np.empty(
+                (0, self.csr.n), dtype=np.int8),
+            np.stack([r[1] for r in rows]) if rows else np.empty(
+                (0, self.csr.n), dtype=np.int32),
+            np.stack([r[2] for r in rows]) if rows else np.empty(
+                (0, self.csr.n), dtype=np.int32),
+            np.stack([r[3] for r in rows]) if rows else np.empty(
+                (0, self.csr.n), dtype=np.int32),
+        )
+
+    # -- flat-buffer round trip (warm artifacts, shared memory) --------
+
+    def export_tables(self) -> Optional[Dict[str, "np.ndarray"]]:
+        """Every cached table as flat stacked buffers (None if empty)."""
+        if not self._tables:
+            return None
+        dests = sorted(self._tables)
+        rows = [self._tables[d] for d in dests]
+        return {
+            "dests": np.array(dests, dtype=np.int64),
+            "ptype": np.stack([r[0] for r in rows]),
+            "plen": np.stack([r[1] for r in rows]),
+            "parent": np.stack([r[2] for r in rows]),
+            "entry": np.stack([r[3] for r in rows]),
+        }
+
+    def import_tables(self, buffers: Dict[str, "np.ndarray"]) -> None:
+        """Adopt previously exported tables (views are kept as-is)."""
+        dests = buffers["dests"]
+        ptype, plen = buffers["ptype"], buffers["plen"]
+        parent, entry = buffers["parent"], buffers["entry"]
+        if ptype.shape != (len(dests), self.csr.n):
+            raise ValueError(
+                f"route-table shape {ptype.shape} does not match "
+                f"{len(dests)} destinations over {self.csr.n} ASes"
+            )
+        for d in range(len(dests)):
+            self._tables.setdefault(
+                int(dests[d]), (ptype[d], plen[d], parent[d], entry[d])
+            )
+
+
+# -- vectorized MED (table-driven CRC-32) -------------------------------
+
+_CRC_TABLE: Optional["np.ndarray"] = None
+
+
+def _crc_table() -> "np.ndarray":
+    global _CRC_TABLE
+    if _CRC_TABLE is None:
+        table = np.empty(256, dtype=np.uint32)
+        for i in range(256):
+            c = i
+            for _ in range(8):
+                c = (c >> 1) ^ 0xEDB88320 if c & 1 else c >> 1
+            table[i] = c
+        _CRC_TABLE = table
+    return _CRC_TABLE
+
+
+def crc32_u64(values) -> "np.ndarray":
+    """``zlib.crc32(v.to_bytes(8, "big"))`` over a uint64 batch."""
+    values = np.asarray(values, dtype=np.uint64)
+    table = _crc_table()
+    crc = np.full(values.shape, 0xFFFFFFFF, dtype=np.uint32)
+    for shift in range(56, -8, -8):
+        byte = ((values >> np.uint64(shift)) & np.uint64(0xFF)).astype(
+            np.uint32
+        )
+        crc = (crc >> np.uint32(8)) ^ table[(crc ^ byte) & np.uint32(0xFF)]
+    return crc ^ np.uint32(0xFFFFFFFF)
+
+
+def synthetic_med_batch(
+    next_hops, networks, lengths,
+    modulus: int = 8, nonzero_fraction: float = 0.02,
+) -> "np.ndarray":
+    """:func:`~repro.routing.ranking.synthetic_med` over aligned batches."""
+    seed = (
+        (np.asarray(next_hops, dtype=np.uint64) << np.uint64(40))
+        ^ (np.asarray(networks, dtype=np.uint64) << np.uint64(8))
+        ^ np.asarray(lengths, dtype=np.uint64)
+    )
+    digest = crc32_u64(seed)
+    frac = (digest % np.uint32(1000)).astype(np.float64) / 1000.0
+    med = ((digest >> np.uint32(10)) % np.uint32(modulus)).astype(np.int64)
+    return np.where(frac >= nonzero_fraction, 0, med)
+
+
+# -- vectorized FIB derivation (next-hop LUT) ---------------------------
+
+def rank_vectors(vantage) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """One vantage point's neighbor set as integer rank vectors.
+
+    ``(nbr_asns, rel_ranks, is_provider)`` in ascending-ASN order —
+    ascending index order therefore encodes the lowest-next-hop
+    tiebreak. Cached on the vantage (and seedable from shared memory).
+    """
+    cached = getattr(vantage, "_rank_vectors", None)
+    if cached is not None:
+        return cached
+    nbrs = sorted(vantage.neighbors)
+    rels = [vantage.neighbors[n] for n in nbrs]
+    vectors = (
+        np.array(nbrs, dtype=np.int64),
+        np.array([_REL_RANK[r] for r in rels], dtype=np.int64),
+        np.array([r is Relationship.PROVIDER for r in rels], dtype=bool),
+    )
+    vantage._rank_vectors = vectors
+    return vectors
+
+
+def next_hop_table_batch(vantage, oracle, prefixes) -> "np.ndarray":
+    """FIB next hops for a prefix batch — array path of
+    :meth:`~repro.routing.bgp.VantagePoint.next_hop_table`.
+
+    Bit-identical to ranking each prefix's candidate routes with
+    :func:`~repro.routing.ranking.rank_key`: relationship class, path
+    length, MED, and the lowest-next-hop tiebreak fold into one
+    composite integer per (prefix, neighbor), minimized per prefix.
+    """
+    topo = oracle.topology
+    count = len(prefixes)
+    table = np.full(count, -1, dtype=np.int64)
+    if count == 0:
+        return table
+
+    origins = np.full(count, -1, dtype=np.int64)
+    nets = np.zeros(count, dtype=np.int64)
+    lens = np.zeros(count, dtype=np.int64)
+    for i, prefix in enumerate(prefixes):
+        nets[i] = prefix.network
+        lens[i] = prefix.length
+        origin = topo.origin_of_prefix(prefix)
+        if origin is None:
+            origin = topo.origin_of_address(prefix.first_address())
+        if origin is not None:
+            origins[i] = origin
+    routable = np.nonzero(origins >= 0)[0]
+    if routable.size == 0:
+        return table
+
+    uniq_origins, origin_row = np.unique(origins[routable],
+                                         return_inverse=True)
+    batch = oracle.routes_to_many(uniq_origins.tolist())
+    csr = batch.csr
+    nbr_asns, rel_ranks, is_provider = rank_vectors(vantage)
+    nbr_idx = csr.indices_of(nbr_asns)
+    k = len(nbr_asns)
+
+    # Per (prefix, neighbor) candidate state, gathered through the
+    # unique-origin batch rows.
+    ptype = batch.ptype[:, nbr_idx][origin_row]
+    plen = batch.plen[:, nbr_idx][origin_row].astype(np.int64)
+    entry = batch.entry[:, nbr_idx][origin_row]
+    valid = (ptype >= 0) & (is_provider[None, :] | (ptype <= CUSTOMER))
+
+    med = synthetic_med_batch(
+        np.broadcast_to(nbr_asns[None, :], (routable.size, k)),
+        np.broadcast_to(nets[routable][:, None], (routable.size, k)),
+        np.broadcast_to(lens[routable][:, None], (routable.size, k)),
+    )
+
+    # Selective announcement (§3.2 prefix diversity), vectorized: the
+    # chosen provider's node id must match the entry node, with the
+    # scalar path's strand fallback.
+    if vantage.selective_fraction > 0.0:
+        prov_lists = [sorted(topo.ases[int(o)].providers)
+                      for o in uniq_origins]
+        prov_count = np.array([len(p) for p in prov_lists], dtype=np.int64)
+        width = max(int(prov_count.max()), 1)
+        prov_mat = np.full((len(uniq_origins), width), -1, dtype=np.int64)
+        for r, plist in enumerate(prov_lists):
+            prov_mat[r, : len(plist)] = plist
+        h = (nets[routable] * 1103515245 + lens[routable]) & 0x7FFFFFFF
+        coin = (h % 1000) / 1000.0 < vantage.selective_fraction
+        multi = prov_count[origin_row] >= 2
+        applies = coin & multi & (valid.sum(axis=1) > 1)
+        chosen_asn = prov_mat[
+            origin_row, (h >> 8) % np.maximum(prov_count[origin_row], 1)
+        ]
+        chosen_idx = np.full(len(chosen_asn), -2, dtype=np.int64)
+        known = chosen_asn >= 0
+        if known.any():
+            chosen_idx[known] = csr.indices_of(chosen_asn[known])
+        keep = (plen < 2) | (entry == chosen_idx[:, None])
+        filtered = valid & np.where(applies[:, None], keep, True)
+        stranded = applies & ~filtered.any(axis=1) & valid.any(axis=1)
+        valid = np.where(stranded[:, None], valid, filtered)
+
+    # rank_key composite: (rel, path length, MED, neighbor ASN); the
+    # neighbor axis is ASN-ascending so the index is the final tiebreak.
+    plen_cap = np.int64(csr.n + 2)
+    med_cap = np.int64(1024)
+    key = ((rel_ranks[None, :] * plen_cap + plen) * med_cap + med) * k
+    key = key + np.arange(k, dtype=np.int64)[None, :]
+    big = np.int64(4) * plen_cap * med_cap * k + k
+    key = np.where(valid, key, big)
+    best_j = np.argmin(key, axis=1)
+    has_route = valid.any(axis=1)
+    table[routable] = np.where(has_route, nbr_asns[best_j], -1)
+    return table
