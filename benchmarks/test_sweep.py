@@ -1,0 +1,53 @@
+"""Bench: the sweep engine — grid fan-out and warm-resweep cost.
+
+Pins the sweep's two economic properties:
+
+* a pooled sweep over a small grid completes with deterministic rows
+  (the fan-out machinery itself is cheap relative to the cells);
+* re-running the same sweep against a warm artifact cache is close to
+  free — cells share World artifacts keyed by explicit parameters, so
+  the second pass is all cache hits.
+"""
+
+import shutil
+import tempfile
+
+from conftest import run_once
+
+from repro.engine import ArtifactCache
+from repro.sweep import SweepSpec, run_sweep
+
+SPEC = SweepSpec.from_dict({
+    "name": "bench",
+    "experiments": ["table1", "compact-routing", "envelope"],
+    "base": {"scale": "small"},
+    "axes": {"seed": [1, 2]},
+    "replications": 1,
+})
+
+
+def test_pooled_sweep_completes_deterministically(benchmark):
+    root = tempfile.mkdtemp(prefix="repro-bench-sweep-")
+    try:
+        baseline = run_sweep(SPEC, jobs=1,
+                             cache=ArtifactCache(root, max_bytes=None))
+        result = run_once(
+            benchmark, run_sweep, SPEC, jobs=2,
+            cache=ArtifactCache(root, max_bytes=None),
+        )
+        assert not result.failed
+        assert result.to_csv() == baseline.to_csv()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_warm_resweep_is_cache_driven(benchmark):
+    root = tempfile.mkdtemp(prefix="repro-bench-resweep-")
+    try:
+        cache = ArtifactCache(root, max_bytes=None)
+        cold = run_sweep(SPEC, cache=cache)
+        warm = run_once(benchmark, run_sweep, SPEC, cache=cache)
+        assert not warm.failed
+        assert warm.to_csv() == cold.to_csv()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -9,6 +9,7 @@ Usage::
     python -m repro run all --trace-out trace.json
     python -m repro check
     python -m repro compare -2 -1
+    python -m repro sweep spec.json --jobs 4 --csv sweep.csv
     python -m repro export --out results/ --scale small
 
 ``run`` prints the same rows/series the paper reports; ``export``
@@ -43,6 +44,15 @@ byte-identical to an uninterrupted run. ``REPRO_CHAOS``
 (``kill:P,hang:P,corrupt:P[,seed:N]``) injects worker and cache
 faults to prove those paths; ``REPRO_CACHE_MAX_MB`` bounds the
 artifact cache with LRU eviction.
+
+``sweep`` runs a declarative grid of configurations from a JSON spec
+(:mod:`repro.sweep`): base options × sweep axes × replications expand
+into cells, every (cell, experiment) pair fans through the resilient
+runner, and the result is a deterministic tidy CSV (one row per cell,
+experiment, and metric — stdout, or ``--csv FILE``) plus one ledger
+manifest per cell. An interrupted sweep is resumed with ``sweep
+<spec> --resume <sweep-id|last>``; completed (cell, experiment) pairs
+are skipped and the stitched output is byte-identical.
 
 Experiments come from the :mod:`repro.engine` registry — each
 ``exp_*`` module registers itself — and run through the engine's
@@ -269,6 +279,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fail-on-diff", action="store_true", dest="fail_on_diff",
         help="exit 1 when any shared experiment's series digests "
         "differ (for CI parity gates)",
+    )
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run a declarative grid of configurations from a JSON spec",
+    )
+    sweep_parser.add_argument(
+        "spec",
+        help="sweep spec file: {name, experiments, base, axes, "
+        "replications, timeout_s} (see DESIGN.md)",
+    )
+    sweep_parser.add_argument(
+        "--jobs",
+        type=_jobs_type,
+        default=1,
+        help="worker processes shared by all cells (default 1)",
+    )
+    sweep_parser.add_argument(
+        "--csv",
+        metavar="FILE",
+        default=None,
+        dest="csv_out",
+        help="write the tidy result CSV here (default: stdout)",
+    )
+    sweep_parser.add_argument(
+        "--ledger-dir",
+        metavar="DIR",
+        default=None,
+        dest="ledger_dir",
+        help=f"ledger directory for per-cell manifests and the sweep "
+        f"journal (default: ${obs.LEDGER_DIR_ENV})",
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        metavar="SWEEP",
+        default=None,
+        dest="resume",
+        help="resume an interrupted sweep from its journal ('last' or "
+        "a sweep id); completed (cell, experiment) pairs are skipped "
+        "and the stitched CSV is byte-identical",
     )
 
     export_parser = sub.add_parser(
@@ -506,11 +556,18 @@ def _run(
         )
     elif ledger is not None:
         run_id = obs.new_run_id()
-        journal = RunJournal.create(
-            ledger.root, run_id, scale_label=scale.label,
-            seed=getattr(scale, "seed", None), names=names,
-            version=__version__,
-        )
+        try:
+            journal = RunJournal.create(
+                ledger.root, run_id, scale_label=scale.label,
+                seed=getattr(scale, "seed", None), names=names,
+                version=__version__,
+            )
+        except OSError as exc:
+            err.write(
+                f"repro run: cannot write run journal under "
+                f"{ledger.root!r}: {exc}\n"
+            )
+            return 2
     to_run = [name for name in names if name not in completed]
 
     started = perf_counter()
@@ -546,13 +603,23 @@ def _run(
 
     ledger_line = ""
     if ledger is not None:
-        entry = ledger.append(obs.build_entry(
+        entry = obs.build_entry(
             records, scale_label=scale.label,
             seed=getattr(scale, "seed", None), jobs=jobs,
             elapsed_s=elapsed, version=__version__,
             run_id=run_id, resumed_from=resumed_from,
-        ))
-        ledger_line = f"[ledger: {entry['run_id']} -> {ledger.path}]\n"
+        )
+        try:
+            ledger.append(entry)
+        except OSError as exc:
+            # The results exist and were paid for — report them; the
+            # run just isn't ledgered (warned, like an unwritable cache).
+            err.write(
+                f"repro run: WARNING: cannot append to ledger "
+                f"{ledger.path!r}: {exc}\n"
+            )
+        else:
+            ledger_line = f"[ledger: {entry['run_id']} -> {ledger.path}]\n"
 
     if output_format == "json":
         if ledger_line:  # keep stdout valid JSON
@@ -694,6 +761,14 @@ def _compare(run_a: str, run_b: str, ledger_dir: Optional[str],
             f"wall={entry.get('wall_s')}s "
             f"git={str(entry.get('git_sha'))[:12]}"
         )
+        if entry.get("sweep_id"):
+            cell = entry.get("cell") or {}
+            coords = ",".join(f"{k}={v}" for k, v in sorted(cell.items()))
+            line += (
+                f"\n     sweep={entry['sweep_id']} "
+                f"cell={entry.get('cell_id')}"
+                + (f" ({coords})" if coords else "")
+            )
         if entry.get("resumed_from"):
             line += f" (resumed from {entry['resumed_from']})"
         return line + "\n"
@@ -774,6 +849,90 @@ def _compare(run_a: str, run_b: str, ledger_dir: Optional[str],
     return 0
 
 
+def _sweep(
+    spec_path: str, jobs: int = 1, csv_out: Optional[str] = None,
+    ledger_dir: Optional[str] = None, resume: Optional[str] = None,
+    out=None, err=None,
+) -> int:
+    """Run (or resume) a declarative sweep; returns an exit code.
+
+    The tidy CSV goes to stdout by default (pipe it straight into a
+    plotting tool) or to ``--csv FILE``; status lines go to stderr so
+    stdout stays clean CSV either way.
+    """
+    from .sweep import SweepError, SweepSpec, SweepSpecError, run_sweep
+
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    try:
+        ChaosConfig.from_env()  # fail fast on a malformed chaos spec
+    except ValueError as exc:
+        err.write(f"repro sweep: bad {CHAOS_ENV} spec: {exc}\n")
+        return 2
+    try:
+        spec = SweepSpec.load(spec_path)
+    except SweepSpecError as exc:
+        err.write(f"repro sweep: {exc}\n")
+        return 2
+
+    ledger = _ledger_for(ledger_dir)
+    if resume is not None and ledger is None:
+        err.write(
+            "repro sweep: --resume needs a sweep journal — set "
+            f"{obs.LEDGER_DIR_ENV} or pass --ledger-dir\n"
+        )
+        return 2
+
+    started = perf_counter()
+    obs.reset_metrics()  # clean driver-side registry for this sweep
+    try:
+        result = run_sweep(
+            spec, jobs=jobs, cache=ArtifactCache.from_env(),
+            ledger=ledger, resume=resume, version=__version__,
+            on_progress=lambda message: err.write(f"[{message}]\n"),
+        )
+    except (SweepError, SweepSpecError) as exc:
+        err.write(f"repro sweep: {exc}\n")
+        return 2
+    except OSError as exc:
+        where = f" under {ledger.root!r}" if ledger is not None else ""
+        err.write(
+            f"repro sweep: cannot write sweep journal/ledger{where}: "
+            f"{exc}\n"
+        )
+        return 2
+    elapsed = perf_counter() - started
+
+    csv_text = result.to_csv()
+    if csv_out:
+        with open(csv_out, "w", encoding="utf-8") as handle:
+            handle.write(csv_text)
+    else:
+        out.write(csv_text)
+
+    failed = result.failed
+    summary = (
+        f"[sweep {result.sweep_id}: {len(result.cells)} cell(s) x "
+        f"{len(result.experiments)} experiment(s), "
+        f"{len(result.rows)} row(s)"
+        + (f", {result.resumed_count} task(s) resumed"
+           if result.resumed_count else "")
+        + (f", {len(failed)} FAILED "
+           f"({', '.join(sorted(r.name for r in failed))})"
+           if failed else "")
+        + f", {elapsed:.0f}s]\n"
+    )
+    err.write(summary)
+    if csv_out:
+        err.write(f"[csv: {len(result.rows)} row(s) -> {csv_out}]\n")
+    if ledger is not None and result.entries:
+        err.write(
+            f"[ledger: {len(result.entries)} cell entr(ies) -> "
+            f"{ledger.path}]\n"
+        )
+    return 1 if failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -805,6 +964,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "compare":
         return _compare(args.run_a, args.run_b, args.ledger_dir,
                         fail_on_diff=args.fail_on_diff)
+    if args.command == "sweep":
+        return _sweep(args.spec, jobs=args.jobs, csv_out=args.csv_out,
+                      ledger_dir=args.ledger_dir, resume=args.resume)
     if args.command == "export":
         from .experiments.export import export_all
 

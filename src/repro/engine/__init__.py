@@ -50,7 +50,9 @@ from .runner import (
     STATUS_OK,
     STATUS_TIMEOUT,
     RunRecord,
+    RunTask,
     run_experiments,
+    run_tasks,
 )
 
 __all__ = [
@@ -65,6 +67,7 @@ __all__ = [
     "ExperimentSpec",
     "RunJournal",
     "RunRecord",
+    "RunTask",
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_TIMEOUT",
@@ -77,5 +80,6 @@ __all__ = [
     "load_registry",
     "run_config_hash",
     "run_experiments",
+    "run_tasks",
     "stitch_records",
 ]

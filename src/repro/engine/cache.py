@@ -42,6 +42,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 import warnings
 from typing import Any, Callable, Dict, Optional
 
@@ -55,6 +56,7 @@ __all__ = [
     "ARRAY_SUFFIX",
     "CACHE_DIR_ENV",
     "CACHE_MAX_MB_ENV",
+    "TMP_REAP_AGE_S",
 ]
 
 #: Bump when any substrate generator changes its output.
@@ -78,6 +80,13 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
 
 _DISABLED_VALUES = {"off", "none", "0", ""}
+
+#: Age (seconds since last mtime) past which an orphaned ``.tmp``
+#: scratch file is reaped by the sweep. A live writer produces its temp
+#: file in one buffered write followed immediately by ``os.replace``,
+#: so anything this old belongs to a writer that died mid-store (e.g.
+#: a SIGKILLed worker — exactly what ``REPRO_CHAOS=kill:…`` injects).
+TMP_REAP_AGE_S = 300.0
 
 #: Every entry starts with this magic + a JSON header line.
 _MAGIC = b"repro-cache/3\n"
@@ -478,26 +487,48 @@ class ArtifactCache:
             pass
 
     def _sweep(self, keep: Optional[str] = None) -> None:
-        """Evict least-recently-used entries past :attr:`max_bytes`."""
-        if self.max_bytes is None:
-            return
+        """Reap orphaned ``.tmp`` files; evict LRU past :attr:`max_bytes`.
+
+        A writer that dies between ``tempfile.mkstemp`` and
+        ``os.replace`` (SIGKILL never runs the ``finally``) leaves its
+        scratch ``.tmp`` behind; before this sweep learned to match
+        them they accumulated unbounded and never counted toward the
+        size budget. Reaping is age-gated by :data:`TMP_REAP_AGE_S` so
+        a concurrent worker's in-flight write is never raced; young
+        scratch files still count toward the budget total.
+        """
         try:
             names = os.listdir(self.root)
         except OSError:
             return
+        now = time.time()
         entries = []
         total = 0
         for name in names:
+            path = os.path.join(self.root, name)
+            if name.endswith(".tmp"):
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                if now - stat.st_mtime >= TMP_REAP_AGE_S:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        continue
+                    obs.incr("cache.tmp_reaped")
+                else:
+                    total += stat.st_size  # in-flight writer's scratch
+                continue
             if not name.endswith((".pkl", ARRAY_SUFFIX)):
                 continue
-            path = os.path.join(self.root, name)
             try:
                 stat = os.stat(path)
             except OSError:
                 continue
             entries.append((stat.st_mtime, stat.st_size, path))
             total += stat.st_size
-        if total <= self.max_bytes:
+        if self.max_bytes is None or total <= self.max_bytes:
             return
         entries.sort()  # oldest mtime first
         for _, size, path in entries:

@@ -30,6 +30,14 @@ routed through the pool even at ``jobs=1`` (records are identical
 either way). The ``REPRO_CHAOS`` harness
 (:mod:`repro.engine.chaos`) injects worker kills and hangs precisely
 to prove these paths in CI.
+
+The scheduling unit is a :class:`RunTask` — an ``(experiment, scale)``
+pair with a unique key — so one pooled run can mix *cells* built at
+different scales: the sweep engine (:mod:`repro.sweep`) fans an entire
+parameter grid through this scheduler, and each worker keeps one
+lazily-built World per scale it encounters. :func:`run_experiments`
+remains the single-scale front door the CLI and benches use;
+:func:`run_tasks` is the general form underneath it.
 """
 
 from __future__ import annotations
@@ -55,7 +63,9 @@ from .resilience import ENGINE_RETRY_POLICY
 
 __all__ = [
     "RunRecord",
+    "RunTask",
     "run_experiments",
+    "run_tasks",
     "STATUS_OK",
     "STATUS_ERROR",
     "STATUS_TIMEOUT",
@@ -157,6 +167,26 @@ class RunRecord:
             attempts=int(payload.get("attempts", 1)),
             resumed=resumed or bool(payload.get("resumed", False)),
         )
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One schedulable unit of work: an experiment at a scale.
+
+    ``key`` must be unique within a :func:`run_tasks` call — a plain
+    run uses the experiment name, a sweep uses ``<cell id>/<name>`` so
+    the same experiment can appear once per grid cell. The key is how
+    completion callbacks (and through them the run/sweep journals)
+    attribute a record to its cell.
+    """
+
+    name: str
+    scale: Any
+    key: str = ""
+
+    @property
+    def task_key(self) -> str:
+        return self.key or self.name
 
 
 def _world_class():
@@ -333,20 +363,22 @@ def _kill_pool(pool: ProcessPoolExecutor, force: bool) -> None:
 
 
 def _run_pooled(
-    names: Sequence[str],
-    scale,
+    tasks: Sequence[RunTask],
     cache_root: Optional[str],
     jobs: int,
-    deadlines: Dict[str, Optional[float]],
+    deadlines: Sequence[Optional[float]],
     policy: RetryPolicy,
-    on_record: Optional[Callable[[RunRecord], None]],
+    on_record: Optional[Callable[[RunTask, RunRecord], None]],
     manifest: Optional[shm_world.WorldManifest] = None,
+    seed_token: Any = None,
 ) -> List[RunRecord]:
     """The resilient pooled scheduler: sliding window + watchdog.
 
-    At most ``jobs`` experiments are in flight, each dispatched to a
-    free worker the moment one is available, so an experiment's
-    deadline clock starts when it is actually handed to a worker.
+    At most ``jobs`` tasks are in flight, each dispatched to a free
+    worker the moment one is available, so an experiment's deadline
+    clock starts when it is actually handed to a worker. ``deadlines``
+    is indexed like ``tasks`` (the same experiment may carry different
+    deadlines in different cells of a sweep).
 
     Clean work shares one pool (worker processes amortize World
     construction across experiments). Recovery is *quarantined*: once
@@ -361,10 +393,10 @@ def _run_pooled(
     can only be reclaimed by killing the pool — overdue experiments
     are charged, in-flight bystanders are requeued uncharged.
     """
-    n = len(names)
+    n = len(tasks)
     records: List[Optional[RunRecord]] = [None] * n
-    charged = [0] * n  # failures attributed to each experiment
-    rng = random.Random(f"repro-runner:{getattr(scale, 'seed', None)}")
+    charged = [0] * n  # failures attributed to each task
+    rng = random.Random(f"repro-runner:{seed_token}")
     shared_pending = deque(range(n))
     quarantine: List[Tuple[float, int]] = []  # (ready_at, index)
     #: future -> (index, absolute deadline, owning pool, dedicated?)
@@ -385,7 +417,7 @@ def _run_pooled(
     def finalize(index: int, record: RunRecord) -> None:
         records[index] = record
         if on_record is not None:
-            on_record(record)
+            on_record(tasks[index], record)
 
     def charge(index: int, kind: str) -> None:
         """Attribute one failure; finalize or schedule a backoff retry."""
@@ -395,13 +427,13 @@ def _run_pooled(
             if kind == "timeout":
                 obs.incr("runner.timeout")
                 finalize(index, _timeout_record(
-                    names[index], deadlines.get(names[index]),
+                    tasks[index].name, deadlines[index],
                     charged[index],
                 ))
             else:
                 obs.incr("runner.worker_retry_lost")
                 finalize(index, _lost_worker_record(
-                    names[index], charged[index]
+                    tasks[index].name, charged[index]
                 ))
             return
         delay = min(
@@ -411,10 +443,10 @@ def _run_pooled(
         quarantine.append((monotonic() + delay, index))
 
     def submit(pool: ProcessPoolExecutor, index: int, dedicated: bool):
-        name = names[index]
-        limit = deadlines.get(name)
+        task = tasks[index]
+        limit = deadlines[index]
         future = pool.submit(
-            _execute_in_worker, name, scale, cache_root,
+            _execute_in_worker, task.name, task.scale, cache_root,
             charged[index], limit,
         )
         in_flight[future] = (
@@ -477,7 +509,7 @@ def _run_pooled(
                 else:
                     shared_broken = True
             except Exception as exc:
-                finalize(index, _pool_error_record(names[index], exc))
+                finalize(index, _pool_error_record(tasks[index].name, exc))
                 if dedicated:
                     _kill_pool(pool, force=True)
             else:
@@ -534,6 +566,108 @@ def _run_pooled(
     return records  # type: ignore[return-value]
 
 
+def run_tasks(
+    tasks: Sequence[RunTask],
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    *,
+    timeout_s: Optional[float] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    on_record: Optional[Callable[[RunTask, RunRecord], None]] = None,
+) -> List[RunRecord]:
+    """Run ``tasks``; one :class:`RunRecord` each, in task order.
+
+    The general form of :func:`run_experiments`: every task carries
+    its own scale, so a single pooled run can span the cells of a
+    parameter sweep. Task keys must be unique — they are how
+    ``on_record`` (and the journals built on it) attribute records.
+
+    ``jobs > 1`` fans the tasks out over that many worker processes;
+    ``cache`` (an :class:`ArtifactCache`) lets workers share the
+    expensive substrate through the filesystem instead of each
+    rebuilding it — cells with identical world parameters share cache
+    entries, so repeated or resumed sweeps rebuild nothing.
+
+    ``timeout_s`` is the per-task soft deadline; an experiment
+    module's ``TIMEOUT_S`` overrides it for that experiment. Deadline
+    enforcement needs a killable worker, so any run with a deadline is
+    routed through the pool (even at ``jobs=1``) — experiments are
+    pure functions of ``(scale, seed)``, so records are identical.
+
+    Failure isolation is per task even when a worker process *dies*
+    (OOM kill, segfault, hard ``os._exit``) or *hangs*: the watchdog
+    terminates the poisoned pool and re-dispatches the affected tasks
+    under ``retry_policy`` (default
+    :data:`~repro.engine.resilience.ENGINE_RETRY_POLICY`) with capped
+    attempts and seeded-jitter backoff. Only a task that fails every
+    attempt comes back ``STATUS_ERROR`` (kept dying) or
+    ``STATUS_TIMEOUT`` (kept hanging).
+
+    ``on_record`` is invoked with ``(task, record)`` the moment each
+    record is final — the run and sweep journals hook in here, making
+    interrupted runs resumable.
+
+    When every world-needing task shares one scale, the World is
+    exported once into shared memory and workers attach to it; a
+    multi-scale task set skips the export and workers hydrate each
+    cell's world from the artifact cache instead (shared memory is an
+    accelerator, never a correctness dependency).
+
+    Each returned record carries the :mod:`repro.obs` snapshot of its
+    own run; the snapshots are also merged into this process's current
+    metrics registry so callers see run-wide totals.
+    """
+    keys = [task.task_key for task in tasks]
+    if len(set(keys)) != len(keys):
+        raise ValueError("run_tasks requires unique task keys")
+    deadlines: List[Optional[float]] = []
+    for task in tasks:
+        spec = get_spec(task.name)  # fail fast on unknown names
+        declared = spec.timeout_s()  # fail fast on bad TIMEOUT_S too
+        deadlines.append(declared if declared is not None else timeout_s)
+    policy = retry_policy if retry_policy is not None else ENGINE_RETRY_POLICY
+    any_deadline = any(limit is not None for limit in deadlines)
+    if tasks and ((jobs > 1 and len(tasks) > 1) or any_deadline):
+        cache_root = cache.root if cache is not None else None
+        # Export the World once, parent-side, so workers attach to one
+        # shared-memory substrate instead of each unpickling their own
+        # (no-op in scalar mode, when nothing needs a world, or when a
+        # sweep mixes scales — then the cache serves per-cell worlds).
+        # The finally guarantees the segment is unlinked on every exit
+        # path — clean completion, ^C, watchdog kills, chaos kills.
+        world_scales = {
+            task.scale for task in tasks
+            if get_spec(task.name).needs_world
+        }
+        manifest = (
+            shm_world.export_world(next(iter(world_scales)), cache)
+            if len(world_scales) == 1
+            else None
+        )
+        seed_token = sorted(
+            {getattr(task.scale, "seed", None) for task in tasks},
+            key=repr,
+        )
+        try:
+            records: List[RunRecord] = _run_pooled(
+                tasks, cache_root, max(1, jobs), deadlines, policy,
+                on_record, manifest, seed_token=seed_token,
+            )
+        finally:
+            shm_world.cleanup(manifest)
+    else:
+        records = []
+        for task in tasks:
+            record = _execute(task.name, task.scale, cache)
+            if on_record is not None:
+                on_record(task, record)
+            records.append(record)
+    parent = obs.metrics()
+    for record in records:
+        parent.merge(record.metrics)
+    return list(records)
+
+
 def run_experiments(
     names: Sequence[str],
     scale,
@@ -544,69 +678,19 @@ def run_experiments(
     retry_policy: Optional[RetryPolicy] = None,
     on_record: Optional[Callable[[RunRecord], None]] = None,
 ) -> List[RunRecord]:
-    """Run ``names`` at ``scale``; one :class:`RunRecord` each, in order.
+    """Run ``names`` at one ``scale``; one :class:`RunRecord` each, in order.
 
-    ``jobs > 1`` fans the experiments out over that many worker
-    processes; ``cache`` (an :class:`ArtifactCache`) lets workers share
-    the expensive substrate through the filesystem instead of each
-    rebuilding it.
-
-    ``timeout_s`` is the per-experiment soft deadline; an experiment
-    module's ``TIMEOUT_S`` overrides it for that experiment. Deadline
-    enforcement needs a killable worker, so any run with a deadline is
-    routed through the pool (even at ``jobs=1``) — experiments are
-    pure functions of ``(scale, seed)``, so records are identical.
-
-    Failure isolation is per experiment even when a worker process
-    *dies* (OOM kill, segfault, hard ``os._exit``) or *hangs*: the
-    watchdog terminates the poisoned pool and re-dispatches the
-    affected experiments under ``retry_policy`` (default
-    :data:`~repro.engine.resilience.ENGINE_RETRY_POLICY`) with capped
-    attempts and seeded-jitter backoff. Only an experiment that fails
-    every attempt comes back ``STATUS_ERROR`` (kept dying) or
-    ``STATUS_TIMEOUT`` (kept hanging).
-
-    ``on_record`` is invoked with each record the moment it is final —
-    the run journal hooks in here, making interrupted runs resumable.
-
-    Each returned record carries the :mod:`repro.obs` snapshot of its
-    own run; the snapshots are also merged into this process's current
-    metrics registry so callers see run-wide totals.
+    The single-scale front door over :func:`run_tasks` — semantics
+    (isolation, deadlines, retries, shared-memory fan-out, metrics
+    merge) are identical; ``on_record`` here receives just the record.
     """
-    deadlines: Dict[str, Optional[float]] = {}
-    for name in names:
-        spec = get_spec(name)  # fail fast on unknown names
-        declared = spec.timeout_s()  # fail fast on bad TIMEOUT_S too
-        deadlines[name] = declared if declared is not None else timeout_s
-    policy = retry_policy if retry_policy is not None else ENGINE_RETRY_POLICY
-    any_deadline = any(limit is not None for limit in deadlines.values())
-    if names and ((jobs > 1 and len(names) > 1) or any_deadline):
-        cache_root = cache.root if cache is not None else None
-        # Export the World once, parent-side, so workers attach to one
-        # shared-memory substrate instead of each unpickling their own
-        # (no-op in scalar mode or when nothing needs a world). The
-        # finally guarantees the segment is unlinked on every exit
-        # path — clean completion, ^C, watchdog kills, chaos kills.
-        manifest = (
-            shm_world.export_world(scale, cache)
-            if any(get_spec(name).needs_world for name in names)
-            else None
-        )
-        try:
-            records: List[RunRecord] = _run_pooled(
-                names, scale, cache_root, max(1, jobs), deadlines, policy,
-                on_record, manifest,
-            )
-        finally:
-            shm_world.cleanup(manifest)
-    else:
-        records = []
-        for name in names:
-            record = _execute(name, scale, cache)
-            if on_record is not None:
-                on_record(record)
-            records.append(record)
-    parent = obs.metrics()
-    for record in records:
-        parent.merge(record.metrics)
-    return list(records)
+    tasks = [RunTask(name=name, scale=scale, key=name) for name in names]
+    task_callback = (
+        (lambda task, record: on_record(record))
+        if on_record is not None
+        else None
+    )
+    return run_tasks(
+        tasks, jobs=jobs, cache=cache, timeout_s=timeout_s,
+        retry_policy=retry_policy, on_record=task_callback,
+    )

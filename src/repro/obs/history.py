@@ -118,6 +118,7 @@ def build_entry(
     command: str = "run",
     run_id: Optional[str] = None,
     resumed_from: Optional[str] = None,
+    extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """One ledger manifest for a finished run.
 
@@ -132,6 +133,11 @@ def build_entry(
     worker crashes/hangs via re-dispatch) and ``resumed`` (restored
     from a journal, not recomputed) ride along so ``repro compare``
     can flag records that took the recovery paths.
+
+    ``extra`` merges additional top-level fields into the manifest —
+    the sweep engine stamps ``sweep_id``/``cell_id``/``cell``/
+    ``config_hash`` on each per-cell entry this way. Extra keys must
+    not collide with schema fields.
     """
     records = list(records)
     totals = merge_snapshots(
@@ -150,7 +156,7 @@ def build_entry(
             "resumed": bool(getattr(record, "resumed", False)),
         }
     now = time.time()
-    return {
+    entry = {
         "schema": LEDGER_SCHEMA,
         "run_id": run_id if run_id else new_run_id(now),
         "resumed_from": resumed_from,
@@ -167,14 +173,28 @@ def build_entry(
         "experiments": experiments,
         "totals": totals,
     }
+    if extra:
+        collisions = set(extra) & set(entry)
+        if collisions:
+            raise ValueError(
+                f"extra fields collide with ledger schema: {sorted(collisions)}"
+            )
+        entry.update(extra)
+    return entry
 
 
 class RunLedger:
-    """An append-only JSONL file of run manifests under one directory."""
+    """An append-only JSONL file of run manifests under one directory.
+
+    The directory is created lazily, on the first :meth:`append` — a
+    read-only command (``repro check``, ``compare``, ``--resume``)
+    pointed at a missing or impossible ledger path (e.g. a file where
+    the directory should be) must report "no entries", not crash
+    constructing the ledger object.
+    """
 
     def __init__(self, root: str) -> None:
         self.root = str(root)
-        os.makedirs(self.root, exist_ok=True)
 
     @classmethod
     def from_env(cls) -> Optional["RunLedger"]:
@@ -189,7 +209,13 @@ class RunLedger:
         return os.path.join(self.root, _LEDGER_FILENAME)
 
     def append(self, entry: Dict[str, Any]) -> Dict[str, Any]:
-        """Append one manifest line; returns the entry unchanged."""
+        """Append one manifest line; returns the entry unchanged.
+
+        Raises :class:`OSError` when the ledger directory cannot be
+        created or written (path is a file, permissions) — callers
+        surface that as a friendly one-liner, not a traceback.
+        """
+        os.makedirs(self.root, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
         return entry

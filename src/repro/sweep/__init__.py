@@ -1,0 +1,29 @@
+"""Declarative scenario sweeps: grids of configurations, run as one.
+
+The paper's claims are single-configuration points; this package turns
+"how does that generalize?" into a declarative JSON spec (psim
+ConfigSweeper-style): a base options dict, sweep axes over the
+workload parameters, and seeded replication counts. The spec
+cross-products into content-addressed cells, fans out through the
+engine's resilient task runner (``--jobs N``), shares World/oracle
+artifacts across cells via the content-addressed cache, and
+accumulates one tidy row per (cell, experiment, metric) with
+deterministic CSV export — byte-identical serial vs pooled vs
+resumed. See DESIGN.md §9 for the schema and resume semantics.
+
+CLI: ``repro sweep <spec.json> --jobs N [--resume <sweep-id|last>]``.
+"""
+
+from .engine import SweepError, SweepResult, find_sweep_journal, run_sweep
+from .spec import SWEEPABLE_AXES, Cell, SweepSpec, SweepSpecError
+
+__all__ = [
+    "Cell",
+    "SweepSpec",
+    "SweepSpecError",
+    "SweepError",
+    "SweepResult",
+    "SWEEPABLE_AXES",
+    "find_sweep_journal",
+    "run_sweep",
+]

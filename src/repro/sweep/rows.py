@@ -1,0 +1,93 @@
+"""Tidy result rows: one row per (cell, experiment, metric) + CSV.
+
+The sweep's output is a long-format table — the shape every plotting
+and stats tool ingests directly. Identifying columns are the cell id
+and the swept axis coordinates; each record contributes one row per
+observed paper-target metric (``observed:<key>``) and one per exported
+series digest (``digest:<series>``), so both the science and the
+"did the numbers change?" fingerprint live in the same file. A record
+with neither (e.g. a failed experiment) still gets one placeholder row
+so the grid stays visibly complete.
+
+The CSV is *deterministic by construction*: rows follow grid order,
+then spec experiment order, then sorted metric names; float values are
+rendered with ``repr`` (shortest round-trip form). No wall times, no
+timestamps, no sweep id — a serial run, a pooled run, and a resumed
+run of the same spec produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Dict, Iterable, List, Sequence
+
+from .spec import Cell
+
+__all__ = ["header", "rows_for", "to_csv"]
+
+_FIXED_LEFT = ("cell_id",)
+_FIXED_RIGHT = ("experiment", "status", "metric", "value")
+
+
+def header(axis_names: Sequence[str]) -> List[str]:
+    """The CSV column list for a sweep over ``axis_names``."""
+    return [*_FIXED_LEFT, *axis_names, *_FIXED_RIGHT]
+
+
+def _render(value: Any) -> str:
+    """A deterministic, round-trippable cell rendering."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def rows_for(
+    cell: Cell, experiment: str, record: Any
+) -> List[Dict[str, str]]:
+    """The tidy rows one record contributes (see module docstring).
+
+    ``record`` is duck-typed: anything with ``status``, ``observed``,
+    and ``series_digests`` attributes (the engine's ``RunRecord``,
+    journaled or fresh alike).
+    """
+    identity = {
+        "cell_id": cell.cell_id,
+        **{axis: _render(value) for axis, value in cell.axes},
+        "experiment": experiment,
+        "status": str(getattr(record, "status", "")),
+    }
+    rows: List[Dict[str, str]] = []
+    for key in sorted(getattr(record, "observed", {}) or {}):
+        rows.append({
+            **identity,
+            "metric": f"observed:{key}",
+            "value": _render(record.observed[key]),
+        })
+    for series in sorted(getattr(record, "series_digests", {}) or {}):
+        rows.append({
+            **identity,
+            "metric": f"digest:{series}",
+            "value": _render(record.series_digests[series]),
+        })
+    if not rows:
+        rows.append({**identity, "metric": "", "value": ""})
+    return rows
+
+
+def to_csv(
+    axis_names: Sequence[str], rows: Iterable[Dict[str, str]]
+) -> str:
+    """Render rows as CSV text (``\\n`` line endings, header first)."""
+    out = io.StringIO()
+    writer = csv.DictWriter(
+        out, fieldnames=header(axis_names), lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return out.getvalue()

@@ -1,0 +1,300 @@
+"""Declarative sweep specifications: base options × axes → cells.
+
+A :class:`SweepSpec` is the JSON document behind ``repro sweep``,
+modeled on psim's ConfigSweeper: a ``base`` options dict naming the
+template scale and any fixed overrides, an ``axes`` dict mapping
+sweepable parameters to value lists, and an optional seeded
+``replications`` count that expands into a seed axis. The cross
+product of the axes — in the order the spec declares them — is the
+*grid*; each point is a :class:`Cell` carrying a fully resolved
+:class:`~repro.experiments.context.ExperimentScale`.
+
+Cells are content-addressed: ``cell_id`` is a SHA-256 over the
+resolved scale parameters and the experiment list, so the same
+configuration always lands on the same id — across processes, job
+counts, and resumed sweeps. Duplicate grid points (an axis value
+repeated, or two axes resolving to the same parameters) collapse to
+one cell, first occurrence wins.
+
+Everything here is pure parsing and expansion — no registry, no
+engine, no I/O beyond :meth:`SweepSpec.load`. Validation errors raise
+:class:`SweepSpecError` with messages meant to be shown verbatim by
+the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..experiments.context import DEFAULT_SCALE, SMALL_SCALE, ExperimentScale
+
+__all__ = [
+    "Cell",
+    "SweepSpec",
+    "SweepSpecError",
+    "SWEEPABLE_AXES",
+]
+
+
+class SweepSpecError(ValueError):
+    """A malformed sweep spec; the message is CLI-presentable."""
+
+
+#: The parameters a spec may fix in ``base`` or sweep in ``axes`` —
+#: every :class:`ExperimentScale` field except ``label`` (labels are
+#: derived per cell). ``num_popular_domains`` additionally accepts
+#: ``null`` = the full domain universe.
+SWEEPABLE_AXES: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(ExperimentScale) if f.name != "label"
+)
+
+_TEMPLATES = {"small": SMALL_SCALE, "paper": DEFAULT_SCALE}
+
+_TOP_LEVEL_KEYS = {
+    "name", "experiments", "base", "axes", "replications", "timeout_s",
+}
+
+
+def _check_value(axis: str, value: Any) -> Any:
+    """Validate one parameter value; returns it normalized."""
+    if axis == "num_popular_domains" and value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SweepSpecError(
+            f"{axis} values must be integers"
+            + (" or null" if axis == "num_popular_domains" else "")
+            + f", got {value!r}"
+        )
+    if axis == "seed":
+        if value < 0:
+            raise SweepSpecError(f"seed must be non-negative, got {value}")
+    elif value < 1:
+        raise SweepSpecError(f"{axis} must be positive, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid point: a resolved scale plus its axis coordinates.
+
+    ``axes`` holds only the *swept* coordinates (in spec axis order) —
+    the tidy CSV's identifying columns. Fixed base parameters are in
+    ``scale`` but not repeated per row.
+    """
+
+    cell_id: str
+    scale: ExperimentScale
+    axes: Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A parsed, validated sweep specification."""
+
+    name: str
+    experiments: Tuple[str, ...]
+    base: Tuple[Tuple[str, Any], ...] = ()
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    replications: int = 1
+    timeout_s: Optional[float] = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "SweepSpec":
+        """Validate a decoded JSON document into a spec."""
+        if not isinstance(payload, dict):
+            raise SweepSpecError(
+                f"sweep spec must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        unknown = set(payload) - _TOP_LEVEL_KEYS
+        if unknown:
+            raise SweepSpecError(
+                f"unknown spec key(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(_TOP_LEVEL_KEYS))})"
+            )
+
+        name = payload.get("name")
+        if not isinstance(name, str) or not name or not all(
+            ch.isalnum() or ch in "._-" for ch in name
+        ):
+            raise SweepSpecError(
+                "spec needs a 'name' (letters, digits, '.', '_', '-'), "
+                f"got {name!r}"
+            )
+
+        experiments = payload.get("experiments")
+        if (
+            not isinstance(experiments, list)
+            or not experiments
+            or not all(isinstance(e, str) and e for e in experiments)
+        ):
+            raise SweepSpecError(
+                "spec needs a non-empty 'experiments' list of experiment "
+                "names (or [\"all\"])"
+            )
+        if len(set(experiments)) != len(experiments):
+            raise SweepSpecError("'experiments' lists a name twice")
+
+        base_raw = payload.get("base", {})
+        if not isinstance(base_raw, dict):
+            raise SweepSpecError("'base' must be an object")
+        template = base_raw.get("scale", "small")
+        if template not in _TEMPLATES:
+            raise SweepSpecError(
+                f"base.scale must be one of {sorted(_TEMPLATES)}, "
+                f"got {template!r}"
+            )
+        base: List[Tuple[str, Any]] = [("scale", template)]
+        for key, value in base_raw.items():
+            if key == "scale":
+                continue
+            if key not in SWEEPABLE_AXES:
+                raise SweepSpecError(
+                    f"unknown base option {key!r} "
+                    f"(sweepable: {', '.join(SWEEPABLE_AXES)})"
+                )
+            base.append((key, _check_value(key, value)))
+
+        axes_raw = payload.get("axes", {})
+        if not isinstance(axes_raw, dict):
+            raise SweepSpecError("'axes' must be an object")
+        axes: List[Tuple[str, Tuple[Any, ...]]] = []
+        for axis, values in axes_raw.items():
+            if axis not in SWEEPABLE_AXES:
+                raise SweepSpecError(
+                    f"unknown sweep axis {axis!r} "
+                    f"(sweepable: {', '.join(SWEEPABLE_AXES)})"
+                )
+            if not isinstance(values, list) or not values:
+                raise SweepSpecError(
+                    f"axis {axis!r} needs a non-empty list of values"
+                )
+            axes.append(
+                (axis, tuple(_check_value(axis, v) for v in values))
+            )
+
+        replications = payload.get("replications", 1)
+        if (
+            isinstance(replications, bool)
+            or not isinstance(replications, int)
+            or replications < 1
+        ):
+            raise SweepSpecError(
+                f"'replications' must be a positive integer, "
+                f"got {replications!r}"
+            )
+        if replications > 1 and any(axis == "seed" for axis, _ in axes):
+            raise SweepSpecError(
+                "'replications' and a 'seed' axis are mutually exclusive "
+                "— replications *is* a derived seed axis"
+            )
+
+        timeout_s = payload.get("timeout_s")
+        if timeout_s is not None:
+            if isinstance(timeout_s, bool) or not isinstance(
+                timeout_s, (int, float)
+            ) or not timeout_s > 0:
+                raise SweepSpecError(
+                    f"'timeout_s' must be a positive number, "
+                    f"got {timeout_s!r}"
+                )
+            timeout_s = float(timeout_s)
+
+        return cls(
+            name=name,
+            experiments=tuple(experiments),
+            base=tuple(base),
+            axes=tuple(axes),
+            replications=replications,
+            timeout_s=timeout_s,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise SweepSpecError(f"spec is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
+
+    @classmethod
+    def load(cls, path: str) -> "SweepSpec":
+        """Parse a spec file; raises :class:`SweepSpecError` on any fault."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise SweepSpecError(f"cannot read spec {path!r}: {exc}") from None
+        return cls.from_json(text)
+
+    # -- expansion ---------------------------------------------------------
+
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        """The swept axis names in grid (spec + derived) order."""
+        names = [axis for axis, _ in self.axes]
+        if self.replications > 1:
+            names.append("seed")
+        return tuple(names)
+
+    def _base_scale(self) -> ExperimentScale:
+        base = dict(self.base)
+        template = _TEMPLATES[base.pop("scale", "small")]
+        return dataclasses.replace(template, **base)
+
+    def cells(self) -> List[Cell]:
+        """The deduplicated grid, in cross-product order.
+
+        Axis order is spec order (``replications`` appends a derived
+        seed axis last); within an axis, value order is spec order.
+        Duplicate grid points — identical resolved parameters —
+        collapse to the first occurrence, so an accidental repeated
+        value never runs (or ledgers) a configuration twice.
+        """
+        base = self._base_scale()
+        axes = list(self.axes)
+        if self.replications > 1:
+            axes.append(
+                ("seed", tuple(base.seed + r
+                               for r in range(self.replications)))
+            )
+        names = [axis for axis, _ in axes]
+        grids = [values for _, values in axes]
+        seen: Dict[str, Cell] = {}
+        out: List[Cell] = []
+        for point in itertools.product(*grids) if axes else [()]:
+            coords = tuple(zip(names, point))
+            scale = dataclasses.replace(base, **dict(coords))
+            cell_id = self._cell_id(scale)
+            if cell_id in seen:
+                continue
+            cell = Cell(
+                cell_id=cell_id,
+                scale=dataclasses.replace(
+                    scale, label=f"{self.name}/{cell_id}"
+                ),
+                axes=coords,
+            )
+            seen[cell_id] = cell
+            out.append(cell)
+        return out
+
+    def _cell_id(self, scale: ExperimentScale) -> str:
+        """Content address of one resolved configuration."""
+        payload = json.dumps(
+            {
+                "params": {
+                    axis: getattr(scale, axis) for axis in SWEEPABLE_AXES
+                },
+                "experiments": list(self.experiments),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]

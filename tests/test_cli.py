@@ -278,6 +278,49 @@ class TestLedgerCli:
         assert main(["check", "--ledger-dir", str(tmp_path)]) == 2
         assert "empty" in capsys.readouterr().err
 
+    def test_run_ledger_dir_collision_is_friendly(self, tmp_path, capsys,
+                                                  no_cache):
+        # A *file* where the ledger directory should be used to
+        # traceback out of RunLedger's eager makedirs; now it is a
+        # one-line error before any experiment runs.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(["run", "envelope", "--scale", "small",
+                     "--ledger-dir", str(blocker)]) == 2
+        captured = capsys.readouterr()
+        assert "cannot write run journal" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_check_ledger_dir_collision_is_friendly(self, tmp_path,
+                                                    capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(["check", "--ledger-dir", str(blocker)]) == 2
+        captured = capsys.readouterr()
+        assert "empty" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_compare_ledger_dir_collision_is_friendly(self, tmp_path,
+                                                      capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(["compare", "-2", "-1",
+                     "--ledger-dir", str(blocker)]) == 2
+        captured = capsys.readouterr()
+        assert "no ledger entry" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_resume_on_missing_ledger_dir_is_friendly(self, tmp_path,
+                                                      capsys, no_cache):
+        # --resume last against a ledger dir that never existed: a
+        # friendly "nothing to resume", not a traceback.
+        assert main(["run", "envelope", "--scale", "small",
+                     "--ledger-dir", str(tmp_path / "never-created"),
+                     "--resume", "last"]) == 2
+        captured = capsys.readouterr()
+        assert "cannot resume" in captured.err
+        assert "Traceback" not in captured.err
+
     def test_compare_two_identical_runs(self, tmp_path, capsys,
                                         no_cache):
         self._run_once(tmp_path, capsys)

@@ -337,6 +337,132 @@ class TestCacheIntegrity:
         assert collector.counters["cache.miss"] == 2
 
 
+class TestTmpOrphanReaping:
+    """A SIGKILLed writer dies between mkstemp and os.replace — the
+    sweep must reap the orphan (age-gated) and budget young ones."""
+
+    @staticmethod
+    def _orphan(tmp_path, age_s, size=64):
+        """The exact on-disk state a killed writer leaves behind."""
+        import tempfile
+
+        fd, path = tempfile.mkstemp(dir=str(tmp_path), suffix=".tmp")
+        os.write(fd, b"x" * size)  # partial, never replaced
+        os.close(fd)
+        stamp = time.time() - age_s
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_stale_tmp_is_reaped_even_without_a_budget(self, tmp_path):
+        from repro.engine.cache import TMP_REAP_AGE_S
+
+        cache = ArtifactCache(str(tmp_path), max_bytes=None)
+        orphan = self._orphan(tmp_path, age_s=TMP_REAP_AGE_S + 10)
+        collector = obs.Metrics()
+        with obs.using(collector):
+            cache.store(cache.key("thing"), [1, 2, 3])
+        assert not os.path.exists(orphan)
+        assert collector.counters["cache.tmp_reaped"] == 1
+        # The real entry was not collateral damage.
+        assert cache.load(cache.key("thing")) == [1, 2, 3]
+
+    def test_young_tmp_is_presumed_a_live_writer(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), max_bytes=None)
+        orphan = self._orphan(tmp_path, age_s=1)
+        collector = obs.Metrics()
+        with obs.using(collector):
+            cache.store(cache.key("thing"), [1, 2, 3])
+        assert os.path.exists(orphan)  # not raced: could be mid-write
+        assert "cache.tmp_reaped" not in collector.counters
+
+    def test_young_tmp_counts_toward_the_size_budget(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path), max_bytes=None)
+        cache.store(cache.key("old"), "old" * 100)
+        path_old, = tmp_path.glob("old-*.pkl")
+        os.utime(path_old, (100, 100))
+        entry_size = path_old.stat().st_size
+        # Young scratch space fills most of the budget: the next store
+        # must evict "old" even though two entries alone would fit.
+        self._orphan(tmp_path, age_s=1, size=entry_size * 2)
+        cache.max_bytes = entry_size * 3
+        collector = obs.Metrics()
+        with obs.using(collector):
+            cache.store(cache.key("new"), "new" * 100)
+        assert collector.counters["cache.evicted"] >= 1
+        assert not path_old.exists()
+
+    def test_array_store_reaps_stale_orphans_too(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        from repro.engine.cache import TMP_REAP_AGE_S
+
+        cache = ArtifactCache(str(tmp_path), max_bytes=None)
+        orphan = self._orphan(tmp_path, age_s=TMP_REAP_AGE_S + 10)
+        cache.store_arrays(cache.key("buf"), {"a": np.arange(8)})
+        assert not os.path.exists(orphan)
+
+    @fork_only
+    def test_chaos_kill_run_leaves_no_orphans(self, tmp_path, monkeypatch):
+        # End-to-end regression under the chaos harness: seeded worker
+        # kills + a run that stores artifacts must end with zero .tmp
+        # files in the cache dir.
+        monkeypatch.setenv(CHAOS_ENV, "kill:0.4,seed:5")
+        cache = ArtifactCache(str(tmp_path / "cache"), max_bytes=None)
+        records = run_experiments(CHEAP, SMALL_SCALE, jobs=2, cache=cache)
+        assert all(record.ok for record in records)
+        orphans = [
+            name for name in os.listdir(tmp_path / "cache")
+            if name.endswith(".tmp")
+        ] if (tmp_path / "cache").exists() else []
+        assert orphans == []
+
+
+class TestReadOnlyCacheDir:
+    """A read-only cache dir must stay a warm *hit*: the os.utime
+    recency refresh is best-effort, never load-path-fatal."""
+
+    def test_pickle_hit_survives_readonly_dir(self, tmp_path, monkeypatch):
+        cache = ArtifactCache(str(tmp_path), max_bytes=None)
+        cache.store(cache.key("thing"), {"v": 7})
+
+        # The container runs as root, so chmod cannot produce EPERM —
+        # fail the mutating call directly instead.
+        def denied(*args, **kwargs):
+            raise PermissionError(13, "read-only cache")
+
+        monkeypatch.setattr(os, "utime", denied)
+        collector = obs.Metrics()
+        with obs.using(collector):
+            assert cache.load(cache.key("thing")) == {"v": 7}
+            assert cache.get_or_build(
+                "thing", lambda: pytest.fail("rebuilt on a warm hit")
+            ) == {"v": 7}
+        assert "cache.corrupt" not in collector.counters
+        assert collector.counters["cache.hit"] == 1
+
+    def test_array_mmap_hit_survives_readonly_dir(
+        self, tmp_path, monkeypatch
+    ):
+        np = pytest.importorskip("numpy")
+        cache = ArtifactCache(str(tmp_path), max_bytes=None)
+        key = cache.key("buf")
+        cache.store_arrays(key, {"a": np.arange(8, dtype=np.int64)},
+                           meta={"tag": 1})
+
+        def denied(*args, **kwargs):
+            raise PermissionError(13, "read-only cache")
+
+        monkeypatch.setattr(os, "utime", denied)
+        collector = obs.Metrics()
+        with obs.using(collector):
+            loaded = cache.load_arrays(key)
+        assert loaded is not None
+        buffers, meta = loaded
+        assert meta == {"tag": 1}
+        assert list(buffers["a"]) == list(range(8))
+        assert "cache.corrupt" not in collector.counters
+        assert collector.counters["cache.arrays.mmap"] == 1
+
+
 class TestTimeoutDeclaration:
     def test_module_timeout_overrides(self, monkeypatch):
         def run():

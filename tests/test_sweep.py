@@ -1,0 +1,369 @@
+"""The sweep engine: spec parsing, grid expansion, determinism,
+resume, per-cell ledger entries, and the CLI verb."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.engine import ArtifactCache, RunJournal, RunRecord
+from repro.sweep import (
+    SWEEPABLE_AXES,
+    SweepError,
+    SweepSpec,
+    SweepSpecError,
+    find_sweep_journal,
+    run_sweep,
+)
+from repro.sweep import rows as rows_mod
+
+#: Worker kills only reach test scope when workers inherit this
+#: process's memory (and its monkeypatched environment).
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="chaos env and registry must be inherited by workers",
+)
+
+#: Cheap world-free experiments: sweeps over them finish in seconds.
+CHEAP = ["table1", "envelope"]
+
+
+def _spec(**overrides):
+    payload = {
+        "name": "t",
+        "experiments": CHEAP,
+        "base": {"scale": "small"},
+        "axes": {"num_users": [40, 60], "seed": [1, 2]},
+    }
+    payload.update(overrides)
+    return SweepSpec.from_dict(payload)
+
+
+class TestSweepSpec:
+    def test_sweepable_axes_are_the_scale_fields(self):
+        assert set(SWEEPABLE_AXES) == {
+            "num_users", "device_days", "content_days",
+            "num_popular_domains", "seed",
+        }
+
+    def test_grid_is_the_cross_product_in_spec_order(self):
+        spec = _spec()
+        cells = spec.cells()
+        assert [dict(c.axes) for c in cells] == [
+            {"num_users": 40, "seed": 1},
+            {"num_users": 40, "seed": 2},
+            {"num_users": 60, "seed": 1},
+            {"num_users": 60, "seed": 2},
+        ]
+        assert spec.axis_names == ("num_users", "seed")
+
+    def test_cells_resolve_base_then_axes(self):
+        spec = _spec(base={"scale": "small", "device_days": 2})
+        for cell in spec.cells():
+            assert cell.scale.device_days == 2
+            assert cell.scale.num_users == dict(cell.axes)["num_users"]
+
+    def test_cell_ids_are_content_addressed(self):
+        # Axis declaration order must not change a cell's identity.
+        a = _spec(axes={"num_users": [40], "seed": [1]})
+        b = _spec(axes={"seed": [1], "num_users": [40]})
+        assert a.cells()[0].cell_id == b.cells()[0].cell_id
+        assert a.cells()[0].scale.label == f"t/{a.cells()[0].cell_id}"
+
+    def test_duplicate_cells_are_deduped_first_wins(self):
+        spec = _spec(axes={"num_users": [40, 40, 60]})
+        cells = spec.cells()
+        assert [dict(c.axes)["num_users"] for c in cells] == [40, 60]
+        assert len({c.cell_id for c in cells}) == 2
+
+    def test_replications_expand_into_a_seed_axis(self):
+        spec = _spec(axes={"num_users": [40]}, replications=3)
+        base_seed = spec.cells()[0].scale.seed
+        seeds = [dict(c.axes)["seed"] for c in spec.cells()]
+        assert seeds == [base_seed, base_seed + 1, base_seed + 2]
+        assert spec.axis_names == ("num_users", "seed")
+
+    def test_replications_conflict_with_seed_axis(self):
+        with pytest.raises(SweepSpecError, match="mutually exclusive"):
+            _spec(axes={"seed": [1, 2]}, replications=2)
+
+    @pytest.mark.parametrize("payload,fragment", [
+        ([], "must be a JSON object"),
+        ({"experiments": CHEAP}, "needs a 'name'"),
+        ({"name": "x", "experiments": []}, "non-empty 'experiments'"),
+        ({"name": "x", "experiments": CHEAP, "bogus": 1},
+         "unknown spec key"),
+        ({"name": "x", "experiments": CHEAP,
+          "axes": {"colour": [1]}}, "unknown sweep axis"),
+        ({"name": "x", "experiments": CHEAP,
+          "axes": {"num_users": []}}, "non-empty list"),
+        ({"name": "x", "experiments": CHEAP,
+          "axes": {"num_users": ["lots"]}}, "must be integers"),
+        ({"name": "x", "experiments": CHEAP,
+          "axes": {"seed": [-1]}}, "non-negative"),
+        ({"name": "x", "experiments": CHEAP,
+          "base": {"scale": "huge"}}, "base.scale"),
+        ({"name": "x", "experiments": CHEAP, "replications": 0},
+         "positive integer"),
+        ({"name": "x", "experiments": CHEAP, "timeout_s": -3},
+         "positive number"),
+    ])
+    def test_rejects_malformed_specs(self, payload, fragment):
+        with pytest.raises(SweepSpecError, match=fragment):
+            SweepSpec.from_dict(payload)
+
+    def test_null_popular_domains_means_full_universe(self):
+        spec = _spec(axes={"num_popular_domains": [None, 40]})
+        values = [dict(c.axes)["num_popular_domains"]
+                  for c in spec.cells()]
+        assert values == [None, 40]
+
+    def test_load_reports_bad_json_and_missing_files(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{nope")
+        with pytest.raises(SweepSpecError, match="not valid JSON"):
+            SweepSpec.load(str(path))
+        with pytest.raises(SweepSpecError, match="cannot read spec"):
+            SweepSpec.load(str(tmp_path / "missing.json"))
+
+
+class TestTidyRows:
+    def test_failed_record_still_contributes_a_row(self):
+        cell = _spec().cells()[0]
+        record = RunRecord(name="table1", status="error",
+                           wall_time_s=0.0, error="boom")
+        rows = rows_mod.rows_for(cell, "table1", record)
+        assert len(rows) == 1
+        assert rows[0]["status"] == "error"
+        assert rows[0]["metric"] == ""
+
+    def test_rows_carry_observed_and_digests_sorted(self):
+        cell = _spec().cells()[0]
+        record = RunRecord(
+            name="e", status="ok", wall_time_s=1.0,
+            observed={"b": 2.5, "a": 1.0},
+            series_digests={"s1": "abcd"},
+        )
+        rows = rows_mod.rows_for(cell, "e", record)
+        assert [r["metric"] for r in rows] == [
+            "observed:a", "observed:b", "digest:s1",
+        ]
+        assert rows[0]["value"] == "1.0"  # repr: round-trippable
+        assert rows[-1]["value"] == "abcd"
+
+
+def _run_spec(spec, tmp_path, tag, **kwargs):
+    """One ledgered sweep into its own cache + ledger dirs."""
+    ledger = obs.RunLedger(str(tmp_path / f"ledger-{tag}"))
+    cache = ArtifactCache(str(tmp_path / f"cache-{tag}"), max_bytes=None)
+    result = run_sweep(spec, cache=cache, ledger=ledger, **kwargs)
+    return result, ledger
+
+
+def _digests(entries):
+    return [
+        {name: exp["series_digests"]
+         for name, exp in entry["experiments"].items()}
+        for entry in entries
+    ]
+
+
+class TestRunSweep:
+    def test_serial_and_pooled_sweeps_are_byte_identical(self, tmp_path):
+        spec = _spec()
+        serial, _ = _run_spec(spec, tmp_path, "serial", jobs=1)
+        pooled, _ = _run_spec(spec, tmp_path, "pooled", jobs=4)
+        assert serial.to_csv() == pooled.to_csv()
+        assert _digests(serial.entries) == _digests(pooled.entries)
+        assert len(serial.cells) == 4
+        assert len(serial.rows) >= 8  # >= one row per (cell, experiment)
+
+    def test_per_cell_ledger_entries_carry_sweep_identity(self, tmp_path):
+        spec = _spec()
+        result, ledger = _run_spec(spec, tmp_path, "led")
+        entries = ledger.entries()
+        assert len(entries) == len(spec.cells()) == 4
+        for cell, entry in zip(result.cells, entries):
+            assert entry["sweep_id"] == result.sweep_id
+            assert entry["cell_id"] == cell.cell_id
+            assert entry["cell"] == dict(cell.axes)
+            assert entry["command"] == "sweep"
+            assert entry["scale"] == cell.scale.label
+            assert entry["seed"] == cell.scale.seed
+            assert entry["run_id"] == f"{result.sweep_id}:{cell.cell_id}"
+            assert entry["config_hash"]
+
+    def test_resume_skips_completed_tasks_digest_identical(self, tmp_path):
+        spec = _spec()
+        full, _ = _run_spec(spec, tmp_path, "full")
+
+        # Replay an interrupted sweep: a journal holding the first 3
+        # completed (cell, experiment) records of the same grid.
+        keys = [
+            f"{cell.cell_id}/{name}"
+            for cell in spec.cells() for name in full.experiments
+        ]
+        root = str(tmp_path / "ledger-part")
+        journal = RunJournal.create(
+            root, "sweep-partial01", scale_label="sweep:t", seed=None,
+            names=keys,
+        )
+        for key in keys[:3]:
+            record = full.records[key]
+            import dataclasses
+            journal.record(dataclasses.replace(record, name=key))
+
+        ledger = obs.RunLedger(root)
+        cache = ArtifactCache(str(tmp_path / "cache-part"),
+                              max_bytes=None)
+        resumed = run_sweep(spec, cache=cache, ledger=ledger,
+                            resume="sweep-partial01")
+        assert resumed.resumed_count == 3
+        assert resumed.resumed_from == "sweep-partial01"
+        assert sum(r.resumed for r in resumed.records.values()) == 3
+        assert resumed.to_csv() == full.to_csv()
+        assert _digests(resumed.entries) == _digests(full.entries)
+        for entry in ledger.entries():
+            assert entry["resumed_from"] == "sweep-partial01"
+
+    def test_resume_refuses_a_different_grid(self, tmp_path):
+        spec = _spec()
+        _, ledger = _run_spec(spec, tmp_path, "grid")
+        other = _spec(axes={"num_users": [40]})
+        cache = ArtifactCache(str(tmp_path / "cache-other"),
+                              max_bytes=None)
+        with pytest.raises(SweepError, match="does not match this spec"):
+            run_sweep(other, cache=cache, ledger=ledger, resume="last")
+
+    def test_resume_last_ignores_plain_run_journals(self, tmp_path):
+        root = str(tmp_path / "ledger")
+        RunJournal.create(root, "20990101T000000Z-aaaaaaaa",
+                          scale_label="small", seed=1, names=["table1"])
+        with pytest.raises(KeyError, match="no sweep journals"):
+            find_sweep_journal(root, "last")
+        with pytest.raises(KeyError, match="not a sweep id"):
+            find_sweep_journal(root, "20990101T000000Z-aaaaaaaa")
+
+    def test_unknown_experiment_is_a_sweep_error(self, tmp_path):
+        spec = _spec(experiments=["table1", "fig99"])
+        with pytest.raises(SweepError, match="fig99"):
+            run_sweep(spec)
+
+    def test_duplicate_cells_run_and_ledger_once(self, tmp_path):
+        spec = _spec(axes={"seed": [5, 5]})
+        result, ledger = _run_spec(spec, tmp_path, "dupe")
+        assert len(result.cells) == 1
+        assert len(ledger.entries()) == 1
+        assert len(result.records) == len(CHEAP)
+
+    @fork_only
+    def test_chaos_kills_leave_no_tmp_orphans(self, tmp_path, monkeypatch):
+        # The CI sweep-smoke gate in miniature: seeded worker kills
+        # must not change a byte of the CSV, and the cache dir must
+        # hold zero .tmp orphans afterwards.
+        spec = _spec(axes={"seed": [1, 2]})
+        clean, _ = _run_spec(spec, tmp_path, "clean", jobs=1)
+        monkeypatch.setenv("REPRO_CHAOS", "kill:0.3,seed:2")
+        chaotic, _ = _run_spec(spec, tmp_path, "chaos", jobs=2)
+        assert not chaotic.failed
+        assert chaotic.to_csv() == clean.to_csv()
+        orphans = [
+            name for name in os.listdir(tmp_path / "cache-chaos")
+            if name.endswith(".tmp")
+        ] if (tmp_path / "cache-chaos").exists() else []
+        assert orphans == []
+
+
+class TestSweepCli:
+    def _write_spec(self, tmp_path, **overrides):
+        payload = {
+            "name": "clidemo",
+            "experiments": CHEAP,
+            "base": {"scale": "small"},
+            "axes": {"seed": [1, 2]},
+        }
+        payload.update(overrides)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_sweep_writes_csv_and_ledger(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path)
+        csv_path = tmp_path / "out.csv"
+        code = main([
+            "sweep", spec, "--csv", str(csv_path),
+            "--ledger-dir", str(tmp_path / "ledger"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out == ""  # CSV went to the file, not stdout
+        assert "[sweep sweep-" in captured.err
+        assert "2 cell(s) x 2 experiment(s)" in captured.err
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "cell_id,seed,experiment,status,metric,value"
+        assert len(lines) > 4
+        ledger = obs.RunLedger(str(tmp_path / "ledger"))
+        assert len(ledger.entries()) == 2
+
+    def test_sweep_without_csv_flag_prints_csv_to_stdout(
+        self, tmp_path, capsys
+    ):
+        spec = self._write_spec(tmp_path, axes={"seed": [3]})
+        code = main(["sweep", spec])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.startswith(
+            "cell_id,seed,experiment,status,metric,value\n"
+        )
+
+    def test_bad_spec_is_a_friendly_error(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text('{"name": "x"}')
+        code = main(["sweep", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "repro sweep:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_missing_spec_is_a_friendly_error(self, tmp_path, capsys):
+        code = main(["sweep", str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot read spec" in captured.err
+
+    def test_resume_without_ledger_is_a_friendly_error(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv(obs.LEDGER_DIR_ENV, raising=False)
+        spec = self._write_spec(tmp_path)
+        code = main(["sweep", spec, "--resume", "last"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--resume needs a sweep journal" in captured.err
+
+    def test_resume_unknown_sweep_is_a_friendly_error(
+        self, tmp_path, capsys
+    ):
+        spec = self._write_spec(tmp_path)
+        code = main([
+            "sweep", spec, "--resume", "sweep-nope",
+            "--ledger-dir", str(tmp_path / "ledger"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot resume" in captured.err
+
+    def test_ledger_dir_collision_is_a_friendly_error(
+        self, tmp_path, capsys
+    ):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        spec = self._write_spec(tmp_path)
+        code = main(["sweep", spec, "--ledger-dir", str(blocker)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot write sweep journal/ledger" in captured.err
+        assert "Traceback" not in captured.err
