@@ -1,0 +1,133 @@
+"""Bench: resource-sampler overhead and peak-RSS plausibility.
+
+Pins the two properties the telemetry layer must keep:
+
+* sampling is near-free — at the default 10 Hz the background sampler
+  must cost well under 3% of a fig8-class experiment's wall time, so
+  leaving telemetry on for every run (which the engine does) never
+  distorts the measurements it reports;
+* ``peak_rss_mb`` measures something real — a strictly larger workload
+  built in a fresh interpreter must report at least the peak RSS of a
+  smaller one, so budget bands track memory, not noise.
+
+The overhead measurement amplifies the tick rate (``AMP_HZ``) and
+scales the observed delta back down to the default rate: at 10 Hz the
+true overhead is too small to separate from scheduler noise directly,
+but 40x amplification makes it measurable while min-of-N keeps the
+baseline honest.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+from repro import obs
+from repro.engine import get_spec, load_registry
+from repro.obs import resources as res
+
+#: Amplified tick rate for the overhead measurement.
+AMP_HZ = 400.0
+
+#: Timed repetitions per configuration (min-of-N defeats warm-up noise).
+ROUNDS = 3
+
+#: The budget under test: sampler overhead at the default rate.
+MAX_OVERHEAD_FRACTION = 0.03
+
+
+def _min_wall(func, rounds=ROUNDS):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_tick_cost_fits_the_overhead_budget():
+    # Direct per-tick cost: at DEFAULT_RESOURCE_HZ ticks/s the sampler
+    # may consume at most MAX_OVERHEAD_FRACTION of every wall second.
+    sampler = res.ResourceSampler(hz=10, registry=obs.Metrics())
+    sampler.tick()  # warm the /proc read path
+    ticks = 500
+    start = time.perf_counter()
+    for _ in range(ticks):
+        sampler.tick()
+    per_tick_s = (time.perf_counter() - start) / ticks
+    budget_s = MAX_OVERHEAD_FRACTION / res.DEFAULT_RESOURCE_HZ
+    print(f"tick cost: {per_tick_s * 1e6:.1f}us "
+          f"(budget {budget_s * 1e6:.0f}us)")
+    assert per_tick_s < budget_s
+
+
+def test_sampler_overhead_under_3pct_on_fig8(world):
+    load_registry()
+    spec = get_spec("fig8")
+
+    def run_fig8():
+        with obs.using(obs.Metrics()):
+            spec.execute(world)
+
+    plain_s = _min_wall(run_fig8)
+
+    def run_sampled():
+        registry = obs.Metrics()
+        sampler = res.ResourceSampler(hz=AMP_HZ, registry=registry)
+        sampler.start()
+        try:
+            with obs.using(registry):
+                spec.execute(world)
+        finally:
+            sampler.stop()
+
+    sampled_s = _min_wall(run_sampled)
+    amplified_overhead = max(0.0, sampled_s - plain_s)
+    scaled = amplified_overhead * (res.DEFAULT_RESOURCE_HZ / AMP_HZ)
+    fraction = scaled / plain_s if plain_s else 0.0
+    print(f"fig8 wall {plain_s:.3f}s plain, {sampled_s:.3f}s at "
+          f"{AMP_HZ:g}Hz -> {fraction * 100:.3f}% at default rate")
+    # 5 ms absolute slack keeps sub-second walls from flaking on
+    # scheduler noise the amplification cannot average away.
+    assert scaled < MAX_OVERHEAD_FRACTION * plain_s + 0.005
+
+
+_PEAK_SCRIPT = """
+import dataclasses, json, sys
+from repro.experiments import SMALL_SCALE, World
+from repro.obs.resources import sample_resources
+
+scale = dataclasses.replace(
+    SMALL_SCALE, num_users=int(sys.argv[1]),
+    device_days=int(sys.argv[2]),
+)
+world = World(scale)
+world.workload  # force the mobility tables into memory
+world.device_event_columns  # ...and the columnar event arrays
+print(json.dumps({"peak_rss_mb": sample_resources().peak_rss_mb}))
+"""
+
+
+def _peak_rss_at(num_users: int, device_days: int) -> float:
+    import json
+
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = "off"  # build, don't mmap a cached blob
+    proc = subprocess.run(
+        [sys.executable, "-c", _PEAK_SCRIPT,
+         str(num_users), str(device_days)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])["peak_rss_mb"]
+
+
+def test_peak_rss_is_monotone_in_scale():
+    # Fresh interpreters (peak RSS is a process-lifetime high-water
+    # mark) building a 1x and a ~6x workload: the bigger build must
+    # never report a *lower* peak, or the budget bands bound nothing.
+    small = _peak_rss_at(60, 3)
+    large = _peak_rss_at(600, 14)
+    print(f"peak RSS: {small:.1f} MB (60 users x 3 days) -> "
+          f"{large:.1f} MB (600 users x 14 days)")
+    assert small > 0
+    assert large >= small

@@ -45,6 +45,6 @@ Subpackages
 
 #: Single source of truth for the package version — pyproject.toml
 #: reads it via ``[tool.setuptools.dynamic]``.
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = ["__version__"]

@@ -9,6 +9,7 @@ Usage::
     python -m repro run all --trace-out trace.json
     python -m repro check
     python -m repro compare -2 -1
+    python -m repro report --perf
     python -m repro sweep spec.json --jobs 4 --csv sweep.csv
     python -m repro export --out results/ --scale small
 
@@ -22,6 +23,15 @@ timings, the slowest spans by exclusive time, cache/oracle counters);
 ``--metrics-out FILE`` writes the merged metrics snapshot as JSON and
 ``--trace-out FILE`` writes the span trees as Chrome trace-event JSON
 viewable in Perfetto.
+
+Every run also samples its own footprint (:mod:`repro.obs.resources`,
+``REPRO_RESOURCE_HZ``): records, manifests, and sweep rows carry peak
+RSS and CPU per experiment; ``--profile-mem`` adds tracemalloc span
+enrichment; ``--progress`` renders a live status line with the driver's
+RSS and an ETA; ``check`` additionally enforces the ``PERF_BUDGETS``
+bands experiment modules declare (nonzero exit on a blown budget); and
+``report --perf`` writes the ``BENCH_<git-sha>.json`` trajectory record
+CI uploads per commit.
 
 When a run ledger is configured (``REPRO_LEDGER_DIR`` or
 ``--ledger-dir``), every ``run`` appends a manifest — git SHA, seed,
@@ -66,8 +76,9 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
-from time import perf_counter
+from time import perf_counter, time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from . import __version__, obs
@@ -211,6 +222,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "and cache/oracle counters (stderr under --format json)",
     )
     run_parser.add_argument(
+        "--profile-mem",
+        action="store_true",
+        dest="profile_mem",
+        help="tracemalloc span enrichment: every trace span records "
+        "its allocation delta/peak, experiment spans their top "
+        "allocation sites (workers inherit via REPRO_PROFILE_MEM)",
+    )
+    run_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live status line on stderr: done/running/queued counts, "
+        "driver RSS, ETA from comparable ledger history",
+    )
+    run_parser.add_argument(
         "--metrics-out",
         metavar="FILE",
         default=None,
@@ -319,6 +344,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="resume an interrupted sweep from its journal ('last' or "
         "a sweep id); completed (cell, experiment) pairs are skipped "
         "and the stitched CSV is byte-identical",
+    )
+    sweep_parser.add_argument(
+        "--resources",
+        action="store_true",
+        help="include resource:peak_rss_mb / resource:cpu_s rows in "
+        "the CSV (measurements — the CSV is no longer byte-identical "
+        "across runs)",
+    )
+    sweep_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live status line on stderr: done/running/queued task "
+        "counts and driver RSS",
+    )
+
+    report_parser = sub.add_parser(
+        "report",
+        help="emit machine-readable summaries of the latest ledgered run",
+    )
+    report_parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="write BENCH_<git-sha>.json: per-experiment wall/RSS/CPU, "
+        "driver resources, and perf-budget scores (the benchmark "
+        "trajectory record CI uploads)",
+    )
+    report_parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=".",
+        help="directory for the report file (default: current dir)",
+    )
+    report_parser.add_argument(
+        "--ledger-dir", metavar="DIR", default=None, dest="ledger_dir",
+        help=f"ledger directory (default: ${obs.LEDGER_DIR_ENV})",
     )
 
     export_parser = sub.add_parser(
@@ -469,6 +529,61 @@ def _metrics_payload(records, scale, jobs: int, elapsed: float,
     }
 
 
+def _usable_out_path(flag: str, path: str, err, prog: str) -> bool:
+    """Validate (and auto-create the parent of) an output file path.
+
+    ``--metrics-out``/``--trace-out``/``--csv`` failures used to
+    surface as a traceback *after* an otherwise-successful run; this
+    checks the destination before any work is spent. A missing parent
+    directory is created (matching ``write_chrome_trace``); one that
+    cannot be created or written is a friendly one-line error.
+    """
+    parent = os.path.dirname(path) or "."
+    try:
+        os.makedirs(parent, exist_ok=True)
+    except OSError as exc:
+        err.write(
+            f"{prog}: cannot create directory for {flag} {path!r}: "
+            f"{exc}\n"
+        )
+        return False
+    if os.path.isdir(path):
+        err.write(f"{prog}: {flag} {path!r} is a directory\n")
+        return False
+    if not os.access(parent, os.W_OK):
+        err.write(
+            f"{prog}: {flag} {path!r}: directory {parent!r} is not "
+            f"writable\n"
+        )
+        return False
+    return True
+
+
+def _driver_resources(
+    start: obs.ResourceSample, sampler: Optional[obs.ResourceSampler]
+) -> Dict:
+    """A snapshot-shaped driver resource block for the ledger.
+
+    Built from direct samples rather than the driver registry — the
+    registry also absorbs every worker snapshot (run-wide totals), so
+    only explicit bracketing isolates the driver process's own cost.
+    """
+    end = obs.sample_resources()
+    counters: Dict[str, float] = {
+        "resources.cpu_s": round(max(0.0, end.cpu_s - start.cpu_s), 3),
+        "resources.samples": sampler.ticks if sampler is not None else 0,
+    }
+    if end.degraded:
+        counters["resources.degraded"] = 1
+    return {
+        "gauges": {
+            "resources.rss_mb": round(end.rss_mb, 1),
+            "resources.peak_rss_mb": round(end.peak_rss_mb, 1),
+        },
+        "counters": counters,
+    }
+
+
 def _ledger_for(ledger_dir: Optional[str]) -> Optional[obs.RunLedger]:
     """The ledger from ``--ledger-dir``, else ``$REPRO_LEDGER_DIR``."""
     if ledger_dir:
@@ -525,6 +640,7 @@ def _run(
     profile: bool = False, metrics_out: Optional[str] = None,
     trace_out: Optional[str] = None, ledger_dir: Optional[str] = None,
     timeout_s: Optional[float] = None, resume: Optional[str] = None,
+    profile_mem: bool = False, progress: bool = False,
 ) -> int:
     """Run ``names`` through the engine; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -535,6 +651,10 @@ def _run(
     except ValueError as exc:
         err.write(f"repro run: bad {CHAOS_ENV} spec: {exc}\n")
         return 2
+    for flag, path in (("--metrics-out", metrics_out),
+                       ("--trace-out", trace_out)):
+        if path and not _usable_out_path(flag, path, err, "repro run"):
+            return 2
 
     ledger = _ledger_for(ledger_dir)
     journal: Optional[RunJournal] = None
@@ -572,11 +692,64 @@ def _run(
 
     started = perf_counter()
     obs.reset_metrics()  # clean driver-side registry for this run
-    records = run_experiments(
-        to_run, scale, jobs=jobs, cache=ArtifactCache.from_env(),
-        timeout_s=timeout_s,
-        on_record=journal.record if journal is not None else None,
-    )
+    if profile_mem:
+        obs.enable_mem_profile()
+    start_sample = obs.sample_resources()
+    sampler = obs.ResourceSampler().start()
+    if sampler.alive:
+        obs.incr("resources.samplers.started")
+    reporter: Optional[obs.ProgressReporter] = None
+    if progress:
+        history = (
+            ledger.previous({
+                "run_id": run_id, "scale": scale.label,
+                "seed": getattr(scale, "seed", None),
+                "started_at": time(),
+            })
+            if ledger is not None else None
+        )
+        reporter = obs.ProgressReporter(
+            len(names), err, jobs=jobs, label="run", history=history,
+        )
+        reporter.announce_keys(names)
+        for name in completed:
+            reporter.task_finished(name)
+        reporter.start()
+
+    def record_done(record: RunRecord) -> None:
+        if journal is not None:
+            journal.record(record)
+        if reporter is not None:
+            reporter.task_finished(record.name, record.ok)
+
+    try:
+        records = run_experiments(
+            to_run, scale, jobs=jobs, cache=ArtifactCache.from_env(),
+            timeout_s=timeout_s,
+            on_record=(
+                record_done
+                if journal is not None or reporter is not None
+                else None
+            ),
+            on_start=reporter.task_started if reporter is not None else None,
+        )
+    finally:
+        sampler.stop()
+        # Stamped after the stop: the chaos CI gate asserts this gauge
+        # drains to 0 even on runs whose workers were SIGKILLed.
+        obs.metrics().gauge(
+            "resources.samplers.open", float(obs.open_samplers())
+        )
+        if reporter is not None:
+            reporter.close()
+        if profile_mem:
+            import tracemalloc
+
+            obs.set_span_enricher(None)
+            os.environ.pop(obs.PROFILE_MEM_ENV, None)
+            if tracemalloc.is_tracing():
+                tracemalloc.stop()
+    driver_resources = _driver_resources(start_sample, sampler)
     elapsed = perf_counter() - started
     driver = obs.metrics().snapshot()
     leaked = driver.get("counters", {}).get("shm.leaked", 0)
@@ -608,6 +781,7 @@ def _run(
             seed=getattr(scale, "seed", None), jobs=jobs,
             elapsed_s=elapsed, version=__version__,
             run_id=run_id, resumed_from=resumed_from,
+            driver_metrics=driver_resources,
         )
         try:
             ledger.append(entry)
@@ -666,6 +840,16 @@ def _declared_targets() -> Dict[str, List[obs.PaperTarget]]:
     return targets
 
 
+def _declared_budgets() -> Dict[str, List[obs.PerfBudget]]:
+    """Experiment name -> declared perf budgets, non-empty only."""
+    budgets = {}
+    for spec in all_specs():
+        declared = spec.budgets()
+        if declared:
+            budgets[spec.name] = declared
+    return budgets
+
+
 def _check(ledger_dir: Optional[str], out=None, err=None) -> int:
     """Score the latest ledger entry; nonzero exit on regression."""
     out = out if out is not None else sys.stdout
@@ -711,6 +895,24 @@ def _check(ledger_dir: Optional[str], out=None, err=None) -> int:
         out.write("no declared targets matched the entry's "
                   "experiments\n")
 
+    budget_scores = obs.score_perf_budgets(entry, _declared_budgets())
+    if budget_scores:
+        budget_rows = []
+        for score in budget_scores:
+            budget = score.budget
+            observed = ("-" if score.observed is None
+                        else f"{score.observed:g}")
+            budget_rows.append([
+                score.experiment, budget.key,
+                format_band(budget.lo, budget.hi), observed,
+                score.status.upper(),
+            ])
+        out.write("\nperformance budgets (wall/RSS/CPU bands):\n")
+        out.write(render_table(
+            ["experiment", "metric", "budget", "observed", "status"],
+            budget_rows,
+        ) + "\n")
+
     if previous is not None:
         perf_rows = []
         for name, exp in sorted(entry.get("experiments", {}).items()):
@@ -729,8 +931,19 @@ def _check(ledger_dir: Optional[str], out=None, err=None) -> int:
         counts[score.status] = counts.get(score.status, 0) + 1
     summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
     regressed = obs.has_regression(scores)
-    out.write(f"\n[{len(scores)} target(s): {summary or 'none'}]\n")
-    return 1 if regressed else 0
+    budget_regressed = obs.has_budget_regression(budget_scores)
+    budget_summary = ""
+    if budget_scores:
+        blown = sum(1 for s in budget_scores if not s.ok)
+        budget_summary = (
+            f"; {len(budget_scores)} budget(s): "
+            + (f"{blown} VIOLATED" if blown else "all within budget")
+        )
+    out.write(
+        f"\n[{len(scores)} target(s): {summary or 'none'}"
+        f"{budget_summary}]\n"
+    )
+    return 1 if regressed or budget_regressed else 0
 
 
 def _compare(run_a: str, run_b: str, ledger_dir: Optional[str],
@@ -840,6 +1053,37 @@ def _compare(run_a: str, run_b: str, ledger_dir: Optional[str],
         out.write(render_table(["counter", "A", "B", "delta"],
                                delta_rows) + "\n")
 
+    resource_rows = []
+    for name in sorted(set(exps_a) & set(exps_b)):
+        exp_a, exp_b = exps_a[name], exps_b[name]
+        if all(
+            exp.get(key) is None
+            for exp in (exp_a, exp_b)
+            for key in ("peak_rss_mb", "cpu_s")
+        ):
+            continue
+
+        def _fmt(value, unit: str) -> str:
+            return "-" if value is None else f"{value:g}{unit}"
+
+        resource_rows.append([
+            name,
+            _fmt(exp_a.get("peak_rss_mb"), ""),
+            _fmt(exp_b.get("peak_rss_mb"), ""),
+            format_delta(exp_b.get("peak_rss_mb", 0.0),
+                         exp_a.get("peak_rss_mb")),
+            _fmt(exp_a.get("cpu_s"), "s"),
+            _fmt(exp_b.get("cpu_s"), "s"),
+            format_delta(exp_b.get("cpu_s", 0.0), exp_a.get("cpu_s"),
+                         "s"),
+        ])
+    if resource_rows:
+        out.write("\nresources (peak RSS MB / CPU s):\n")
+        out.write(render_table(
+            ["experiment", "rss A", "rss B", "rss delta", "cpu A",
+             "cpu B", "cpu delta"], resource_rows,
+        ) + "\n")
+
     if mismatched:
         out.write(f"\n[{len(mismatched)} experiment(s) produced "
                   f"different series: {', '.join(mismatched)}]\n")
@@ -849,10 +1093,92 @@ def _compare(run_a: str, run_b: str, ledger_dir: Optional[str],
     return 0
 
 
+def _report(
+    ledger_dir: Optional[str], perf: bool = False, out_dir: str = ".",
+    out=None, err=None,
+) -> int:
+    """Emit ``BENCH_<git-sha>.json`` from the latest ledger entry.
+
+    The bench-trajectory record: per-experiment wall time / peak RSS /
+    CPU, the driver's resource block, and the perf-budget verdicts —
+    everything CI needs to trend the harness's own cost across commits.
+    One file per commit; re-running on the same commit overwrites.
+    """
+    out = out if out is not None else sys.stdout
+    err = err if err is not None else sys.stderr
+    if not perf:
+        err.write("repro report: nothing to report — pass --perf\n")
+        return 2
+    ledger = _ledger_for(ledger_dir)
+    if ledger is None:
+        err.write("repro report: no ledger configured — set "
+                  f"{obs.LEDGER_DIR_ENV} or pass --ledger-dir\n")
+        return 2
+    entry = ledger.latest()
+    if entry is None:
+        err.write(f"repro report: ledger {ledger.path} is empty — "
+                  "run 'repro run' with the ledger enabled first\n")
+        return 2
+
+    budget_scores = obs.score_perf_budgets(entry, _declared_budgets())
+    sha = entry.get("git_sha") or "unknown"
+    payload = {
+        "schema": "repro.bench/v1",
+        "git_sha": sha,
+        "run_id": entry.get("run_id"),
+        "scale": entry.get("scale"),
+        "seed": entry.get("seed"),
+        "jobs": entry.get("jobs"),
+        "version": entry.get("version"),
+        "wall_s": entry.get("wall_s"),
+        "experiments": {
+            name: {
+                "status": exp.get("status"),
+                "wall_s": exp.get("wall_s"),
+                "peak_rss_mb": exp.get("peak_rss_mb"),
+                "cpu_s": exp.get("cpu_s"),
+            }
+            for name, exp in sorted(
+                entry.get("experiments", {}).items()
+            )
+        },
+        "resources": entry.get("resources"),
+        "budgets": [
+            {
+                "experiment": score.experiment,
+                "metric": score.budget.key,
+                "lo": score.budget.lo,
+                "hi": score.budget.hi,
+                "observed": score.observed,
+                "status": score.status,
+            }
+            for score in budget_scores
+        ],
+    }
+    path = os.path.join(out_dir, f"BENCH_{str(sha)[:12]}.json")
+    try:
+        os.makedirs(out_dir, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as exc:
+        err.write(f"repro report: cannot write {path!r}: {exc}\n")
+        return 2
+    blown = sum(1 for score in budget_scores if not score.ok)
+    out.write(
+        f"[bench: run {entry.get('run_id')} "
+        f"({len(payload['experiments'])} experiment(s), "
+        f"{len(budget_scores)} budget(s)"
+        + (f", {blown} VIOLATED" if blown else "")
+        + f") -> {path}]\n"
+    )
+    return 0
+
+
 def _sweep(
     spec_path: str, jobs: int = 1, csv_out: Optional[str] = None,
     ledger_dir: Optional[str] = None, resume: Optional[str] = None,
-    out=None, err=None,
+    out=None, err=None, resources: bool = False, progress: bool = False,
 ) -> int:
     """Run (or resume) a declarative sweep; returns an exit code.
 
@@ -874,6 +1200,9 @@ def _sweep(
     except SweepSpecError as exc:
         err.write(f"repro sweep: {exc}\n")
         return 2
+    if csv_out and not _usable_out_path("--csv", csv_out, err,
+                                        "repro sweep"):
+        return 2
 
     ledger = _ledger_for(ledger_dir)
     if resume is not None and ledger is None:
@@ -885,11 +1214,35 @@ def _sweep(
 
     started = perf_counter()
     obs.reset_metrics()  # clean driver-side registry for this sweep
+    start_sample = obs.sample_resources()
+    sampler = obs.ResourceSampler().start()
+    if sampler.alive:
+        obs.incr("resources.samplers.started")
+    reporter: Optional[obs.ProgressReporter] = None
+    if progress:
+        try:
+            from .engine import experiment_names as _names
+
+            n_exp = (len(_names())
+                     if list(spec.experiments) == ["all"]
+                     else len(spec.experiments))
+            total = len(spec.cells()) * n_exp
+        except Exception:
+            total = 0
+        reporter = obs.ProgressReporter(total, err, jobs=jobs,
+                                        label="sweep")
+        reporter.start()
     try:
         result = run_sweep(
             spec, jobs=jobs, cache=ArtifactCache.from_env(),
             ledger=ledger, resume=resume, version=__version__,
             on_progress=lambda message: err.write(f"[{message}]\n"),
+            on_task_start=(reporter.task_started
+                           if reporter is not None else None),
+            on_task_done=(reporter.task_finished
+                          if reporter is not None else None),
+            driver_metrics=lambda: _driver_resources(start_sample,
+                                                     sampler),
         )
     except (SweepError, SweepSpecError) as exc:
         err.write(f"repro sweep: {exc}\n")
@@ -901,9 +1254,16 @@ def _sweep(
             f"{exc}\n"
         )
         return 2
+    finally:
+        sampler.stop()
+        obs.metrics().gauge(
+            "resources.samplers.open", float(obs.open_samplers())
+        )
+        if reporter is not None:
+            reporter.close()
     elapsed = perf_counter() - started
 
-    csv_text = result.to_csv()
+    csv_text = result.to_csv(include_resources=resources)
     if csv_out:
         with open(csv_out, "w", encoding="utf-8") as handle:
             handle.write(csv_text)
@@ -957,16 +1317,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output_format=args.output_format, profile=args.profile,
             metrics_out=args.metrics_out, trace_out=args.trace_out,
             ledger_dir=args.ledger_dir, timeout_s=args.timeout_s,
-            resume=args.resume,
+            resume=args.resume, profile_mem=args.profile_mem,
+            progress=args.progress,
         )
     if args.command == "check":
         return _check(args.ledger_dir)
     if args.command == "compare":
         return _compare(args.run_a, args.run_b, args.ledger_dir,
                         fail_on_diff=args.fail_on_diff)
+    if args.command == "report":
+        return _report(args.ledger_dir, perf=args.perf, out_dir=args.out)
     if args.command == "sweep":
         return _sweep(args.spec, jobs=args.jobs, csv_out=args.csv_out,
-                      ledger_dir=args.ledger_dir, resume=args.resume)
+                      ledger_dir=args.ledger_dir, resume=args.resume,
+                      resources=args.resources, progress=args.progress)
     if args.command == "export":
         from .experiments.export import export_all
 

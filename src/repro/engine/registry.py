@@ -112,6 +112,16 @@ class ExperimentSpec:
         """
         return list(getattr(self._module(), "PAPER_TARGETS", ()))
 
+    def budgets(self) -> List[Any]:
+        """The module's declared performance budgets (may be empty).
+
+        Experiment modules opt in by defining a module-level
+        ``PERF_BUDGETS`` sequence of
+        :class:`repro.obs.PerfBudget` records; ``repro check`` holds
+        every ledgered run's wall time / peak RSS / CPU to them.
+        """
+        return list(getattr(self._module(), "PERF_BUDGETS", ()))
+
     def observed(self, result) -> Dict[str, float]:
         """The target-value observations behind ``result``.
 

@@ -209,19 +209,46 @@ def _world_for(scale, cache: Optional[ArtifactCache]):
     return _WORLDS[key]
 
 
+def _init_worker(manifest: Optional[shm_world.WorldManifest]) -> None:
+    """Pool initializer: shm attach + resource sampler + mem profile.
+
+    Like :func:`repro.engine.shm.attach_shared_world` itself, this must
+    never raise — an initializer exception poisons the whole pool, and
+    telemetry is never worth that.
+    """
+    shm_world.attach_shared_world(manifest)
+    try:
+        obs.start_process_sampler()
+        obs.maybe_enable_mem_profile_from_env()
+    except Exception:
+        pass
+
+
 def _execute(name: str, scale, cache: Optional[ArtifactCache]) -> RunRecord:
     """Run one experiment against a (possibly pooled) world.
 
     Everything the experiment records through :mod:`repro.obs` — cache
     hits, oracle computations, World build spans — lands in a fresh
     per-experiment collector whose snapshot rides on the returned
-    record, in serial and worker paths alike.
+    record, in serial and worker paths alike. The resource-annotate
+    bracket guarantees every record carries ``resources.cpu_s`` and the
+    RSS gauges even when the background sampler never ticked during the
+    experiment (fast experiments, ``REPRO_RESOURCE_HZ=0``); the live
+    sampler — this process's lifetime sampler in workers, the dynamic
+    driver sampler in serial runs — adds the per-phase attribution,
+    since its ticks land in whatever registry :func:`obs.using` has
+    made current.
     """
     started = perf_counter()
     started_at = time()  # wall clock: aligns workers in the trace
     collector = obs.Metrics()
     try:
-        with obs.using(collector):
+        with obs.using(collector), obs.annotate(collector):
+            if obs.process_sampler() is not None:
+                # As with shm.worker.attached: initializer-time state
+                # has no collector to ship back, so each record marks
+                # whether a lifetime sampler was live around it.
+                obs.incr("resources.sampler.active")
             if shm_world.attached() is not None:
                 # Recorded per experiment (pool-initializer time has no
                 # collector to ship back): this execution ran against
@@ -371,6 +398,7 @@ def _run_pooled(
     on_record: Optional[Callable[[RunTask, RunRecord], None]],
     manifest: Optional[shm_world.WorldManifest] = None,
     seed_token: Any = None,
+    on_start: Optional[Callable[[RunTask], None]] = None,
 ) -> List[RunRecord]:
     """The resilient pooled scheduler: sliding window + watchdog.
 
@@ -410,7 +438,7 @@ def _run_pooled(
         # to the cache path instead of breaking the pool.
         return ProcessPoolExecutor(
             max_workers=max_workers,
-            initializer=shm_world.attach_shared_world,
+            initializer=_init_worker,
             initargs=(manifest,),
         )
 
@@ -445,6 +473,10 @@ def _run_pooled(
     def submit(pool: ProcessPoolExecutor, index: int, dedicated: bool):
         task = tasks[index]
         limit = deadlines[index]
+        if on_start is not None and charged[index] == 0:
+            # Announce first dispatch only — a quarantine retry is the
+            # same unit of progress, not new work.
+            on_start(task)
         future = pool.submit(
             _execute_in_worker, task.name, task.scale, cache_root,
             charged[index], limit,
@@ -574,6 +606,7 @@ def run_tasks(
     timeout_s: Optional[float] = None,
     retry_policy: Optional[RetryPolicy] = None,
     on_record: Optional[Callable[[RunTask, RunRecord], None]] = None,
+    on_start: Optional[Callable[[RunTask], None]] = None,
 ) -> List[RunRecord]:
     """Run ``tasks``; one :class:`RunRecord` each, in task order.
 
@@ -605,7 +638,9 @@ def run_tasks(
 
     ``on_record`` is invoked with ``(task, record)`` the moment each
     record is final — the run and sweep journals hook in here, making
-    interrupted runs resumable.
+    interrupted runs resumable. ``on_start`` is invoked with the task
+    when it is first dispatched (the live progress line hooks in here);
+    both callbacks run in the parent and must not raise.
 
     When every world-needing task shares one scale, the World is
     exported once into shared memory and workers attach to it; a
@@ -652,12 +687,15 @@ def run_tasks(
             records: List[RunRecord] = _run_pooled(
                 tasks, cache_root, max(1, jobs), deadlines, policy,
                 on_record, manifest, seed_token=seed_token,
+                on_start=on_start,
             )
         finally:
             shm_world.cleanup(manifest)
     else:
         records = []
         for task in tasks:
+            if on_start is not None:
+                on_start(task)
             record = _execute(task.name, task.scale, cache)
             if on_record is not None:
                 on_record(task, record)
@@ -677,12 +715,14 @@ def run_experiments(
     timeout_s: Optional[float] = None,
     retry_policy: Optional[RetryPolicy] = None,
     on_record: Optional[Callable[[RunRecord], None]] = None,
+    on_start: Optional[Callable[[str], None]] = None,
 ) -> List[RunRecord]:
     """Run ``names`` at one ``scale``; one :class:`RunRecord` each, in order.
 
     The single-scale front door over :func:`run_tasks` — semantics
     (isolation, deadlines, retries, shared-memory fan-out, metrics
-    merge) are identical; ``on_record`` here receives just the record.
+    merge) are identical; ``on_record`` here receives just the record
+    and ``on_start`` just the experiment name.
     """
     tasks = [RunTask(name=name, scale=scale, key=name) for name in names]
     task_callback = (
@@ -690,7 +730,13 @@ def run_experiments(
         if on_record is not None
         else None
     )
+    start_callback = (
+        (lambda task: on_start(task.name))
+        if on_start is not None
+        else None
+    )
     return run_tasks(
         tasks, jobs=jobs, cache=cache, timeout_s=timeout_s,
         retry_policy=retry_policy, on_record=task_callback,
+        on_start=start_callback,
     )

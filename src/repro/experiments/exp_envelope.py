@@ -19,11 +19,11 @@ from ..core import (
     extra_fib_fraction,
 )
 from ..engine import Series, register
-from ..obs import PaperTarget
+from ..obs import PaperTarget, PerfBudget
 from .report import banner, render_table
 
 __all__ = ["EnvelopeResult", "run", "format_result", "series",
-           "PAPER_TARGETS", "target_values"]
+           "PAPER_TARGETS", "PERF_BUDGETS", "target_values"]
 
 #: Pure arithmetic over the paper's constants — scale-independent, so
 #: the bands are tight around the paper's own claims.
@@ -43,6 +43,16 @@ PAPER_TARGETS = (
         section="§6.2",
         note="extra FIB entries per router as a fraction of devices",
     ),
+)
+
+
+#: Cost bands for ``repro check``: the envelope is pure arithmetic on a
+#: handful of scenario constants — it must stay effectively free.
+PERF_BUDGETS = (
+    PerfBudget(key="wall_s", hi=60.0,
+               note="back-of-the-envelope arithmetic, scale-free"),
+    PerfBudget(key="peak_rss_mb", hi=2048.0,
+               note="a few scenario dataclasses need no memory"),
 )
 
 

@@ -22,13 +22,13 @@ from typing import Dict
 from ..core import InterdomainPortMap
 from ..engine import Series, register
 from ..mobility import HOURS_PER_DAY
-from ..obs import PaperTarget
+from ..obs import PaperTarget, PerfBudget
 from ..stats import median
 from .context import World
 from .report import banner, render_table
 
 __all__ = ["FibSizeResult", "run", "format_result", "series",
-           "PAPER_TARGETS", "target_values"]
+           "PAPER_TARGETS", "PERF_BUDGETS", "target_values"]
 
 #: The paper's envelope says ~1% of devices displaced per router; our
 #: direct time-weighted measurement runs hotter (the synthetic
@@ -41,6 +41,19 @@ PAPER_TARGETS = (
         section="§6.2",
         note="median time-weighted displaced-device fraction per router",
     ),
+)
+
+
+#: Cost bands for ``repro check``: the displacement measurement is a
+#: per-router, per-user-day columnar sweep, the second-heaviest pass
+#: after fig8 — the bands catch it regressing to per-event Python loops.
+PERF_BUDGETS = (
+    PerfBudget(key="wall_s", hi=240.0, scales=("small",),
+               note="fib-size small-scale displacement sweep"),
+    PerfBudget(key="wall_s", hi=900.0, scales=("paper",),
+               note="fib-size paper-scale displacement sweep"),
+    PerfBudget(key="peak_rss_mb", hi=4096.0,
+               note="port maps and day columns must stay bounded"),
 )
 
 

@@ -13,13 +13,13 @@ from typing import List, Tuple
 
 from ..engine import Series, register
 from ..mobility import cdf_points, percentile, user_averages
-from ..obs import PaperTarget
+from ..obs import PaperTarget, PerfBudget
 from .context import World
 from .asciichart import render_cdf_chart
 from .report import banner, render_cdf_summary
 
 __all__ = ["Fig6Result", "run", "format_result", "series",
-           "PAPER_TARGETS", "target_values"]
+           "PAPER_TARGETS", "PERF_BUDGETS", "target_values"]
 
 #: Per-user daily medians are ratios, stable across workload scales,
 #: so one band covers both the paper and the small CI workload.
@@ -39,6 +39,19 @@ PAPER_TARGETS = (
         section="§6.1 Fig. 6",
         note="fraction of users above 10 IP addresses/day (paper: >20%)",
     ),
+)
+
+
+#: Cost bands for ``repro check``: Fig. 6 is a single columnar pass
+#: over the user event table plus CDF aggregation — cheap at small
+#: scale, bounded by the workload's own size at paper scale.
+PERF_BUDGETS = (
+    PerfBudget(key="wall_s", hi=120.0, scales=("small",),
+               note="fig6 small-scale CDF pass"),
+    PerfBudget(key="wall_s", hi=600.0, scales=("paper",),
+               note="fig6 paper-scale CDF pass"),
+    PerfBudget(key="peak_rss_mb", hi=4096.0,
+               note="per-user aggregation must stream, not materialize"),
 )
 
 

@@ -15,13 +15,14 @@ from typing import Dict
 
 from ..core import DeviceUpdateCostEvaluator, UpdateRateReport
 from ..engine import Series, register
-from ..obs import PaperTarget
+from ..obs import PaperTarget, PerfBudget
 from .context import World
 from .asciichart import render_bar_chart
 from .report import banner, render_table
 
 __all__ = ["Fig8Result", "run", "format_result", "series",
-           "PAPER_TARGETS", "TIMEOUT_S", "target_values"]
+           "PAPER_TARGETS", "PERF_BUDGETS", "TIMEOUT_S",
+           "target_values"]
 
 #: Per-experiment deadline (overrides ``run --timeout-s``): evaluating
 #: every mobility event against all 12 routers is the suite's heaviest
@@ -44,6 +45,21 @@ PAPER_TARGETS = (
         section="§6.2 Fig. 8",
         note="max per-router device update rate (paper: ~14%)",
     ),
+)
+
+
+#: Cost bands ``repro check`` enforces like fidelity bands. Generous —
+#: they catch order-of-magnitude regressions (an accidental
+#: de-vectorization, an evaluation materializing all events), not
+#: scheduler noise: the vectorized device pass finishes in seconds at
+#: small scale and well under the 900 s deadline at paper scale.
+PERF_BUDGETS = (
+    PerfBudget(key="wall_s", hi=240.0, scales=("small",),
+               note="fig8 small-scale wall time (typically < 10 s)"),
+    PerfBudget(key="wall_s", hi=900.0, scales=("paper",),
+               note="fig8 paper-scale wall time (the TIMEOUT_S band)"),
+    PerfBudget(key="peak_rss_mb", hi=4096.0,
+               note="columnar event tables must stay memory-bounded"),
 )
 
 

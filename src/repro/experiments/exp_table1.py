@@ -20,11 +20,11 @@ from ..core import (
     simulate_row,
 )
 from ..engine import Series, register
-from ..obs import PaperTarget
+from ..obs import PaperTarget, PerfBudget
 from .report import banner, render_table
 
 __all__ = ["Table1Result", "run", "format_result", "series",
-           "PAPER_TARGETS", "target_values"]
+           "PAPER_TARGETS", "PERF_BUDGETS", "target_values"]
 
 #: §5 closed forms are scale-independent (n=63 fixed), so the bands
 #: are tight: the exact formulas must keep matching the paper's
@@ -45,6 +45,17 @@ PAPER_TARGETS = (
         section="§5 Table 1",
         note="name-based update cost on the star",
     ),
+)
+
+
+#: Cost bands for ``repro check``: Table 1 is world-free analytics on
+#: 63-node toys — it must stay cheap at any scale. A blown band means
+#: the Monte Carlo pass regressed to something super-linear.
+PERF_BUDGETS = (
+    PerfBudget(key="wall_s", hi=120.0,
+               note="closed forms + 4000-step Monte Carlo on n=63"),
+    PerfBudget(key="peak_rss_mb", hi=2048.0,
+               note="toy topologies need no real memory"),
 )
 
 

@@ -1,22 +1,32 @@
-"""Observability: metrics, run history, paper fidelity, trace export.
+"""Observability: metrics, resources, history, fidelity, budgets, traces.
 
-Four layers, lowest first:
+Six layers, lowest first:
 
 * :mod:`.metrics` — process-local counters, gauges, and nested trace
   spans; snapshots are plain JSON and merge deterministically, so
   worker processes ship their metrics back to the parent and
   ``repro run --profile`` / ``--metrics-out`` report one coherent
   picture of a parallel run;
+* :mod:`.resources` — a background sampler (driver and every pooled
+  worker) recording RSS / peak RSS / CPU into the current metrics
+  registry at ``REPRO_RESOURCE_HZ``, with per-phase attribution from
+  the open span and optional tracemalloc span enrichment under
+  ``run --profile-mem``;
 * :mod:`.history` — the run ledger: every run appends a manifest (git
-  SHA, seed, scale, per-experiment status/wall time/series digests,
-  merged metric totals) to ``$REPRO_LEDGER_DIR/ledger.jsonl``, making
-  runs comparable after their processes are gone;
+  SHA, seed, scale, per-experiment status/wall time/series digests/
+  peak RSS/CPU, merged metric totals) to
+  ``$REPRO_LEDGER_DIR/ledger.jsonl``, making runs comparable after
+  their processes are gone;
 * :mod:`.fidelity` — paper-target scoring: experiments declare the
   values the paper reports with accepted bands; ``repro check`` scores
   the latest ledger entry pass/drift/regress against them and against
   the previous comparable run;
+* :mod:`.budgets` — performance budgets: the same scoring discipline
+  applied to the harness's own wall time and memory footprint
+  (``PERF_BUDGETS`` declarations, enforced by ``repro check``);
 * :mod:`.traceviz` — span trees rendered as Chrome trace-event JSON
-  (``repro run --trace-out``), viewable in Perfetto.
+  (``repro run --trace-out``), viewable in Perfetto; plus
+  :mod:`.progress`, a live status line over the same telemetry.
 
 This package deliberately imports nothing from the rest of ``repro``,
 so any module — however low-level — can instrument itself without
@@ -24,6 +34,12 @@ creating an import cycle; ledger/fidelity/trace consume run records
 duck-typed.
 """
 
+from .budgets import (
+    BudgetScore,
+    PerfBudget,
+    has_budget_regression,
+    score_perf_budgets,
+)
 from .fidelity import (
     PaperTarget,
     TargetScore,
@@ -46,8 +62,27 @@ from .metrics import (
     merge_snapshots,
     metrics,
     reset_metrics,
+    set_span_enricher,
     span,
+    span_enricher,
     using,
+)
+from .progress import ProgressReporter
+from .resources import (
+    DEFAULT_RESOURCE_HZ,
+    PROFILE_MEM_ENV,
+    RESOURCE_HZ_ENV,
+    ResourceSample,
+    ResourceSampler,
+    annotate,
+    enable_mem_profile,
+    maybe_enable_mem_profile_from_env,
+    mem_profile_enabled,
+    open_samplers,
+    process_sampler,
+    resource_hz,
+    sample_resources,
+    start_process_sampler,
 )
 from .traceviz import chrome_trace, write_chrome_trace
 
@@ -61,6 +96,22 @@ __all__ = [
     "gauge",
     "span",
     "merge_snapshots",
+    "set_span_enricher",
+    "span_enricher",
+    "DEFAULT_RESOURCE_HZ",
+    "PROFILE_MEM_ENV",
+    "RESOURCE_HZ_ENV",
+    "ResourceSample",
+    "ResourceSampler",
+    "annotate",
+    "enable_mem_profile",
+    "maybe_enable_mem_profile_from_env",
+    "mem_profile_enabled",
+    "open_samplers",
+    "process_sampler",
+    "resource_hz",
+    "sample_resources",
+    "start_process_sampler",
     "LEDGER_DIR_ENV",
     "RunLedger",
     "build_entry",
@@ -71,6 +122,11 @@ __all__ = [
     "TargetScore",
     "score_entry",
     "has_regression",
+    "PerfBudget",
+    "BudgetScore",
+    "score_perf_budgets",
+    "has_budget_regression",
+    "ProgressReporter",
     "chrome_trace",
     "write_chrome_trace",
 ]

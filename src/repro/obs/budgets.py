@@ -1,0 +1,133 @@
+"""Performance budgets: wall-time and memory bands ``repro check`` enforces.
+
+:mod:`repro.obs.fidelity` holds every run to the paper's *numbers*;
+this module holds it to the harness's *costs*. Experiment modules
+declare :class:`PerfBudget` records — "fig8 at the small scale must
+finish under 240 s and never exceed 4 GB peak RSS" — and ``repro
+check`` scores the latest ledger entry against them exactly like the
+paper targets: a violated band is a regression and exits nonzero, so
+CI catches a memory or runtime blowup the same way it catches a fidelity
+break.
+
+Budgets are deliberately *bands with headroom*, not tight SLOs:
+wall time and RSS are measurements of a shared machine, so the bands
+guard order-of-magnitude regressions (an accidental O(n²) pass, an
+evaluation that stops streaming and materializes everything) without
+flaking on scheduler noise. Tighten them as the out-of-core work lands
+benchmarks proving memory stays bounded.
+
+Scored values come straight from the ledger entry's per-experiment
+fields: ``wall_s`` (since PR 4) and ``peak_rss_mb`` / ``cpu_s``
+(stamped by :func:`repro.obs.history.build_entry` from the resource
+telemetry of :mod:`repro.obs.resources`). A declared budget whose
+value is absent scores ``missing`` and fails — silence must never read
+as fitting the budget.
+
+Like every ``repro.obs`` module this imports nothing from the rest of
+``repro``; the CLI hands it budget declarations gathered from the
+experiment registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .fidelity import STATUS_MISSING, STATUS_PASS, STATUS_REGRESS
+
+__all__ = [
+    "BUDGET_METRICS",
+    "PerfBudget",
+    "BudgetScore",
+    "score_perf_budgets",
+    "has_budget_regression",
+]
+
+#: The per-experiment ledger fields a budget may bound.
+BUDGET_METRICS = ("wall_s", "peak_rss_mb", "cpu_s")
+
+
+@dataclass(frozen=True)
+class PerfBudget:
+    """One cost band an experiment's runs are held to."""
+
+    #: Which cost to bound: ``wall_s``, ``peak_rss_mb``, or ``cpu_s``.
+    key: str
+    #: Upper bound, inclusive (the budget).
+    hi: float
+    #: Lower bound, inclusive. Almost always 0 — a nonzero floor
+    #: catches "suspiciously free" runs (an evaluation that silently
+    #: stopped doing the work).
+    lo: float = 0.0
+    note: str = ""
+    #: Scales the band applies at; empty = every scale.
+    scales: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.key not in BUDGET_METRICS:
+            raise ValueError(
+                f"PerfBudget key must be one of {BUDGET_METRICS}, "
+                f"got {self.key!r}"
+            )
+        if not self.hi > self.lo:
+            raise ValueError(
+                f"PerfBudget needs lo < hi, got [{self.lo!r}, {self.hi!r}]"
+            )
+
+    def applies_at(self, scale_label: str) -> bool:
+        return not self.scales or scale_label in self.scales
+
+    def accepts(self, observed: float) -> bool:
+        return self.lo <= observed <= self.hi
+
+
+@dataclass(frozen=True)
+class BudgetScore:
+    """The verdict for one budget in one ledger entry."""
+
+    experiment: str
+    budget: PerfBudget
+    observed: Optional[float]
+    status: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_PASS
+
+
+def score_perf_budgets(
+    entry: Mapping[str, Any],
+    budgets: Mapping[str, Sequence[PerfBudget]],
+) -> List[BudgetScore]:
+    """Score one ledger entry against declared perf budgets.
+
+    ``budgets`` maps experiment name to its declared budget list
+    (usually gathered from the registry). Only experiments present in
+    the entry are scored, mirroring :func:`repro.obs.fidelity.score_entry`.
+    """
+    scale_label = entry.get("scale", "")
+    experiments = entry.get("experiments", {})
+    scores: List[BudgetScore] = []
+    for name in sorted(experiments):
+        exp = experiments[name]
+        for budget in budgets.get(name, ()):
+            if not budget.applies_at(scale_label):
+                continue
+            observed = exp.get(budget.key)
+            if observed is None:
+                status = STATUS_MISSING
+            elif budget.accepts(float(observed)):
+                status = STATUS_PASS
+            else:
+                status = STATUS_REGRESS
+            scores.append(BudgetScore(
+                experiment=name, budget=budget,
+                observed=None if observed is None else float(observed),
+                status=status,
+            ))
+    return scores
+
+
+def has_budget_regression(scores: Iterable[BudgetScore]) -> bool:
+    """True when any budget is blown (or its value is missing)."""
+    return any(not score.ok for score in scores)

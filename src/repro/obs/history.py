@@ -118,6 +118,7 @@ def build_entry(
     command: str = "run",
     run_id: Optional[str] = None,
     resumed_from: Optional[str] = None,
+    driver_metrics: Optional[Dict[str, Any]] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """One ledger manifest for a finished run.
@@ -134,6 +135,16 @@ def build_entry(
     from a journal, not recomputed) ride along so ``repro compare``
     can flag records that took the recovery paths.
 
+    When a record's metrics carry resource telemetry
+    (:mod:`repro.obs.resources`), its experiment dict also gets
+    ``peak_rss_mb`` / ``cpu_s`` so perf budgets and ``repro compare``
+    can read costs without digging through merged metric totals; the
+    fields are simply absent for records sampled zero times (sampler
+    disabled via ``REPRO_RESOURCE_HZ=0``, pre-telemetry journals).
+    ``driver_metrics`` (the driver process's own snapshot) lands under
+    ``entry["resources"]["driver"]`` — driver costs must not be merged
+    into experiment totals or serial and pooled runs would disagree.
+
     ``extra`` merges additional top-level fields into the manifest —
     the sweep engine stamps ``sweep_id``/``cell_id``/``cell``/
     ``config_hash`` on each per-cell entry this way. Extra keys must
@@ -146,7 +157,7 @@ def build_entry(
     totals.pop("spans", None)
     experiments: Dict[str, Any] = {}
     for record in records:
-        experiments[record.name] = {
+        exp: Dict[str, Any] = {
             "status": record.status,
             "wall_s": round(record.wall_time_s, 3),
             "started_at": round(getattr(record, "started_at", 0.0), 3),
@@ -155,6 +166,14 @@ def build_entry(
             "attempts": int(getattr(record, "attempts", 1)),
             "resumed": bool(getattr(record, "resumed", False)),
         }
+        metrics = getattr(record, "metrics", None) or {}
+        peak = (metrics.get("gauges") or {}).get("resources.peak_rss_mb")
+        cpu = (metrics.get("counters") or {}).get("resources.cpu_s")
+        if peak is not None:
+            exp["peak_rss_mb"] = round(float(peak), 1)
+        if cpu is not None:
+            exp["cpu_s"] = round(float(cpu), 3)
+        experiments[record.name] = exp
     now = time.time()
     entry = {
         "schema": LEDGER_SCHEMA,
@@ -173,6 +192,24 @@ def build_entry(
         "experiments": experiments,
         "totals": totals,
     }
+    if driver_metrics:
+        driver: Dict[str, Any] = {}
+        gauges = driver_metrics.get("gauges") or {}
+        counters = driver_metrics.get("counters") or {}
+        peak = gauges.get("resources.peak_rss_mb")
+        if peak is not None:
+            driver["peak_rss_mb"] = round(float(peak), 1)
+        cpu = counters.get("resources.cpu_s")
+        if cpu is not None:
+            driver["cpu_s"] = round(float(cpu), 3)
+        samples = counters.get("resources.samples")
+        if samples is not None:
+            driver["samples"] = int(samples)
+        degraded = counters.get("resources.degraded")
+        if degraded:
+            driver["degraded"] = int(degraded)
+        if driver:
+            entry["resources"] = {"driver": driver}
     if extra:
         collisions = set(extra) & set(entry)
         if collisions:

@@ -41,9 +41,11 @@ parallelises with processes, never threads.
 from __future__ import annotations
 
 import json
+import os
+import threading
 from contextlib import contextmanager
 from time import perf_counter
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 __all__ = [
     "Metrics",
@@ -55,7 +57,26 @@ __all__ = [
     "gauge",
     "span",
     "merge_snapshots",
+    "set_span_enricher",
+    "span_enricher",
 ]
+
+#: One module-wide recording lock shared by every registry: the
+#: resource sampler (:mod:`repro.obs.resources`) is a *thread* writing
+#: counters/gauges concurrently with the main thread's recording and
+#: snapshotting, so those paths must be mutually excluded. A single
+#: lock keeps the fork story simple — it is re-initialized in forked
+#: children so a fork taken mid-tick can never inherit a held lock.
+_REC_LOCK = threading.RLock()
+
+
+def _reset_rec_lock() -> None:
+    global _REC_LOCK
+    _REC_LOCK = threading.RLock()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows
+    os.register_at_fork(after_in_child=_reset_rec_lock)
 
 
 def _json_copy(value: Any) -> Any:
@@ -92,11 +113,35 @@ class Metrics:
 
     def incr(self, name: str, value: float = 1) -> None:
         """Add ``value`` to counter ``name`` (creating it at zero)."""
-        self.counters[name] = self.counters.get(name, 0) + value
+        with _REC_LOCK:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     def gauge(self, name: str, value: float) -> None:
         """Record the latest observation of ``name``."""
-        self.gauges[name] = value
+        with _REC_LOCK:
+            self.gauges[name] = value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if it is below it.
+
+        The read-modify-write is atomic under the recording lock — the
+        resource sampler uses this to keep "max sampled RSS" gauges
+        from racing the main thread.
+        """
+        with _REC_LOCK:
+            current = self.gauges.get(name)
+            if current is None or value > current:
+                self.gauges[name] = value
+
+    def current_span_name(self) -> Optional[str]:
+        """The innermost open span's name, or None outside any span.
+
+        Read lock-free from another thread (the resource sampler uses
+        it for phase attribution): worst case it names a span that
+        closed a tick ago, which only blurs attribution, never breaks.
+        """
+        stack = self._stack
+        return stack[-1]["name"] if stack else None
 
     @contextmanager
     def span(self, name: str) -> Iterator[Dict[str, Any]]:
@@ -112,6 +157,12 @@ class Metrics:
                                  "children": []}
         parent = self._stack[-1] if self._stack else None
         self._stack.append(frame)
+        enricher = _SPAN_ENRICHER
+        if enricher is not None:
+            try:
+                enricher("start", frame, len(self._stack))
+            except Exception:
+                pass  # enrichment is optional telemetry, never fatal
         started = perf_counter()
         frame["start_s"] = started - self._epoch
         try:
@@ -123,6 +174,11 @@ class Metrics:
                 frame["duration_s"]
                 - sum(c["duration_s"] for c in frame["children"]),
             )
+            if enricher is not None:
+                try:
+                    enricher("end", frame, len(self._stack))
+                except Exception:
+                    pass
             self._stack.pop()
             if parent is not None:
                 parent["children"].append(frame)
@@ -156,9 +212,12 @@ class Metrics:
 
     def snapshot(self) -> Dict[str, Any]:
         """A detached JSON-ready view of everything recorded so far."""
+        with _REC_LOCK:
+            counters = dict(self.counters)
+            gauges = dict(self.gauges)
         return {
-            "counters": dict(self.counters),
-            "gauges": dict(self.gauges),
+            "counters": counters,
+            "gauges": gauges,
             "timers": self.timers,
             "spans": _json_copy(self.spans),
         }
@@ -176,17 +235,40 @@ class Metrics:
         Span trees are appended. ``timers`` need no merging — they are
         always re-derived from the span trees.
         """
-        for name, value in snapshot.get("counters", {}).items():
-            self.incr(name, value)
-        for name, value in snapshot.get("gauges", {}).items():
-            current = self.gauges.get(name)
-            if current is None:
-                self.gauges[name] = value
-            elif name.endswith(SIZE_GAUGE_SUFFIX):
-                self.gauges[name] = current + value
-            else:
-                self.gauges[name] = max(current, value)
+        with _REC_LOCK:
+            for name, value in snapshot.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, value in snapshot.get("gauges", {}).items():
+                current = self.gauges.get(name)
+                if current is None:
+                    self.gauges[name] = value
+                elif name.endswith(SIZE_GAUGE_SUFFIX):
+                    self.gauges[name] = current + value
+                else:
+                    self.gauges[name] = max(current, value)
         self.spans.extend(_json_copy(snapshot.get("spans", [])))
+
+
+# -- span enrichment ------------------------------------------------------
+
+#: Optional hook invoked as ``enricher(event, frame, depth)`` at span
+#: open (``"start"``) and close (``"end"``) — ``depth`` is 1 for root
+#: spans. :mod:`repro.obs.resources` installs a tracemalloc enricher
+#: here under ``run --profile-mem``. Enricher exceptions are swallowed.
+_SPAN_ENRICHER: Optional[Callable[[str, Dict[str, Any], int], None]] = None
+
+
+def set_span_enricher(
+    enricher: Optional[Callable[[str, Dict[str, Any], int], None]],
+) -> None:
+    """Install (or, with None, remove) the process's span enricher."""
+    global _SPAN_ENRICHER
+    _SPAN_ENRICHER = enricher
+
+
+def span_enricher() -> Optional[Callable[[str, Dict[str, Any], int], None]]:
+    """The currently installed span enricher, if any."""
+    return _SPAN_ENRICHER
 
 
 # -- the process-local current registry ---------------------------------

@@ -1,0 +1,175 @@
+"""Live progress line for long runs and sweeps.
+
+``repro run --progress`` (and ``repro sweep --progress``) renders one
+continuously-updated status line while experiments execute::
+
+    run: 3 done / 2 running / 7 queued | rss 412 MB | eta ~184s
+
+The reporter is driven by the engine's task lifecycle hooks
+(``on_start`` / record callbacks) and reads the driver's own RSS via
+:func:`repro.obs.resources.sample_resources` at render time — no extra
+threads, no extra sampling machinery; it is a *view* over telemetry
+that already exists.
+
+ETA comes from the ledger when possible: given the previous comparable
+entry (same scale and seed), the expected remaining time is the sum of
+that entry's per-experiment ``wall_s`` for tasks not yet finished,
+divided by the worker count. With no usable history the reporter falls
+back to rate extrapolation (elapsed / done × remaining), and before
+anything finishes it prints no estimate at all rather than a made-up
+number.
+
+Rendering adapts to the stream: on a TTY the line redraws in place via
+carriage return; on a pipe (CI logs) it emits a full line at most once
+per ``interval_s`` seconds so logs stay readable. All writes are
+best-effort — a broken pipe must never kill a run.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, Mapping, Optional, Set, TextIO
+
+from .resources import sample_resources
+
+__all__ = ["ProgressReporter"]
+
+
+def _experiment_of(key: str) -> str:
+    """Experiment name for a task key (sweeps use ``<cell_id>/<name>``)."""
+    return key.rsplit("/", 1)[-1]
+
+
+class ProgressReporter:
+    """Render running/queued/done counts, driver RSS, and an ETA."""
+
+    def __init__(
+        self,
+        total: int,
+        stream: Optional[TextIO] = None,
+        *,
+        jobs: int = 1,
+        label: str = "run",
+        history: Optional[Mapping[str, Any]] = None,
+        interval_s: Optional[float] = None,
+    ) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.jobs = max(1, jobs)
+        self.label = label
+        #: Previous comparable ledger entry (or None) for history ETAs.
+        self.history = history
+        self._running: Set[str] = set()
+        self._done: Set[str] = set()
+        self._started_at = time.monotonic()
+        self._isatty = bool(getattr(self.stream, "isatty", lambda: False)())
+        # On a TTY redraw eagerly; on a pipe rate-limit to keep CI logs sane.
+        self._interval_s = (
+            interval_s if interval_s is not None
+            else (0.2 if self._isatty else 5.0)
+        )
+        self._last_emit = 0.0
+        self._line_open = False
+
+    # -- lifecycle callbacks (wired as engine hooks) ---------------------
+
+    def start(self) -> None:
+        self._started_at = time.monotonic()
+        self._emit(force=True)
+
+    def task_started(self, key: str) -> None:
+        self._running.add(key)
+        self._emit()
+
+    def task_finished(self, key: str, ok: bool = True) -> None:
+        self._running.discard(key)
+        self._done.add(key)
+        self._emit()
+
+    def close(self) -> None:
+        """Finish the line so subsequent output starts cleanly."""
+        self._emit(force=True)
+        if self._line_open:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except Exception:
+                pass
+            self._line_open = False
+
+    # -- rendering -------------------------------------------------------
+
+    def _eta_s(self) -> Optional[float]:
+        remaining = self.total - len(self._done)
+        if remaining <= 0:
+            return 0.0
+        historical = self._eta_from_history()
+        if historical is not None:
+            return historical
+        if not self._done:
+            return None
+        elapsed = time.monotonic() - self._started_at
+        return elapsed / len(self._done) * remaining
+
+    def _eta_from_history(self) -> Optional[float]:
+        if not self.history or not self._all_keys:
+            return None
+        experiments = self.history.get("experiments")
+        if not isinstance(experiments, dict):
+            return None
+        # Sum historical wall time of everything not finished yet; a
+        # task with no history disqualifies the estimate (better no ETA
+        # than a confidently wrong one).
+        pending_s = 0.0
+        for key in self._pending_keys():
+            wall = experiments.get(_experiment_of(key), {}).get("wall_s")
+            if wall is None:
+                return None
+            pending_s += float(wall)
+        return pending_s / self.jobs
+
+    def _pending_keys(self) -> Set[str]:
+        # Running tasks count as pending work for the ETA; their
+        # already-elapsed share is noise at band precision.
+        return self._running | self._known_queued
+
+    @property
+    def _known_queued(self) -> Set[str]:
+        return self._all_keys - self._running - self._done
+
+    #: Populated lazily as keys are announced; sized fallback otherwise.
+    _all_keys: Set[str] = frozenset()  # type: ignore[assignment]
+
+    def announce_keys(self, keys) -> None:
+        """Tell the reporter the full task-key set (enables history ETA)."""
+        self._all_keys = set(keys)
+
+    def render_line(self) -> str:
+        done, running = len(self._done), len(self._running)
+        queued = max(0, self.total - done - running)
+        parts = [
+            f"{self.label}: {done} done / {running} running / {queued} queued"
+        ]
+        sample = sample_resources()
+        parts.append(f"rss {sample.rss_mb:.0f} MB")
+        eta = self._eta_s()
+        if eta is not None:
+            parts.append(f"eta ~{eta:.0f}s")
+        return " | ".join(parts)
+
+    def _emit(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and (now - self._last_emit) < self._interval_s:
+            return
+        self._last_emit = now
+        line = self.render_line()
+        try:
+            if self._isatty:
+                self.stream.write("\r\x1b[2K" + line)
+                self._line_open = True
+            else:
+                self.stream.write(line + "\n")
+            self.stream.flush()
+        except Exception:
+            pass  # progress is decoration; never fail the run for it

@@ -44,6 +44,11 @@ def _span_events(
     events: List[Dict[str, Any]],
 ) -> None:
     start_us = base_us + node.get("start_s", 0.0) * 1e6
+    args: Dict[str, Any] = {"self_us": round(_self_us(node), 1)}
+    if node.get("mem"):
+        # tracemalloc enrichment from run --profile-mem: alloc deltas
+        # and top allocation sites, viewable per-span in Perfetto.
+        args["mem"] = node["mem"]
     events.append({
         "name": node["name"],
         "ph": "X",
@@ -52,7 +57,7 @@ def _span_events(
         "dur": round(node["duration_s"] * 1e6, 1),
         "pid": _PID,
         "tid": tid,
-        "args": {"self_us": round(_self_us(node), 1)},
+        "args": args,
     })
     for child in node.get("children", ()):
         _span_events(child, base_us, tid, events)

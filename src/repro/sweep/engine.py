@@ -72,9 +72,17 @@ class SweepResult:
     def failed(self) -> List[RunRecord]:
         return [r for r in self.records.values() if not r.ok]
 
-    def to_csv(self) -> str:
-        """The deterministic tidy CSV (see :mod:`repro.sweep.rows`)."""
-        return rows_mod.to_csv(self.spec.axis_names, self.rows)
+    def to_csv(self, include_resources: bool = False) -> str:
+        """The deterministic tidy CSV (see :mod:`repro.sweep.rows`).
+
+        ``include_resources`` adds the ``resource:*`` measurement rows
+        (peak RSS / CPU per cell and experiment); the default output
+        stays byte-identical across serial/pooled/resumed runs.
+        """
+        return rows_mod.to_csv(
+            self.spec.axis_names, self.rows,
+            include_resources=include_resources,
+        )
 
 
 def _sweep_label(spec: SweepSpec) -> str:
@@ -129,6 +137,9 @@ def run_sweep(
     resume: Optional[str] = None,
     version: str = "",
     on_progress=None,
+    on_task_start=None,
+    on_task_done=None,
+    driver_metrics=None,
 ) -> SweepResult:
     """Execute (or resume) one sweep; returns a :class:`SweepResult`.
 
@@ -141,6 +152,13 @@ def run_sweep(
 
     ``on_progress(message)`` receives human-oriented status lines
     (resume summary); the CSV and records stay deterministic.
+
+    ``on_task_start(key)`` / ``on_task_done(key, ok)`` trace the task
+    lifecycle by task key — the CLI's ``--progress`` line hooks in
+    here; journal-resumed tasks fire ``on_task_done`` upfront.
+    ``driver_metrics`` is a zero-arg callable returning the driver
+    process's metrics snapshot, evaluated once per cell manifest so
+    entries carry a ``resources.driver`` block like plain runs do.
     """
     experiments = _resolve_experiments(spec)
     cells = spec.cells()
@@ -200,15 +218,30 @@ def run_sweep(
         for cell, name, key in keys
         if key not in completed
     ]
+    if on_task_done is not None:
+        for key in completed:
+            on_task_done(key, True)
 
-    def journal_record(task: RunTask, record: RunRecord) -> None:
+    def task_record(task: RunTask, record: RunRecord) -> None:
         # Journaled under the task key (not the bare experiment name)
         # so a resumed sweep can attribute each record to its cell.
-        journal.record(dataclasses.replace(record, name=task.task_key))
+        if journal is not None:
+            journal.record(dataclasses.replace(record, name=task.task_key))
+        if on_task_done is not None:
+            on_task_done(task.task_key, record.ok)
 
     fresh = run_tasks(
         tasks, jobs=jobs, cache=cache, timeout_s=spec.timeout_s,
-        on_record=journal_record if journal is not None else None,
+        on_record=(
+            task_record
+            if journal is not None or on_task_done is not None
+            else None
+        ),
+        on_start=(
+            (lambda task: on_task_start(task.task_key))
+            if on_task_start is not None
+            else None
+        ),
     )
     records: Dict[str, RunRecord] = dict(completed)
     for task, record in zip(tasks, fresh):
@@ -241,6 +274,10 @@ def run_sweep(
                 command="sweep",
                 run_id=f"{sweep_id}:{cell.cell_id}",
                 resumed_from=resumed_from,
+                driver_metrics=(
+                    driver_metrics() if driver_metrics is not None
+                    else None
+                ),
                 extra={
                     "sweep_id": sweep_id,
                     "cell_id": cell.cell_id,

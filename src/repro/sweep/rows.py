@@ -14,6 +14,13 @@ then spec experiment order, then sorted metric names; float values are
 rendered with ``repr`` (shortest round-trip form). No wall times, no
 timestamps, no sweep id — a serial run, a pooled run, and a resumed
 run of the same spec produce byte-identical files.
+
+Resource telemetry rides along as ``resource:peak_rss_mb`` /
+``resource:cpu_s`` rows when the record's metrics carry samples — but
+those values are *measurements*, different on every run, so
+:func:`to_csv` filters them out by default to keep the byte-identity
+guarantee (and the CI ``cmp`` gates built on it); ``repro sweep
+--resources`` opts in.
 """
 
 from __future__ import annotations
@@ -76,18 +83,50 @@ def rows_for(
         })
     if not rows:
         rows.append({**identity, "metric": "", "value": ""})
+    # Resource rows come AFTER the placeholder decision: they are
+    # nondeterministic measurements, so they must never make a row set
+    # "non-empty" that the deterministic default CSV would render as a
+    # placeholder.
+    metrics = getattr(record, "metrics", None) or {}
+    peak = (metrics.get("gauges") or {}).get("resources.peak_rss_mb")
+    cpu = (metrics.get("counters") or {}).get("resources.cpu_s")
+    if peak is not None:
+        rows.append({
+            **identity,
+            "metric": "resource:peak_rss_mb",
+            "value": _render(round(float(peak), 1)),
+        })
+    if cpu is not None:
+        rows.append({
+            **identity,
+            "metric": "resource:cpu_s",
+            "value": _render(round(float(cpu), 3)),
+        })
     return rows
 
 
+_RESOURCE_PREFIX = "resource:"
+
+
 def to_csv(
-    axis_names: Sequence[str], rows: Iterable[Dict[str, str]]
+    axis_names: Sequence[str],
+    rows: Iterable[Dict[str, str]],
+    include_resources: bool = False,
 ) -> str:
-    """Render rows as CSV text (``\\n`` line endings, header first)."""
+    """Render rows as CSV text (``\\n`` line endings, header first).
+
+    ``resource:*`` rows are dropped unless ``include_resources`` —
+    they carry run-to-run-varying measurements, and the default CSV is
+    byte-identical across serial/pooled/resumed runs by contract.
+    """
     out = io.StringIO()
     writer = csv.DictWriter(
         out, fieldnames=header(axis_names), lineterminator="\n"
     )
     writer.writeheader()
     for row in rows:
+        if (not include_resources
+                and row.get("metric", "").startswith(_RESOURCE_PREFIX)):
+            continue
         writer.writerow(row)
     return out.getvalue()

@@ -380,6 +380,188 @@ class TestLedgerCli:
             assert event["pid"] == 1
 
 
+class TestResourceTelemetryCli:
+    """run --profile-mem/--progress, check budgets, report --perf,
+    and friendly output-path validation."""
+
+    @pytest.fixture(autouse=True)
+    def no_cache(self, monkeypatch):
+        from repro.engine import CACHE_DIR_ENV
+
+        monkeypatch.setenv(CACHE_DIR_ENV, "off")
+
+    def _run_once(self, tmp_path, capsys):
+        assert main(["run", "envelope", "--scale", "small",
+                     "--ledger-dir", str(tmp_path / "ledger")]) == 0
+        return capsys.readouterr()
+
+    # -- satellite: unwritable --metrics-out/--trace-out ----------------
+
+    def test_metrics_out_blocked_parent_is_friendly(self, tmp_path,
+                                                    capsys):
+        # Parent "directory" is a file: a one-line exit-2 *before* the
+        # run spends any time, not an end-of-run traceback.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(["run", "envelope", "--scale", "small",
+                     "--metrics-out",
+                     str(blocker / "metrics.json")]) == 2
+        captured = capsys.readouterr()
+        assert "cannot create directory" in captured.err
+        assert "Traceback" not in captured.err
+        assert "Back-of-the-envelope" not in captured.out  # never ran
+
+    def test_trace_out_directory_target_is_friendly(self, tmp_path,
+                                                    capsys):
+        assert main(["run", "envelope", "--scale", "small",
+                     "--trace-out", str(tmp_path)]) == 2
+        captured = capsys.readouterr()
+        assert "is a directory" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_metrics_out_missing_parent_is_autocreated(self, tmp_path,
+                                                       capsys):
+        import json as jsonlib
+
+        target = tmp_path / "deep" / "nested" / "metrics.json"
+        assert main(["run", "envelope", "--scale", "small",
+                     "--metrics-out", str(target)]) == 0
+        capsys.readouterr()
+        payload = jsonlib.loads(target.read_text())
+        assert payload["schema"] == "repro.obs/v1"
+
+    # -- tentpole: resources in records, ledger, check, report ----------
+
+    def test_ledger_entry_carries_resources(self, tmp_path, capsys):
+        import json as jsonlib
+
+        self._run_once(tmp_path, capsys)
+        line = (tmp_path / "ledger" / "ledger.jsonl").read_text()
+        entry = jsonlib.loads(line)
+        exp = entry["experiments"]["envelope"]
+        assert exp["peak_rss_mb"] > 0
+        assert exp["cpu_s"] >= 0
+        driver = entry["resources"]["driver"]
+        assert driver["peak_rss_mb"] > 0
+        assert driver["cpu_s"] >= 0
+        assert driver["samples"] >= 0
+
+    def test_metrics_out_totals_include_resources(self, tmp_path,
+                                                  capsys):
+        import json as jsonlib
+
+        target = tmp_path / "metrics.json"
+        assert main(["run", "envelope", "--scale", "small",
+                     "--metrics-out", str(target)]) == 0
+        capsys.readouterr()
+        payload = jsonlib.loads(target.read_text())
+        totals = payload["totals"]
+        assert "resources.cpu_s" in totals["counters"]
+        assert totals["gauges"]["resources.peak_rss_mb"] > 0
+        # The driver stamped its sampler bookkeeping for the chaos gate.
+        driver = payload["driver"]
+        assert driver["gauges"]["resources.samplers.open"] == 0
+
+    def test_check_reports_budgets_in_band(self, tmp_path, capsys):
+        self._run_once(tmp_path, capsys)
+        assert main(["check", "--ledger-dir",
+                     str(tmp_path / "ledger")]) == 0
+        out = capsys.readouterr().out
+        assert "performance budgets" in out
+        assert "all within budget" in out
+
+    def test_check_fails_on_blown_budget(self, tmp_path, capsys,
+                                         monkeypatch):
+        from repro.experiments import exp_envelope
+        from repro.obs import PerfBudget
+
+        self._run_once(tmp_path, capsys)
+        # A floor the sub-millisecond envelope can never reach: the
+        # "suspiciously free" direction of the band.
+        monkeypatch.setattr(
+            exp_envelope, "PERF_BUDGETS",
+            (PerfBudget(key="wall_s", lo=1e6, hi=2e6,
+                        note="impossible band"),),
+        )
+        assert main(["check", "--ledger-dir",
+                     str(tmp_path / "ledger")]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESS" in out
+        assert "VIOLATED" in out
+
+    def test_check_fails_on_missing_budget_value(self, tmp_path, capsys,
+                                                 monkeypatch):
+        import json as jsonlib
+
+        self._run_once(tmp_path, capsys)
+        # Doctor the entry: drop the resource fields a budget bounds.
+        path = tmp_path / "ledger" / "ledger.jsonl"
+        entry = jsonlib.loads(path.read_text())
+        entry["experiments"]["envelope"].pop("peak_rss_mb", None)
+        path.write_text(jsonlib.dumps(entry) + "\n")
+        assert main(["check", "--ledger-dir",
+                     str(tmp_path / "ledger")]) == 1
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_report_perf_writes_bench_file(self, tmp_path, capsys):
+        import json as jsonlib
+
+        self._run_once(tmp_path, capsys)
+        out_dir = tmp_path / "bench"
+        assert main(["report", "--perf", "--out", str(out_dir),
+                     "--ledger-dir", str(tmp_path / "ledger")]) == 0
+        captured = capsys.readouterr()
+        assert "[bench: run " in captured.out
+        (bench_path,) = out_dir.glob("BENCH_*.json")
+        payload = jsonlib.loads(bench_path.read_text())
+        assert payload["schema"] == "repro.bench/v1"
+        envelope = payload["experiments"]["envelope"]
+        assert envelope["wall_s"] is not None
+        assert envelope["peak_rss_mb"] > 0
+        assert payload["budgets"]  # envelope declares budgets
+        assert all(b["status"] == "pass" for b in payload["budgets"])
+
+    def test_report_without_perf_errors(self, capsys):
+        assert main(["report"]) == 2
+        assert "pass --perf" in capsys.readouterr().err
+
+    def test_report_empty_ledger_errors(self, tmp_path, capsys):
+        assert main(["report", "--perf", "--ledger-dir",
+                     str(tmp_path)]) == 2
+        assert "empty" in capsys.readouterr().err
+
+    # -- satellite: --profile-mem and --progress ------------------------
+
+    def test_profile_mem_annotates_trace_and_cleans_up(self, tmp_path,
+                                                       capsys):
+        import json as jsonlib
+        import tracemalloc
+
+        from repro.obs import resources as res
+
+        trace = tmp_path / "trace.json"
+        assert main(["run", "envelope", "--scale", "small",
+                     "--profile-mem", "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        doc = jsonlib.loads(trace.read_text())
+        roots = [e for e in doc["traceEvents"]
+                 if e.get("name") == "experiment.envelope"]
+        assert roots and "mem" in roots[0]["args"]
+        assert "peak_kb" in roots[0]["args"]["mem"]
+        # The flag must not leak into later runs in this process.
+        assert not res.mem_profile_enabled()
+        assert res.PROFILE_MEM_ENV not in os.environ
+        assert not tracemalloc.is_tracing()
+
+    def test_progress_renders_status_line(self, tmp_path, capsys):
+        assert main(["run", "envelope", "--scale", "small",
+                     "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "1 done / 0 running / 0 queued" in captured.err
+        assert "rss " in captured.err
+        assert "Back-of-the-envelope" in captured.out  # stdout clean
+
+
 class TestResilienceCli:
     """repro run --timeout-s / --resume / REPRO_CHAOS validation."""
 

@@ -73,7 +73,7 @@ def test_missing_numpy_fails_loudly(monkeypatch):
 
 def test_version_is_single_sourced():
     # pyproject.toml declares dynamic = ["version"] reading this attr.
-    assert repro.__version__ == "1.5.0"
+    assert repro.__version__ == "1.6.0"
     text = open("pyproject.toml").read()
     assert 'dynamic = ["version"]' in text
     assert "repro.__version__" in text

@@ -216,6 +216,73 @@ class TestMergeAlgebra:
         assert merged["gauges"] == alone["gauges"]
 
 
+#: Synthetic resource observations as (rss_mb, cpu_s, degraded) triples.
+_RESOURCE_OBS = st.tuples(
+    st.integers(min_value=1, max_value=4096),
+    st.integers(min_value=0, max_value=500),
+    st.booleans(),
+)
+
+
+class TestResourceMergeDeterminism:
+    """Serial and pooled runs must agree on merged resource metrics.
+
+    A serial run records every sample into one registry; a pooled run
+    records them into per-worker registries whose snapshots the driver
+    merges. Both must land on identical counters and gauges — this is
+    the property that lets ``peak_rss_mb`` / ``cpu_s`` appear in
+    RunRecords without threatening the ledger's determinism contract.
+    CPU counters use integer-valued floats so float summation order
+    cannot blur the comparison: the property under test is the merge
+    algebra, not IEEE addition.
+    """
+
+    @staticmethod
+    def _record(registry, obs_triple):
+        from repro.obs.resources import ResourceSample, _record_sample
+
+        rss, cpu, degraded = obs_triple
+        sample = ResourceSample(
+            rss_mb=float(rss), peak_rss_mb=float(rss),
+            cpu_s=float(cpu), degraded=degraded,
+        )
+        _record_sample(registry, sample, cpu_delta=float(cpu),
+                       phase="evaluate")
+        registry.incr("resources.samples")
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_RESOURCE_OBS, min_size=1, max_size=12),
+           st.integers(min_value=1, max_value=4))
+    def test_serial_equals_pooled(self, observations, workers):
+        serial = Metrics()
+        for obs_triple in observations:
+            self._record(serial, obs_triple)
+
+        pools = [Metrics() for _ in range(workers)]
+        for index, obs_triple in enumerate(observations):
+            self._record(pools[index % workers], obs_triple)
+        merged = obs.merge_snapshots(p.snapshot() for p in pools)
+
+        assert merged["counters"] == serial.snapshot()["counters"]
+        assert merged["gauges"] == serial.snapshot()["gauges"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(_RESOURCE_OBS, min_size=2, max_size=10),
+           st.randoms())
+    def test_merge_order_does_not_matter(self, observations, rng):
+        registries = []
+        for obs_triple in observations:
+            m = Metrics()
+            self._record(m, obs_triple)
+            registries.append(m.snapshot())
+        shuffled = list(registries)
+        rng.shuffle(shuffled)
+        forward = obs.merge_snapshots(registries)
+        permuted = obs.merge_snapshots(shuffled)
+        assert forward["counters"] == permuted["counters"]
+        assert forward["gauges"] == permuted["gauges"]
+
+
 class TestProcessLocalRegistry:
     def test_module_helpers_hit_current_registry(self):
         fresh = obs.reset_metrics()
@@ -303,6 +370,18 @@ class TestTraceViz:
         assert outer["ts"] <= inner["ts"]
         assert (inner["ts"] + inner["dur"]
                 <= outer["ts"] + outer["dur"] + 1)  # 1us rounding slack
+
+    def test_mem_annotations_ride_into_event_args(self):
+        # run --profile-mem enriches span frames with a "mem" dict;
+        # the Chrome trace must carry it so Perfetto shows allocations.
+        m = Metrics()
+        with m.span("outer"):
+            pass
+        m.spans[0]["mem"] = {"alloc_delta_kb": 12.5, "peak_kb": 40.0}
+        doc = obs.chrome_trace([_FakeRecord("x", 1.0, m.snapshot())])
+        (span,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert span["args"]["mem"]["peak_kb"] == 40.0
+        json.dumps(doc)  # still pure JSON
 
     def test_write_chrome_trace_round_trips(self, tmp_path):
         # Parent directories are created on demand.

@@ -367,3 +367,61 @@ class TestSweepCli:
         assert code == 2
         assert "cannot write sweep journal/ledger" in captured.err
         assert "Traceback" not in captured.err
+
+    def test_csv_excludes_resource_rows_by_default(
+        self, tmp_path, capsys
+    ):
+        # The determinism contract: without --resources the CSV is
+        # byte-comparable across runs, so no measurement rows.
+        spec = self._write_spec(tmp_path, axes={"seed": [3]})
+        assert main(["sweep", spec]) == 0
+        out = capsys.readouterr().out
+        assert "resource:" not in out
+
+    def test_resources_flag_adds_measurement_rows(
+        self, tmp_path, capsys
+    ):
+        spec = self._write_spec(tmp_path, axes={"seed": [3]})
+        assert main(["sweep", spec, "--resources"]) == 0
+        out = capsys.readouterr().out
+        rows = [line for line in out.splitlines()
+                if ",resource:" in line]
+        metrics = {line.split(",")[-2] for line in rows}
+        assert "resource:peak_rss_mb" in metrics
+        assert "resource:cpu_s" in metrics
+        for line in rows:
+            assert float(line.rsplit(",", 1)[-1]) >= 0
+
+    def test_csv_out_blocked_parent_is_friendly(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        spec = self._write_spec(tmp_path)
+        code = main(["sweep", spec, "--csv",
+                     str(blocker / "out.csv")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot create directory" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_progress_renders_sweep_status_line(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path, axes={"seed": [3]})
+        assert main(["sweep", spec, "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "2 done / 0 running / 0 queued" in captured.err
+        assert "rss " in captured.err
+        # stdout is still clean CSV.
+        assert captured.out.startswith(
+            "cell_id,seed,experiment,status,metric,value\n"
+        )
+
+    def test_cell_entries_carry_driver_resources(self, tmp_path, capsys):
+        spec = self._write_spec(tmp_path, axes={"seed": [3]})
+        assert main(["sweep", spec, "--ledger-dir",
+                     str(tmp_path / "ledger")]) == 0
+        capsys.readouterr()
+        ledger = obs.RunLedger(str(tmp_path / "ledger"))
+        (entry,) = ledger.entries()
+        driver = entry["resources"]["driver"]
+        assert driver["peak_rss_mb"] > 0
+        for name, exp in entry["experiments"].items():
+            assert exp["peak_rss_mb"] > 0, name
